@@ -1,0 +1,31 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one paper table/figure through the
+experiment registry.  Experiment sweeps are expensive (they run the
+cycle simulator many times), so they execute exactly once via
+``benchmark.pedantic(rounds=1)`` and share the process-wide result and
+model caches; the printed tables are the reproduced artifacts.
+
+Set ``PEARL_BENCH_FULL=1`` to sweep all 16 test pairs at full run
+lengths instead of the quick diagonal.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Full evaluation (16 pairs, 20k cycles) when set.
+FULL = os.environ.get("PEARL_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """Quick-mode flag shared by every figure benchmark."""
+    return not FULL
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

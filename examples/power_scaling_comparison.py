@@ -1,0 +1,64 @@
+"""Compare PEARL's three power strategies on one workload pair.
+
+Reproduces the core trade-off of the paper at example scale: the
+always-on 64-wavelength baseline, the reactive buffer-occupancy scaler
+(Algorithm 1 steps 6-8) and the proactive ridge-regression scaler, all
+on the x264+Reduction test pair.
+
+Run with:  python examples/power_scaling_comparison.py
+(the ML row trains a quick model first; expect ~a minute)
+"""
+
+from repro import PearlConfig, PearlNetwork, PowerPolicyKind, SimulationConfig
+from repro.ml.pipeline import train_default_model
+from repro.traffic import generate_pair_trace, get_benchmark
+
+WINDOW = 500
+
+
+def main() -> None:
+    config = PearlConfig(
+        simulation=SimulationConfig(warmup_cycles=500, measure_cycles=8_000)
+    ).with_reservation_window(WINDOW)
+    trace = generate_pair_trace(
+        get_benchmark("x264"),
+        get_benchmark("reduction"),
+        config.architecture,
+        duration=config.simulation.total_cycles,
+        seed=1,
+    )
+
+    print("training the ridge model (quick pipeline)...")
+    model = train_default_model(WINDOW, quick=True).model
+
+    runs = {
+        "64WL always-on": PearlNetwork(config),
+        f"Dyn RW{WINDOW} (reactive)": PearlNetwork(
+            config, power_policy=PowerPolicyKind.REACTIVE
+        ),
+        f"ML RW{WINDOW} (proactive)": PearlNetwork(
+            config, power_policy=PowerPolicyKind.ML, ml_model=model
+        ),
+    }
+
+    baseline = None
+    print(f"\n{'configuration':28s} {'thr (f/c)':>10s} {'laser (W)':>10s} "
+          f"{'loss':>7s} {'savings':>8s}")
+    for label, network in runs.items():
+        result = network.run(trace)
+        throughput = result.throughput()
+        power = result.mean_laser_power_w
+        if baseline is None:
+            baseline = (throughput, power)
+            loss = savings = 0.0
+        else:
+            loss = 1 - throughput / baseline[0]
+            savings = 1 - power / baseline[1]
+        print(f"{label:28s} {throughput:10.2f} {power:10.2f} "
+              f"{loss:7.1%} {savings:8.1%}")
+        residency = {s: f"{f:.0%}" for s, f in result.state_residency.items()}
+        print(f"{'':28s} state residency: {residency}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Characterise the synthetic workloads (the Fig. 4 backdrop).
+
+Quantifies the paper's premises on the generated traces: CPU
+benchmarks produce more packets overall, while GPU traffic is far
+burstier per router (kernel-driven). Prints per-pair packet splits,
+per-core-type burstiness metrics and a sparkline of the chip-wide
+injection rate over time.
+
+Run with:  python examples/workload_characterization.py
+"""
+
+from repro.noc.packet import CoreType
+from repro.traffic import (
+    compare_core_types,
+    generate_pair_trace,
+    get_benchmark,
+    per_source_idc,
+    windowed_counts,
+)
+from repro.viz import sparkline
+
+PAIRS = [
+    ("fluidanimate", "dct"),
+    ("fmm", "dwt_haar"),
+    ("radiosity", "quasi_random"),
+    ("x264", "reduction"),
+]
+
+DURATION = 30_000
+
+
+def main() -> None:
+    print(f"{'pair':14s} {'cpu%':>6s} {'gpu%':>6s} "
+          f"{'cpu IDC/rtr':>12s} {'gpu IDC/rtr':>12s} {'gpu p2m':>8s}")
+    for cpu_name, gpu_name in PAIRS:
+        cpu, gpu = get_benchmark(cpu_name), get_benchmark(gpu_name)
+        trace = generate_pair_trace(cpu, gpu, duration=DURATION, seed=1)
+        counts = trace.packets_by_core_type()
+        total = counts[CoreType.CPU] + counts[CoreType.GPU]
+        characters = compare_core_types(trace, window=500)
+        cpu_idc = per_source_idc(trace, core_type=CoreType.CPU)
+        gpu_idc = per_source_idc(trace, core_type=CoreType.GPU)
+        print(f"{trace.name:14s} "
+              f"{100 * counts[CoreType.CPU] / total:6.1f} "
+              f"{100 * counts[CoreType.GPU] / total:6.1f} "
+              f"{cpu_idc:12.2f} {gpu_idc:12.2f} "
+              f"{characters['gpu'].peak_to_mean:8.2f}")
+
+    print("\nchip-wide injection rate over time (FA+DCT, 500-cycle bins):")
+    trace = generate_pair_trace(
+        get_benchmark("fluidanimate"), get_benchmark("dct"),
+        duration=DURATION, seed=1,
+    )
+    for core_type in (CoreType.CPU, CoreType.GPU):
+        counts = windowed_counts(trace, window=500, core_type=core_type)
+        print(f"  {core_type.value:4s} {sparkline(counts)}")
+
+
+if __name__ == "__main__":
+    main()

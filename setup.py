@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs to build a PEP-660 wheel, which requires the
+`wheel` distribution; this offline environment lacks it, so
+`python setup.py develop` provides the fallback editable install.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

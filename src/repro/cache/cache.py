@@ -1,0 +1,203 @@
+"""Set-associative cache with NMOESI line states.
+
+Multi2Sim (the paper's full-system simulator) keeps its caches coherent
+with the NMOESI protocol — MOESI extended with an N (non-coherent)
+state for GPU writes that skip coherence.  This module provides the
+storage structure: sets of ways with LRU replacement, per-line state,
+and hit/miss/eviction accounting.  The protocol logic lives in
+:mod:`repro.cache.coherence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Dict, List, Optional, Tuple
+
+
+@unique
+class LineState(Enum):
+    """NMOESI cache-line states."""
+
+    NON_COHERENT = "N"
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        """Any state except INVALID holds data."""
+        return self is not LineState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """States whose data must be written back on eviction."""
+        return self in (
+            LineState.MODIFIED,
+            LineState.OWNED,
+            LineState.NON_COHERENT,
+        )
+
+    @property
+    def can_write(self) -> bool:
+        """States permitting a write without an upgrade request."""
+        return self in (
+            LineState.MODIFIED,
+            LineState.EXCLUSIVE,
+            LineState.NON_COHERENT,
+        )
+
+
+@dataclass
+class CacheLine:
+    """One cache line: tag, state and LRU timestamp."""
+
+    tag: int = -1
+    state: LineState = LineState.INVALID
+    last_use: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 with no accesses)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache keyed by line address.
+
+    Sizes are in bytes; the line size must divide the cache size evenly
+    across ``associativity`` ways.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        associativity: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or associativity <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        num_lines = size_bytes // line_bytes
+        if num_lines % associativity != 0:
+            raise ValueError("cache size not divisible into sets")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self.num_sets = num_lines // associativity
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(associativity)]
+            for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+        self._clock = 0
+
+    def _index_tag(self, address: int) -> Tuple[int, int]:
+        line_addr = address // self.line_bytes
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def _find(self, address: int) -> Optional[CacheLine]:
+        index, tag = self._index_tag(address)
+        for line in self._sets[index]:
+            if line.state.is_valid and line.tag == tag:
+                return line
+        return None
+
+    def state_of(self, address: int) -> LineState:
+        """The NMOESI state of the line holding ``address``."""
+        line = self._find(address)
+        return line.state if line is not None else LineState.INVALID
+
+    def lookup(self, address: int) -> bool:
+        """Probe the cache, updating stats and LRU. True on hit."""
+        self._clock += 1
+        line = self._find(address)
+        if line is not None:
+            line.last_use = self._clock
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def touch(self, address: int) -> None:
+        """Refresh LRU without changing stats (used by upgrades)."""
+        self._clock += 1
+        line = self._find(address)
+        if line is not None:
+            line.last_use = self._clock
+
+    def set_state(self, address: int, state: LineState) -> None:
+        """Change the state of a resident line."""
+        line = self._find(address)
+        if line is None:
+            raise KeyError(f"{self.name}: address {address:#x} not resident")
+        line.state = state
+
+    def fill(
+        self, address: int, state: LineState
+    ) -> Optional[Tuple[int, LineState]]:
+        """Install a line, returning the evicted (address, state) if any.
+
+        The victim is the LRU way; invalid ways are preferred.  Dirty
+        victims are reported so the caller can issue a writeback.
+        """
+        if not state.is_valid:
+            raise ValueError("cannot fill a line in INVALID state")
+        self._clock += 1
+        index, tag = self._index_tag(address)
+        ways = self._sets[index]
+        victim = None
+        for line in ways:
+            if not line.state.is_valid:
+                victim = line
+                break
+        if victim is None:
+            victim = min(ways, key=lambda l: l.last_use)
+        evicted: Optional[Tuple[int, LineState]] = None
+        if victim.state.is_valid:
+            evicted_line_addr = victim.tag * self.num_sets + index
+            evicted = (evicted_line_addr * self.line_bytes, victim.state)
+            self.stats.evictions += 1
+            if victim.state.is_dirty:
+                self.stats.writebacks += 1
+        victim.tag = tag
+        victim.state = state
+        victim.last_use = self._clock
+        return evicted
+
+    def invalidate(self, address: int) -> LineState:
+        """Invalidate a line, returning its previous state."""
+        line = self._find(address)
+        if line is None:
+            return LineState.INVALID
+        previous = line.state
+        line.state = LineState.INVALID
+        return previous
+
+    def resident_lines(self) -> Dict[int, LineState]:
+        """Map of resident line addresses to their states (diagnostics)."""
+        out: Dict[int, LineState] = {}
+        for index, ways in enumerate(self._sets):
+            for line in ways:
+                if line.state.is_valid:
+                    line_addr = line.tag * self.num_sets + index
+                    out[line_addr * self.line_bytes] = line.state
+        return out

@@ -1,0 +1,259 @@
+"""NMOESI coherence protocol engine.
+
+Implements the directory-side logic Multi2Sim uses between the per-
+cluster L2 caches and the shared L3: a full-map directory tracks which
+cluster holds each line and in what role (owner vs sharer).  Loads and
+stores from an L2 become protocol *actions*; each action yields the
+coherence messages (invalidations, downgrades, data forwards) that the
+trace generator can turn into network packets.
+
+The N (non-coherent) state supports GPU streaming writes that bypass
+coherence: a non-coherent store installs the line in state N locally
+without notifying the directory, and the data is only reconciled on
+eviction (the Multi2Sim semantics for OpenCL global stores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Dict, List, Optional, Set
+
+from .cache import LineState, SetAssociativeCache
+
+
+@unique
+class AccessType(Enum):
+    """Processor-side access kinds."""
+
+    LOAD = "load"
+    STORE = "store"
+    NC_STORE = "nc_store"
+
+
+@unique
+class CoherenceAction(Enum):
+    """Directory decisions, each implying specific network messages."""
+
+    HIT = "hit"
+    FETCH_FROM_MEMORY = "fetch_from_memory"
+    FETCH_FROM_OWNER = "fetch_from_owner"
+    INVALIDATE_SHARERS = "invalidate_sharers"
+    DOWNGRADE_OWNER = "downgrade_owner"
+    UPGRADE = "upgrade"
+    WRITEBACK = "writeback"
+
+
+@dataclass
+class CoherenceResult:
+    """Outcome of one access: final state plus the actions performed."""
+
+    state: LineState
+    actions: List[CoherenceAction] = field(default_factory=list)
+    invalidated: Set[int] = field(default_factory=set)
+    forwarded_from: Optional[int] = None
+
+    @property
+    def was_hit(self) -> bool:
+        """True when the access completed without leaving the cluster."""
+        return CoherenceAction.HIT in self.actions
+
+
+@dataclass
+class DirectoryEntry:
+    """Full-map directory state for one line."""
+
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+
+    @property
+    def is_uncached(self) -> bool:
+        """No cluster holds the line."""
+        return self.owner is None and not self.sharers
+
+
+class Directory:
+    """Full-map directory indexed by line address."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        if line_bytes <= 0:
+            raise ValueError("line size must be positive")
+        self.line_bytes = line_bytes
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, address: int) -> DirectoryEntry:
+        """The (auto-created) entry for the line holding ``address``."""
+        line = (address // self.line_bytes) * self.line_bytes
+        return self._entries.setdefault(line, DirectoryEntry())
+
+    def drop(self, address: int) -> None:
+        """Forget a line once no cluster caches it."""
+        line = (address // self.line_bytes) * self.line_bytes
+        entry = self._entries.get(line)
+        if entry is not None and entry.is_uncached:
+            del self._entries[line]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class NmoesiController:
+    """Protocol logic for one cluster's L2 against the shared directory.
+
+    One controller per cluster; all controllers share the directory.
+    ``access`` drives the local cache and directory to a consistent
+    post-state and reports every coherence action taken — the trace
+    generator maps those actions onto network packets.
+    """
+
+    def __init__(
+        self,
+        cluster_id: int,
+        cache: SetAssociativeCache,
+        directory: Directory,
+        peers: Dict[int, "NmoesiController"],
+    ) -> None:
+        self.cluster_id = cluster_id
+        self.cache = cache
+        self.directory = directory
+        self._peers = peers
+        peers[cluster_id] = self
+        # Optional hook invoked on remote invalidation so an inclusive
+        # hierarchy can flash-invalidate the L1 copies above this L2.
+        self.invalidate_hook: "Optional[callable]" = None
+
+    # -- remote-side handlers -------------------------------------------------
+
+    def handle_invalidate(self, address: int) -> LineState:
+        """A peer gained exclusive access: drop our copy (and L1s)."""
+        if self.invalidate_hook is not None:
+            self.invalidate_hook(address)
+        return self.cache.invalidate(address)
+
+    def handle_downgrade(self, address: int) -> LineState:
+        """A peer wants to read a line we own: move M/E -> O/S."""
+        state = self.cache.state_of(address)
+        if state in (LineState.MODIFIED, LineState.NON_COHERENT):
+            self.cache.set_state(address, LineState.OWNED)
+            return LineState.OWNED
+        if state is LineState.EXCLUSIVE:
+            self.cache.set_state(address, LineState.SHARED)
+            return LineState.SHARED
+        return state
+
+    # -- processor-side entry point -------------------------------------------
+
+    def access(self, address: int, access_type: AccessType) -> CoherenceResult:
+        """Perform a load/store/nc-store from this cluster."""
+        if access_type is AccessType.LOAD:
+            return self._load(address)
+        if access_type is AccessType.STORE:
+            return self._store(address)
+        return self._nc_store(address)
+
+    def _evict_if_needed(
+        self, evicted: "Optional[tuple[int, LineState]]", result: CoherenceResult
+    ) -> None:
+        if evicted is None:
+            return
+        evicted_addr, evicted_state = evicted
+        entry = self.directory.entry(evicted_addr)
+        if entry.owner == self.cluster_id:
+            entry.owner = None
+        entry.sharers.discard(self.cluster_id)
+        self.directory.drop(evicted_addr)
+        if evicted_state.is_dirty:
+            result.actions.append(CoherenceAction.WRITEBACK)
+
+    def _load(self, address: int) -> CoherenceResult:
+        if self.cache.lookup(address):
+            return CoherenceResult(
+                state=self.cache.state_of(address),
+                actions=[CoherenceAction.HIT],
+            )
+        result = CoherenceResult(state=LineState.INVALID)
+        entry = self.directory.entry(address)
+        if entry.owner is not None and entry.owner != self.cluster_id:
+            # The owner holds M/E/N: downgrade it and take a forwarded
+            # copy (E/M holders are the protocol's designated forwarders;
+            # a dirty copy becomes OWNED and writes back on eviction).
+            owner = self._peers[entry.owner]
+            owner.handle_downgrade(address)
+            result.actions.append(CoherenceAction.DOWNGRADE_OWNER)
+            result.actions.append(CoherenceAction.FETCH_FROM_OWNER)
+            result.forwarded_from = entry.owner
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+            fill_state = LineState.SHARED
+        elif entry.sharers - {self.cluster_id}:
+            result.actions.append(CoherenceAction.FETCH_FROM_MEMORY)
+            fill_state = LineState.SHARED
+        else:
+            result.actions.append(CoherenceAction.FETCH_FROM_MEMORY)
+            fill_state = LineState.EXCLUSIVE
+        if fill_state is LineState.EXCLUSIVE:
+            # Track the exclusive holder so a later remote load
+            # downgrades it (E -> S) instead of leaving a stale E copy.
+            entry.owner = self.cluster_id
+        entry.sharers.add(self.cluster_id)
+        evicted = self.cache.fill(address, fill_state)
+        self._evict_if_needed(evicted, result)
+        result.state = fill_state
+        return result
+
+    def _store(self, address: int) -> CoherenceResult:
+        state = self.cache.state_of(address)
+        if state.can_write:
+            self.cache.touch(address)
+            self.cache.stats.hits += 1
+            if state is LineState.EXCLUSIVE:
+                self.cache.set_state(address, LineState.MODIFIED)
+                state = LineState.MODIFIED
+            return CoherenceResult(state=state, actions=[CoherenceAction.HIT])
+
+        result = CoherenceResult(state=LineState.INVALID)
+        entry = self.directory.entry(address)
+        others = (entry.sharers | ({entry.owner} if entry.owner is not None else set())) - {
+            self.cluster_id
+        }
+        for peer_id in sorted(others):
+            self._peers[peer_id].handle_invalidate(address)
+            result.invalidated.add(peer_id)
+        if others:
+            result.actions.append(CoherenceAction.INVALIDATE_SHARERS)
+
+        if state in (LineState.SHARED, LineState.OWNED):
+            # Upgrade in place: we already hold the data.
+            self.cache.stats.misses += 1
+            self.cache.set_state(address, LineState.MODIFIED)
+            self.cache.touch(address)
+            result.actions.append(CoherenceAction.UPGRADE)
+        else:
+            if entry.owner is not None and entry.owner != self.cluster_id:
+                result.actions.append(CoherenceAction.FETCH_FROM_OWNER)
+                result.forwarded_from = entry.owner
+            else:
+                result.actions.append(CoherenceAction.FETCH_FROM_MEMORY)
+            self.cache.stats.misses += 1
+            evicted = self.cache.fill(address, LineState.MODIFIED)
+            self._evict_if_needed(evicted, result)
+        entry.owner = self.cluster_id
+        entry.sharers = {self.cluster_id}
+        result.state = LineState.MODIFIED
+        return result
+
+    def _nc_store(self, address: int) -> CoherenceResult:
+        """GPU streaming store: install N locally, skip the directory."""
+        state = self.cache.state_of(address)
+        if state is LineState.NON_COHERENT:
+            self.cache.touch(address)
+            self.cache.stats.hits += 1
+            return CoherenceResult(
+                state=state, actions=[CoherenceAction.HIT]
+            )
+        result = CoherenceResult(state=LineState.NON_COHERENT)
+        self.cache.stats.misses += 1
+        evicted = self.cache.fill(address, LineState.NON_COHERENT)
+        self._evict_if_needed(evicted, result)
+        result.actions.append(CoherenceAction.FETCH_FROM_MEMORY)
+        return result

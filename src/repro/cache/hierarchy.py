@@ -1,0 +1,235 @@
+"""The PEARL cluster cache hierarchy (Fig. 1b, Table I).
+
+Each cluster holds private L1 caches (per CPU core: split I/D; per GPU
+CU: unified) in front of a shared per-core-type L2; the chip shares a
+banked L3 behind the crossbar.  ``ClusterHierarchy.access`` walks an
+address down the levels and reports which network packets the access
+implies — that is the bridge from address streams to NoC traces used by
+:class:`repro.traffic.cache_traffic.CacheTraceGenerator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Dict, List, Optional
+
+from ..config import ArchitectureConfig
+from ..noc.packet import CacheLevel, CoreType
+from .cache import LineState, SetAssociativeCache
+from .coherence import AccessType, CoherenceAction, Directory, NmoesiController
+from .memory import MemoryController
+
+
+@unique
+class TrafficKind(Enum):
+    """Network traffic classes an access can emit."""
+
+    LOCAL_L1_TO_L2 = "local_l1_l2"
+    L2_TO_L3 = "l2_l3"
+    L2_TO_PEER = "l2_peer"
+    L3_TO_MEMORY = "l3_memory"
+    WRITEBACK = "writeback"
+
+
+@dataclass
+class AccessOutcome:
+    """What one core access did: hit level plus implied network traffic."""
+
+    hit_level: str
+    traffic: List[TrafficKind] = field(default_factory=list)
+    peer_cluster: Optional[int] = None
+    cache_level: CacheLevel = CacheLevel.CPU_L1_DATA
+
+
+class ClusterHierarchy:
+    """The private cache levels of one cluster (CPU + GPU sides)."""
+
+    L1_ASSOC = 4
+    L2_ASSOC = 8
+
+    def __init__(
+        self,
+        cluster_id: int,
+        architecture: ArchitectureConfig,
+        directory: Directory,
+        peers: Dict[int, NmoesiController],
+    ) -> None:
+        self.cluster_id = cluster_id
+        self.architecture = architecture
+        line = architecture.cache_line_bytes
+        self.cpu_l1i = [
+            SetAssociativeCache(
+                architecture.cpu_l1i_kb * 1024, self.L1_ASSOC, line,
+                name=f"c{cluster_id}.cpu{i}.l1i",
+            )
+            for i in range(architecture.cpus_per_cluster)
+        ]
+        self.cpu_l1d = [
+            SetAssociativeCache(
+                architecture.cpu_l1d_kb * 1024, self.L1_ASSOC, line,
+                name=f"c{cluster_id}.cpu{i}.l1d",
+            )
+            for i in range(architecture.cpus_per_cluster)
+        ]
+        self.gpu_l1 = [
+            SetAssociativeCache(
+                architecture.gpu_l1_kb * 1024, self.L1_ASSOC, line,
+                name=f"c{cluster_id}.gpu{i}.l1",
+            )
+            for i in range(architecture.gpus_per_cluster)
+        ]
+        self.cpu_l2 = SetAssociativeCache(
+            architecture.cpu_l2_kb * 1024, self.L2_ASSOC, line,
+            name=f"c{cluster_id}.cpu.l2",
+        )
+        self.gpu_l2 = SetAssociativeCache(
+            architecture.gpu_l2_kb * 1024, self.L2_ASSOC, line,
+            name=f"c{cluster_id}.gpu.l2",
+        )
+        # One coherence controller per core-type L2; they share the
+        # directory, keyed by 2*cluster (+1 for the GPU side).
+        self.cpu_controller = NmoesiController(
+            cluster_id * 2, self.cpu_l2, directory, peers
+        )
+        self.gpu_controller = NmoesiController(
+            cluster_id * 2 + 1, self.gpu_l2, directory, peers
+        )
+        # Inclusive hierarchy: a remote invalidation of the L2 line must
+        # also drop every L1 copy above it, or cores read stale data.
+        self.cpu_controller.invalidate_hook = self._invalidate_cpu_l1s
+        self.gpu_controller.invalidate_hook = self._invalidate_gpu_l1s
+
+    def _invalidate_cpu_l1s(self, address: int) -> None:
+        for cache in self.cpu_l1i + self.cpu_l1d:
+            cache.invalidate(address)
+
+    def _invalidate_gpu_l1s(self, address: int) -> None:
+        for cache in self.gpu_l1:
+            cache.invalidate(address)
+
+    def _l1_for(
+        self, core_type: CoreType, core_index: int, is_instruction: bool
+    ) -> SetAssociativeCache:
+        if core_type is CoreType.CPU:
+            bank = self.cpu_l1i if is_instruction else self.cpu_l1d
+            return bank[core_index % len(bank)]
+        return self.gpu_l1[core_index % len(self.gpu_l1)]
+
+    def access(
+        self,
+        address: int,
+        core_type: CoreType,
+        core_index: int = 0,
+        access_type: AccessType = AccessType.LOAD,
+        is_instruction: bool = False,
+    ) -> AccessOutcome:
+        """Walk one access down L1 -> L2 -> (directory/L3)."""
+        if is_instruction and core_type is CoreType.GPU:
+            raise ValueError("GPU CUs have a unified L1 (no instruction side)")
+        l1 = self._l1_for(core_type, core_index, is_instruction)
+        if core_type is CoreType.CPU:
+            l1_level = (
+                CacheLevel.CPU_L1_INSTR if is_instruction else CacheLevel.CPU_L1_DATA
+            )
+        else:
+            l1_level = CacheLevel.GPU_L1
+
+        if l1.lookup(address) and access_type is AccessType.LOAD:
+            return AccessOutcome(hit_level="l1", cache_level=l1_level)
+
+        outcome = AccessOutcome(hit_level="l2", cache_level=l1_level)
+        outcome.traffic.append(TrafficKind.LOCAL_L1_TO_L2)
+        controller = (
+            self.cpu_controller if core_type is CoreType.CPU else self.gpu_controller
+        )
+        result = controller.access(address, access_type)
+        if access_type is AccessType.LOAD:
+            l1.fill(address, LineState.SHARED)
+        else:
+            l1.fill(address, LineState.MODIFIED)
+
+        if result.was_hit:
+            return outcome
+
+        outcome.hit_level = "l3"
+        down_level = (
+            CacheLevel.CPU_L2_DOWN
+            if core_type is CoreType.CPU
+            else CacheLevel.GPU_L2_DOWN
+        )
+        outcome.cache_level = down_level
+        if CoherenceAction.FETCH_FROM_OWNER in result.actions:
+            outcome.traffic.append(TrafficKind.L2_TO_PEER)
+            if result.forwarded_from is not None:
+                outcome.peer_cluster = result.forwarded_from // 2
+        else:
+            outcome.traffic.append(TrafficKind.L2_TO_L3)
+        if CoherenceAction.WRITEBACK in result.actions:
+            outcome.traffic.append(TrafficKind.WRITEBACK)
+        return outcome
+
+
+class SharedL3:
+    """The banked shared L3 plus its memory controllers."""
+
+    L3_ASSOC = 16
+
+    def __init__(
+        self,
+        architecture: ArchitectureConfig,
+        memory: Optional[MemoryController] = None,
+    ) -> None:
+        line = architecture.cache_line_bytes
+        half = architecture.l3_mb * 1024 * 1024 // 2
+        # Split evenly between the CPU and GPU banks (Sec. III-A2).
+        self.cpu_bank = SetAssociativeCache(
+            half, self.L3_ASSOC, line, name="l3.cpu"
+        )
+        self.gpu_bank = SetAssociativeCache(
+            half, self.L3_ASSOC, line, name="l3.gpu"
+        )
+        self.memory = memory or MemoryController(
+            num_controllers=architecture.memory_controllers,
+            line_bytes=line,
+        )
+
+    def bank_for(self, core_type: CoreType) -> SetAssociativeCache:
+        """The per-core-type L3 bank."""
+        return self.cpu_bank if core_type is CoreType.CPU else self.gpu_bank
+
+    def access(
+        self, address: int, core_type: CoreType, cycle: int = 0
+    ) -> "tuple[bool, int]":
+        """Probe the L3 bank; on a miss, fetch the line from memory.
+
+        Returns ``(hit, completion_cycle)``.
+        """
+        bank = self.bank_for(core_type)
+        if bank.lookup(address):
+            return True, cycle
+        done = self.memory.request(address, cycle)
+        bank.fill(address, LineState.SHARED)
+        return False, done
+
+    def copy_between_banks(self, address: int, to: CoreType) -> None:
+        """CPU<->GPU sharing copies the line between banks (Sec. III-A2)."""
+        self.bank_for(to).fill(address, LineState.SHARED)
+
+
+class ChipHierarchy:
+    """All clusters plus the shared L3 — the full Table I memory system."""
+
+    def __init__(self, architecture: Optional[ArchitectureConfig] = None) -> None:
+        self.architecture = architecture or ArchitectureConfig()
+        self.directory = Directory(self.architecture.cache_line_bytes)
+        self._peers: Dict[int, NmoesiController] = {}
+        self.clusters = [
+            ClusterHierarchy(i, self.architecture, self.directory, self._peers)
+            for i in range(self.architecture.num_clusters)
+        ]
+        self.l3 = SharedL3(self.architecture)
+
+    def cluster(self, index: int) -> ClusterHierarchy:
+        """Cluster by id."""
+        return self.clusters[index]

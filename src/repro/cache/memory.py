@@ -1,0 +1,75 @@
+"""Main-memory controller model.
+
+The PEARL chip attaches two memory controllers to the L3 crossbar
+(Sec. III-A2).  The model is a bandwidth-limited queue: each request
+occupies its controller for ``service_cycles`` and the completion time
+includes queueing delay, so L3-miss bursts see realistic fan-out
+latencies without simulating DRAM timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class MemoryStats:
+    """Aggregate counters for one controller group."""
+
+    requests: int = 0
+    busy_cycles: int = 0
+    total_latency: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean request completion latency in cycles."""
+        return self.total_latency / self.requests if self.requests else 0.0
+
+
+class MemoryController:
+    """A group of memory channels with fixed per-request service time."""
+
+    def __init__(
+        self,
+        num_controllers: int = 2,
+        access_latency_cycles: int = 120,
+        service_cycles: int = 8,
+        line_bytes: int = 64,
+    ) -> None:
+        if num_controllers <= 0:
+            raise ValueError("need at least one controller")
+        if access_latency_cycles < 0 or service_cycles <= 0:
+            raise ValueError("latencies must be sensible")
+        self.num_controllers = num_controllers
+        self.access_latency_cycles = access_latency_cycles
+        self.service_cycles = service_cycles
+        self.line_bytes = line_bytes
+        # Next-free cycle per channel:
+        self._free_at: List[int] = [0] * num_controllers
+        self.stats = MemoryStats()
+
+    def channel_for(self, address: int) -> int:
+        """Address-interleaved channel selection."""
+        return (address // self.line_bytes) % self.num_controllers
+
+    def request(self, address: int, cycle: int) -> int:
+        """Issue a line fetch; returns the completion cycle."""
+        if cycle < 0:
+            raise ValueError("cycle cannot be negative")
+        channel = self.channel_for(address)
+        start = max(cycle, self._free_at[channel])
+        self._free_at[channel] = start + self.service_cycles
+        done = start + self.access_latency_cycles
+        self.stats.requests += 1
+        self.stats.busy_cycles += self.service_cycles
+        self.stats.total_latency += done - cycle
+        return done
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Busy fraction across all channels."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.stats.busy_cycles / (
+            elapsed_cycles * self.num_controllers
+        )

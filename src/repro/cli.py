@@ -1,0 +1,173 @@
+"""Command-line interface: ``pearl-sim``.
+
+Subcommands:
+
+* ``list`` — show the registered experiments;
+* ``experiment <id>`` — regenerate one paper figure/table;
+* ``all`` — regenerate every experiment (writes a combined report);
+* ``simulate`` — run one benchmark pair under a chosen configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import PearlConfig, SimulationConfig
+from .noc.network import PearlNetwork
+from .noc.router import PowerPolicyKind
+from .traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS, get_benchmark
+from .traffic.synthetic import generate_pair_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pearl-sim",
+        description="PEARL photonic-NoC reproduction (HPCA 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    exp = sub.add_parser("experiment", help="run one experiment")
+    exp.add_argument("id", help="experiment id (see `pearl-sim list`)")
+    exp.add_argument("--full", action="store_true", help="all 16 test pairs")
+    exp.add_argument("--seed", type=int, default=1)
+    exp.add_argument(
+        "--chart",
+        action="store_true",
+        help="render the figure as a terminal chart too",
+    )
+
+    allp = sub.add_parser("all", help="run every experiment")
+    allp.add_argument("--full", action="store_true")
+    allp.add_argument("--seed", type=int, default=1)
+    allp.add_argument("--output", default=None, help="write report to a file")
+
+    simp = sub.add_parser("simulate", help="run one benchmark pair")
+    simp.add_argument("--cpu", default="fluidanimate", choices=sorted(CPU_BENCHMARKS))
+    simp.add_argument("--gpu", default="dct", choices=sorted(GPU_BENCHMARKS))
+    simp.add_argument(
+        "--policy",
+        default="static",
+        choices=["static", "reactive", "adaptive", "ml"],
+        help="power-scaling policy",
+    )
+    simp.add_argument("--window", type=int, default=500)
+    simp.add_argument("--cycles", type=int, default=20_000)
+    simp.add_argument("--warmup", type=int, default=1_000)
+    simp.add_argument("--static-state", type=int, default=64)
+    simp.add_argument("--fcfs", action="store_true", help="disable DBA")
+    simp.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments import REGISTRY
+
+    for name in REGISTRY:
+        print(name)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import REGISTRY
+
+    if args.id not in REGISTRY:
+        print(f"unknown experiment {args.id!r}; try `pearl-sim list`")
+        return 2
+    result = REGISTRY[args.id](quick=not args.full, seed=args.seed)
+    print(result.format_table())
+    if getattr(args, "chart", False):
+        from .viz import RENDERERS
+
+        renderer = RENDERERS.get(args.id)
+        if renderer is None:
+            print(f"(no chart renderer for {args.id})")
+        else:
+            print()
+            print(renderer(result))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    results = run_all(quick=not args.full, seed=args.seed)
+    report = "\n\n".join(result.format_table() for result in results)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = PearlConfig(
+        simulation=SimulationConfig(
+            warmup_cycles=args.warmup,
+            measure_cycles=args.cycles,
+            seed=args.seed,
+        )
+    ).with_reservation_window(args.window)
+    trace = generate_pair_trace(
+        get_benchmark(args.cpu),
+        get_benchmark(args.gpu),
+        config.architecture,
+        config.simulation.total_cycles,
+        args.seed,
+    )
+    policy = {
+        "static": PowerPolicyKind.STATIC,
+        "reactive": PowerPolicyKind.REACTIVE,
+        "adaptive": PowerPolicyKind.ADAPTIVE,
+        "ml": PowerPolicyKind.ML,
+    }[args.policy]
+    ml_model = None
+    if policy is PowerPolicyKind.ML:
+        from .ml.pipeline import train_default_model
+
+        print("training ML model (quick mode)...")
+        ml_model = train_default_model(args.window, quick=True).model
+    network = PearlNetwork(
+        config,
+        power_policy=policy,
+        use_dynamic_bandwidth=not args.fcfs,
+        static_state=args.static_state if policy is PowerPolicyKind.STATIC else None,
+        ml_model=ml_model,
+        seed=args.seed,
+    )
+    result = network.run(trace)
+    print(f"pair: {args.cpu}+{args.gpu} policy={args.policy} window={args.window}")
+    for key, value in result.stats.summary().items():
+        print(f"  {key}: {value:.4g}")
+    print(
+        "  residency:",
+        {s: round(f, 3) for s, f in result.state_residency.items()},
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "all":
+            return _cmd_all(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

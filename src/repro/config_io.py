@@ -1,0 +1,88 @@
+"""Configuration (de)serialization for experiment provenance.
+
+Experiments should be reproducible from an artifact: ``save_config``
+writes a :class:`~repro.config.PearlConfig` as JSON, ``load_config``
+reconstructs it (tuples restored, unknown keys rejected), so a result
+file can always name the exact configuration that produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Type, TypeVar, Union
+
+from .config import (
+    ArchitectureConfig,
+    DBAConfig,
+    MLConfig,
+    OpticalConfig,
+    PearlConfig,
+    PhotonicConfig,
+    PowerScalingConfig,
+    SimulationConfig,
+)
+
+T = TypeVar("T")
+
+#: Section name -> dataclass for the nested PearlConfig layout.
+_SECTIONS: Dict[str, type] = {
+    "architecture": ArchitectureConfig,
+    "photonic": PhotonicConfig,
+    "optical": OpticalConfig,
+    "dba": DBAConfig,
+    "power_scaling": PowerScalingConfig,
+    "ml": MLConfig,
+    "simulation": SimulationConfig,
+}
+
+
+def _build(cls: Type[T], data: Dict[str, Any]) -> T:
+    """Instantiate a config dataclass from a plain dict, strictly."""
+    field_types = {f.name: f.type for f in dataclasses.fields(cls)}
+    unknown = set(data) - set(field_types)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} fields: {sorted(unknown)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for name, value in data.items():
+        # JSON has no tuples; the frozen configs use them for sequences.
+        if isinstance(value, list):
+            value = tuple(
+                tuple(v) if isinstance(v, list) else v for v in value
+            )
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+def config_to_dict(config: PearlConfig) -> Dict[str, Any]:
+    """Plain-dict form of a config (JSON-compatible)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> PearlConfig:
+    """Rebuild a :class:`PearlConfig` from :func:`config_to_dict` output."""
+    unknown = set(data) - set(_SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown config sections: {sorted(unknown)}")
+    sections = {
+        name: _build(cls, data[name])
+        for name, cls in _SECTIONS.items()
+        if name in data
+    }
+    return PearlConfig(**sections)
+
+
+def save_config(config: PearlConfig, path: Union[str, Path]) -> Path:
+    """Write a config as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(config_to_dict(config), indent=2) + "\n")
+    return path
+
+
+def load_config(path: Union[str, Path]) -> PearlConfig:
+    """Read a config written by :func:`save_config`."""
+    data = json.loads(Path(path).read_text())
+    return config_from_dict(data)

@@ -1,0 +1,121 @@
+"""Dynamic bandwidth allocation — Algorithm 1, steps 1-5.
+
+Each cycle every router computes the CPU and GPU input-buffer occupancy
+(Eq. 1-2) and splits its link bandwidth between the two core types:
+
+* one side idle → the other side gets 100% (steps 3a/3b);
+* GPU occupancy under its upper bound → CPU 75% / GPU 25% (step 3c,
+  CPU gets precedence because of its latency sensitivity);
+* CPU occupancy under its upper bound → CPU 25% / GPU 75% (step 3d);
+* otherwise an even 50/50 split (step 3e).
+
+The paper's brute-force search fixed the upper bounds at 16% (CPU) and
+6% (GPU) of the respective buffer space, with a 25% step granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DBAConfig
+from ..noc.buffer import PartitionedBuffer
+from .wavelength import BandwidthAllocation
+
+
+@dataclass(frozen=True)
+class OccupancySample:
+    """One cycle's occupancy reading used by the allocator."""
+
+    cpu: float
+    gpu: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu <= 1.0 or not 0.0 <= self.gpu <= 1.0:
+            raise ValueError("occupancies must be fractions in [0, 1]")
+
+    @property
+    def combined(self) -> float:
+        """Buf_w of Eq. 3 normalised to [0, 1] for equal pool sizes."""
+        return (self.cpu + self.gpu) / 2.0
+
+
+class DynamicBandwidthAllocator:
+    """Per-router local bandwidth allocator (no global coordination).
+
+    The allocator is purely combinational: it maps the current occupancy
+    sample to a :class:`BandwidthAllocation`.  A step granularity other
+    than 25% changes the asymmetric splits (e.g. 12.5% yields 87.5/12.5).
+    """
+
+    def __init__(self, config: DBAConfig) -> None:
+        self.config = config
+        self._minor = config.bandwidth_step
+        self._major = 1.0 - config.bandwidth_step
+        # The five possible outcomes, built once (this runs every cycle
+        # on every router).
+        self._all_cpu = BandwidthAllocation(cpu_fraction=1.0, gpu_fraction=0.0)
+        self._all_gpu = BandwidthAllocation(cpu_fraction=0.0, gpu_fraction=1.0)
+        self._cpu_major = BandwidthAllocation(
+            cpu_fraction=self._major, gpu_fraction=self._minor
+        )
+        self._gpu_major = BandwidthAllocation(
+            cpu_fraction=self._minor, gpu_fraction=self._major
+        )
+        self._even = BandwidthAllocation.even_split()
+
+    def sample(self, buffers: PartitionedBuffer) -> OccupancySample:
+        """Read Eq. 1-2 occupancies from a router's buffer pools."""
+        return OccupancySample(
+            cpu=buffers.cpu_occupancy, gpu=buffers.gpu_occupancy
+        )
+
+    def allocate(self, occupancy: OccupancySample) -> BandwidthAllocation:
+        """Algorithm 1 step 3: map occupancies to a bandwidth split."""
+        return self._decide(occupancy.cpu, occupancy.gpu)
+
+    def _decide(self, cpu: float, gpu: float) -> BandwidthAllocation:
+        if gpu == 0.0 and cpu > 0.0:
+            return self._all_cpu
+        if cpu == 0.0 and gpu > 0.0:
+            return self._all_gpu
+        if gpu < self.config.gpu_upper_bound:
+            return self._cpu_major
+        if cpu < self.config.cpu_upper_bound:
+            return self._gpu_major
+        return self._even
+
+    def allocate_from_buffers(
+        self, buffers: PartitionedBuffer
+    ) -> BandwidthAllocation:
+        """Sample and allocate in one call (what a router does per cycle)."""
+        return self._decide(buffers.cpu_occupancy, buffers.gpu_occupancy)
+
+
+class FCFSAllocator:
+    """PEARL-FCFS baseline: a static even split with no reconfiguration.
+
+    The paper's first-come-first-serve variant shares the 64-wavelength
+    link without demand awareness; we model it as a fixed 50/50 split so
+    a flooding GPU can stall its half while the CPU half idles (and vice
+    versa), which is exactly the inefficiency PEARL-Dyn removes.
+    """
+
+    def __init__(self, config: DBAConfig) -> None:
+        self.config = config
+
+    def sample(self, buffers: PartitionedBuffer) -> OccupancySample:
+        """Occupancy reading (collected for statistics only)."""
+        return OccupancySample(
+            cpu=buffers.cpu_occupancy, gpu=buffers.gpu_occupancy
+        )
+
+    def allocate(self, occupancy: OccupancySample) -> BandwidthAllocation:
+        """Always the even split, regardless of demand."""
+        return BandwidthAllocation.even_split()
+
+    def allocate_from_buffers(
+        self, buffers: PartitionedBuffer
+    ) -> BandwidthAllocation:
+        """Sample (for stats) and return the static split."""
+        self.sample(buffers)
+        return BandwidthAllocation.even_split()

@@ -1,0 +1,169 @@
+"""ML-based proactive power scaling (Sec. III-D, IV-A/B).
+
+Replaces Algorithm 1 steps 6-8: at every reservation-window boundary the
+router feeds its Table III feature vector to a ridge-regression model
+that predicts how many packets its cores will inject during the *next*
+window, and Eq. 7 maps that prediction to the cheapest wavelength state
+whose link capacity covers the predicted demand:
+
+    PredictPkt * PktSz  <=  (WL_state / WL_max) * window_capacity.
+
+Per Sec. IV-B the 8-wavelength state is excluded while the model is
+trained and reintroduced afterwards purely to save power on near-idle
+windows (``allow_8wl``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import MLConfig, PhotonicConfig
+from ..ml.features import NUM_FEATURES
+from ..ml.ridge import RidgeRegression
+from .wavelength import WavelengthLadder
+
+
+class StateSelector:
+    """Eq. 7: map a predicted packet count to a wavelength state.
+
+    ``window_capacity_flits(state)`` is how many flits the link can
+    serialize during one reservation window at that state; the selector
+    picks the lowest state whose capacity covers the predicted flits.
+    """
+
+    def __init__(
+        self,
+        photonic: PhotonicConfig,
+        reservation_window: int,
+        avg_packet_flits: float = 3.0,
+        allow_8wl: bool = True,
+        capacity_multiplier: float = 1.0,
+        headroom: float = 1.1,
+    ) -> None:
+        if reservation_window <= 0:
+            raise ValueError("reservation_window must be positive")
+        if avg_packet_flits <= 0:
+            raise ValueError("avg_packet_flits must be positive")
+        if capacity_multiplier <= 0:
+            raise ValueError("capacity_multiplier must be positive")
+        if headroom < 1.0:
+            raise ValueError("headroom must be at least 1.0")
+        self.ladder = WavelengthLadder(photonic)
+        self.reservation_window = reservation_window
+        self.avg_packet_flits = avg_packet_flits
+        self.allow_8wl = allow_8wl
+        self.capacity_multiplier = capacity_multiplier
+        self.headroom = headroom
+
+    def window_capacity_flits(self, state: int) -> float:
+        """Flits the link can send in one window at ``state``.
+
+        ``capacity_multiplier`` accounts for routers driving several
+        parallel waveguides (the banked L3 router).
+        """
+        return (
+            self.reservation_window
+            * self.capacity_multiplier
+            / self.ladder.serialization_cycles(state)
+        )
+
+    def window_capacity_packets(self, state: int) -> float:
+        """Average-size packets the link can send in one window."""
+        return self.window_capacity_flits(state) / self.avg_packet_flits
+
+    def candidate_states(self) -> List[int]:
+        """States the selector may choose, lowest power first."""
+        states = (
+            self.ladder.states
+            if self.allow_8wl
+            else self.ladder.states_without_lowest()
+        )
+        return sorted(states)
+
+    def state_for_packets(self, predicted_packets: float) -> int:
+        """The cheapest state whose capacity covers the prediction.
+
+        ``headroom`` scales the predicted demand up before the Eq. 7
+        comparison — the paper's thresholds were "chosen to balance
+        performance and power", i.e. with slack for bandwidth lost to
+        the CPU/GPU split and laser-stabilization stalls.
+        """
+        demand = max(predicted_packets, 0.0) * self.headroom
+        for state in self.candidate_states():
+            if demand <= self.window_capacity_packets(state):
+                return state
+        return self.ladder.max_state
+
+
+class MLPowerScaler:
+    """Per-router proactive scaler: features -> ridge -> Eq. 7 state.
+
+    One scaler instance serves one router; all routers share the same
+    fitted :class:`RidgeRegression` (the paper trains a single global
+    model with the L3-router indicator as feature 1).  The scaler keeps
+    prediction history so NRMSE and state-accuracy can be computed after
+    a run.
+    """
+
+    def __init__(
+        self,
+        model: RidgeRegression,
+        selector: StateSelector,
+        config: MLConfig,
+        router_id: int = 0,
+        stagger_cycles: int = 10,
+    ) -> None:
+        if not model.is_fitted:
+            raise ValueError("the ridge model must be fitted before use")
+        self.model = model
+        self.selector = selector
+        self.config = config
+        self.offset = (router_id * stagger_cycles) % max(
+            config.reservation_window, 1
+        )
+        self.predictions: List[float] = []
+        self.decisions: List[int] = []
+        self.labels: List[float] = []
+        self._pending_label: Optional[float] = None
+
+    def window_boundary(self, cycle: int) -> bool:
+        """True on this router's staggered window boundaries."""
+        return (cycle - self.offset) % self.config.reservation_window == 0
+
+    def decide(self, features: np.ndarray) -> int:
+        """Predict next-window injections and pick the wavelength state."""
+        features = np.asarray(features, dtype=float).ravel()
+        if features.shape[0] != NUM_FEATURES:
+            raise ValueError(
+                f"expected {NUM_FEATURES} features, got {features.shape[0]}"
+            )
+        predicted = float(self.model.predict(features))
+        state = self.selector.state_for_packets(predicted)
+        self.predictions.append(predicted)
+        self.decisions.append(state)
+        return state
+
+    def record_label(self, injected_packets: int) -> None:
+        """Record the realised injection count for the window just ended.
+
+        Labels lag predictions by one window: the prediction made at
+        boundary k targets the injections counted at boundary k+1.
+        """
+        if self._pending_label is not None:
+            self.labels.append(self._pending_label)
+        self._pending_label = float(injected_packets)
+
+    def aligned_history(self) -> "tuple[np.ndarray, np.ndarray]":
+        """(targets, predictions) pairs aligned for scoring.
+
+        The prediction made at boundary *k* forecasts the injections of
+        window *k+1*; ``record_label`` is called one boundary later, so
+        ``labels[i]`` already corresponds to ``predictions[i]``.
+        """
+        n = min(len(self.labels), len(self.predictions))
+        return (
+            np.asarray(self.labels[:n], dtype=float),
+            np.asarray(self.predictions[:n], dtype=float),
+        )

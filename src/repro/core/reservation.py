@@ -1,0 +1,119 @@
+"""Reservation-assisted SWMR (R-SWMR) channel model.
+
+Before sending data, a PEARL router broadcasts a reservation packet on
+the dedicated reservation waveguide naming the destination and the
+bandwidth split (Sec. III-A3/III-B).  Only the named destination then
+tunes its receiving microrings onto the sender's data waveguide, which
+is what lets SWMR avoid both token arbitration and per-receiver laser
+splitting losses.
+
+This module provides the reservation-packet sizing arithmetic of the
+paper and a small broadcast-channel model used by the router pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+def reservation_packet_bits(
+    num_routers: int,
+    cpu_packet_types: int = 2,
+    gpu_packet_types: int = 2,
+    allocation_levels: int = 5,
+    num_l3_routers: int = 1,
+) -> int:
+    """ResPacket_size of Sec. III-B.
+
+    ``ResPacket_size = log2(2 * N * S_CPU * S_GPU * D * N_L3)`` where N is
+    the number of non-L3 routers, S_* the request/response type counts,
+    D the number of allocation possibilities (5) and N_L3 the L3 routers.
+    """
+    if num_routers <= 0 or num_l3_routers <= 0:
+        raise ValueError("router counts must be positive")
+    if cpu_packet_types <= 0 or gpu_packet_types <= 0:
+        raise ValueError("packet type counts must be positive")
+    if allocation_levels <= 0:
+        raise ValueError("allocation_levels must be positive")
+    combinations = (
+        2
+        * num_routers
+        * cpu_packet_types
+        * gpu_packet_types
+        * allocation_levels
+        * num_l3_routers
+    )
+    return int(math.ceil(math.log2(combinations)))
+
+
+def reservation_wavelengths(
+    packet_bits: int,
+    data_rate_gbps: float = 16.0,
+    network_frequency_ghz: float = 2.0,
+) -> int:
+    """Wavelengths needed to send a reservation packet in one cycle.
+
+    Each wavelength carries ``data_rate / frequency`` bits per network
+    cycle, so the waveguide needs ``ceil(bits / bits_per_cycle)``
+    wavelengths for single-cycle reservation broadcast.
+    """
+    if packet_bits <= 0:
+        raise ValueError("packet_bits must be positive")
+    bits_per_cycle = data_rate_gbps / network_frequency_ghz
+    if bits_per_cycle <= 0:
+        raise ValueError("data rate and frequency must be positive")
+    return int(math.ceil(packet_bits / bits_per_cycle))
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One reservation broadcast: who will receive the next data packet."""
+
+    source: int
+    destination: int
+    cpu_fraction: float
+    gpu_fraction: float
+    issue_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("reservation source and destination must differ")
+        if self.issue_cycle < 0:
+            raise ValueError("issue_cycle cannot be negative")
+
+
+class ReservationChannel:
+    """The broadcast reservation waveguide shared by all routers.
+
+    Each router owns a time slot on its reservation wavelength group, so
+    reservations from different sources never collide; the model applies
+    a fixed broadcast latency after which every router has decoded the
+    reservation and the destination has tuned its rings.
+    """
+
+    def __init__(self, latency_cycles: int = 1) -> None:
+        if latency_cycles < 0:
+            raise ValueError("latency cannot be negative")
+        self.latency_cycles = latency_cycles
+        self._in_flight: Dict[int, Reservation] = {}
+        self.broadcast_count = 0
+
+    def broadcast(self, reservation: Reservation) -> None:
+        """Send a reservation; it is visible after the channel latency."""
+        self._in_flight[reservation.source] = reservation
+        self.broadcast_count += 1
+
+    def ready(self, source: int, cycle: int) -> Optional[Reservation]:
+        """The reservation from ``source`` once its broadcast completed."""
+        reservation = self._in_flight.get(source)
+        if reservation is None:
+            return None
+        if cycle - reservation.issue_cycle >= self.latency_cycles:
+            return reservation
+        return None
+
+    def consume(self, source: int) -> None:
+        """Remove a completed reservation (data transfer has started)."""
+        self._in_flight.pop(source, None)

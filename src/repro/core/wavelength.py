@@ -1,0 +1,149 @@
+"""Wavelength-state bookkeeping for PEARL's scalable photonic links.
+
+A PEARL router's laser array is organised in four 16-wavelength banks
+(Fig. 3), with the lowest bank splittable in half, producing the five
+selectable *wavelength states* 64/48/32/16/8.  This module wraps the
+state ladder (power and serialization latency per state) and the
+CPU/GPU bandwidth split applied on top of the active state by the
+dynamic bandwidth allocator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..config import PhotonicConfig
+from ..noc.packet import CoreType
+
+
+class WavelengthLadder:
+    """Ordered view over the configured wavelength states.
+
+    States are kept in descending order (64 first).  Index 0 is the
+    highest-power state.
+    """
+
+    def __init__(self, photonic: PhotonicConfig) -> None:
+        self._photonic = photonic
+        self._states: Tuple[int, ...] = photonic.wavelength_states
+
+    @property
+    def states(self) -> Tuple[int, ...]:
+        """All states, highest first."""
+        return self._states
+
+    @property
+    def max_state(self) -> int:
+        """The full-power state (64 WL in the paper)."""
+        return self._states[0]
+
+    @property
+    def min_state(self) -> int:
+        """The lowest-power state (8 WL in the paper)."""
+        return self._states[-1]
+
+    def states_without_lowest(self) -> Tuple[int, ...]:
+        """The ladder with the 8 WL state excluded (ML training mode)."""
+        return self._states[:-1]
+
+    def index_of(self, state: int) -> int:
+        """Position of ``state`` in the ladder (0 = highest)."""
+        return self._states.index(state)
+
+    def power_w(self, state: int) -> float:
+        """Laser power of ``state`` in Watts."""
+        return self._photonic.state_power(state)
+
+    def serialization_cycles(self, state: int) -> int:
+        """Cycles to serialize one flit at full allocation of ``state``."""
+        return self._photonic.state_serialization_cycles(state)
+
+    def step_up(self, state: int) -> int:
+        """The next higher-power state (saturating at the top)."""
+        idx = self.index_of(state)
+        return self._states[max(idx - 1, 0)]
+
+    def step_down(self, state: int) -> int:
+        """The next lower-power state (saturating at the bottom)."""
+        idx = self.index_of(state)
+        return self._states[min(idx + 1, len(self._states) - 1)]
+
+    def clamp(self, state: int, allow_lowest: bool) -> int:
+        """Clamp ``state`` to the ladder, optionally excluding 8 WL."""
+        allowed = self._states if allow_lowest else self.states_without_lowest()
+        if state in allowed:
+            return state
+        # Snap to the nearest allowed state by wavelength count.
+        return min(allowed, key=lambda s: abs(s - state))
+
+
+@dataclass(frozen=True)
+class BandwidthAllocation:
+    """The CPU/GPU split produced by the dynamic bandwidth allocator.
+
+    Fractions are of the *active* wavelength state and sum to 1.0 unless
+    one core type has been given the entire link (Algorithm 1 steps 3a/3b).
+    """
+
+    cpu_fraction: float
+    gpu_fraction: float
+
+    def __post_init__(self) -> None:
+        for frac in (self.cpu_fraction, self.gpu_fraction):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError("allocation fractions must be in [0, 1]")
+        if not math.isclose(self.cpu_fraction + self.gpu_fraction, 1.0) and (
+            self.cpu_fraction + self.gpu_fraction
+        ) != 0.0:
+            if self.cpu_fraction + self.gpu_fraction > 1.0 + 1e-9:
+                raise ValueError("allocation fractions cannot exceed the link")
+
+    def fraction(self, core_type: CoreType) -> float:
+        """The fraction allocated to ``core_type``."""
+        return (
+            self.cpu_fraction if core_type is CoreType.CPU else self.gpu_fraction
+        )
+
+    @classmethod
+    def even_split(cls) -> "BandwidthAllocation":
+        """The 50/50 default split (Algorithm 1 step 3e)."""
+        return cls(cpu_fraction=0.5, gpu_fraction=0.5)
+
+
+def transmission_cycles(
+    ladder: WavelengthLadder,
+    state: int,
+    fraction: float,
+    size_flits: int = 1,
+) -> Optional[int]:
+    """Cycles to serialize ``size_flits`` flits over a share of the link.
+
+    Returns None when the core type holds no bandwidth this cycle (its
+    packets must wait for the next allocation).  With the full link a
+    flit takes the state's base serialization latency; a fractional share
+    stretches it proportionally (e.g. 50% of 64 WL behaves like 32 WL).
+    """
+    if size_flits <= 0:
+        raise ValueError("size_flits must be positive")
+    if fraction <= 0.0:
+        return None
+    base = ladder.serialization_cycles(state)
+    return int(math.ceil(base * size_flits / fraction))
+
+
+def wavelengths_for_share(state: int, fraction: float) -> int:
+    """How many wavelengths a share corresponds to (for reporting)."""
+    return int(round(state * fraction))
+
+
+def mean_power_w(
+    ladder: WavelengthLadder, residency: Sequence[Tuple[int, float]]
+) -> float:
+    """Time-weighted mean laser power from (state, fraction-of-time) pairs."""
+    total_fraction = sum(frac for _, frac in residency)
+    if total_fraction <= 0:
+        return 0.0
+    weighted = sum(ladder.power_w(state) * frac for state, frac in residency)
+    return weighted / total_fraction

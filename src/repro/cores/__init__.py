@@ -1,0 +1,19 @@
+"""Core models: in-order CPUs and SIMT GPU compute units.
+
+The microarchitectural front-end below the cache hierarchy — the
+repository's deepest substitute for Multi2Sim's timing models.
+"""
+
+from .chip import ChipModel
+from .cpu import AccessKind, CoreAccess, CpuParams, InOrderCpuCore
+from .gpu import GpuParams, SimtGpuCore
+
+__all__ = [
+    "AccessKind",
+    "ChipModel",
+    "CoreAccess",
+    "CpuParams",
+    "GpuParams",
+    "InOrderCpuCore",
+    "SimtGpuCore",
+]

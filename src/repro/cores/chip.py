@@ -1,0 +1,215 @@
+"""Full-chip core front-end: 32 CPU cores + 64 GPU CUs over the caches.
+
+The deepest Multi2Sim substitute in the repository: explicit core
+models (``InOrderCpuCore`` / ``SimtGpuCore``) generate timed access
+streams, the NMOESI :class:`~repro.cache.hierarchy.ChipHierarchy`
+filters them, and the surviving misses/coherence actions become a NoC
+:class:`~repro.traffic.trace.Trace` — the same contract as the
+statistical generator, with microarchitectural rather than statistical
+burstiness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cache.coherence import AccessType
+from ..cache.hierarchy import ChipHierarchy, TrafficKind
+from ..config import ArchitectureConfig
+from ..noc.packet import CacheLevel, CoreType, PacketClass
+from ..traffic.trace import InjectionEvent, Trace
+from .cpu import AccessKind, CpuParams, InOrderCpuCore
+from .gpu import GpuParams, SimtGpuCore
+
+#: Flits in a data-bearing writeback.
+DATA_FLITS = 5
+
+#: Fraction of each cluster's data space aliased onto the shared region.
+SHARED_REGION_FRACTION = 0.1
+
+
+class ChipModel:
+    """Core models + caches for the whole Table I chip."""
+
+    def __init__(
+        self,
+        architecture: Optional[ArchitectureConfig] = None,
+        cpu_params: Optional[CpuParams] = None,
+        gpu_params: Optional[GpuParams] = None,
+        seed: int = 1,
+    ) -> None:
+        self.architecture = architecture or ArchitectureConfig()
+        self.hierarchy = ChipHierarchy(self.architecture)
+        self.cpu_cores: List[List[InOrderCpuCore]] = []
+        self.gpu_cores: List[List[SimtGpuCore]] = []
+        arch = self.architecture
+        shared_bytes = int(
+            (cpu_params or CpuParams()).data_working_set_kb
+            * 1024
+            * SHARED_REGION_FRACTION
+        )
+        for cluster in range(arch.num_clusters):
+            cluster_base = (cluster + 1) << 32
+            self.cpu_cores.append(
+                [
+                    InOrderCpuCore(
+                        params=cpu_params,
+                        core_index=core,
+                        code_base=cluster_base,
+                        # A slice of each core's data region aliases the
+                        # shared region at 0 to create coherence traffic.
+                        data_base=(
+                            0
+                            if core == 0 and shared_bytes
+                            else cluster_base + (1 + core) * (1 << 28)
+                        ),
+                        seed=seed * 1_000 + cluster * 10 + core,
+                    )
+                    for core in range(arch.cpus_per_cluster)
+                ]
+            )
+            self.gpu_cores.append(
+                [
+                    SimtGpuCore(
+                        params=gpu_params,
+                        core_index=core,
+                        data_base=cluster_base + (1 << 31) + core * (1 << 28),
+                        seed=seed * 2_000 + cluster * 10 + core,
+                    )
+                    for core in range(arch.gpus_per_cluster)
+                ]
+            )
+
+    def _events_for_outcome(
+        self, outcome, core_type: CoreType, cluster: int, cycle: int
+    ) -> List[InjectionEvent]:
+        arch = self.architecture
+        down = (
+            CacheLevel.CPU_L2_DOWN
+            if core_type is CoreType.CPU
+            else CacheLevel.GPU_L2_DOWN
+        )
+        events: List[InjectionEvent] = []
+        for kind in outcome.traffic:
+            if kind is TrafficKind.LOCAL_L1_TO_L2:
+                events.append(
+                    InjectionEvent(
+                        cycle=cycle,
+                        source=cluster,
+                        destination=cluster,
+                        core_type=core_type,
+                        packet_class=PacketClass.REQUEST,
+                        cache_level=outcome.cache_level,
+                    )
+                )
+            elif kind is TrafficKind.L2_TO_L3:
+                events.append(
+                    InjectionEvent(
+                        cycle=cycle,
+                        source=cluster,
+                        destination=arch.l3_router_id,
+                        core_type=core_type,
+                        packet_class=PacketClass.REQUEST,
+                        cache_level=down,
+                    )
+                )
+            elif kind is TrafficKind.L2_TO_PEER:
+                peer = outcome.peer_cluster
+                if peer is not None and peer != cluster:
+                    events.append(
+                        InjectionEvent(
+                            cycle=cycle,
+                            source=cluster,
+                            destination=peer,
+                            core_type=core_type,
+                            packet_class=PacketClass.REQUEST,
+                            cache_level=down,
+                        )
+                    )
+            elif kind is TrafficKind.WRITEBACK:
+                events.append(
+                    InjectionEvent(
+                        cycle=cycle,
+                        source=cluster,
+                        destination=arch.l3_router_id,
+                        core_type=core_type,
+                        packet_class=PacketClass.RESPONSE,
+                        cache_level=down,
+                        size_flits=DATA_FLITS,
+                    )
+                )
+        return events
+
+    def run(self, duration: int, chunk: int = 200) -> Trace:
+        """Advance every core and produce the chip's NoC trace.
+
+        Cores advance in ``chunk``-cycle slices round-robin across
+        clusters so inter-cluster sharing interleaves realistically.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        events: List[InjectionEvent] = []
+        for start in range(0, duration, chunk):
+            span = min(chunk, duration - start)
+            for cluster in range(self.architecture.num_clusters):
+                hierarchy = self.hierarchy.cluster(cluster)
+                for core in self.cpu_cores[cluster]:
+                    for access in core.advance(start, span):
+                        outcome = hierarchy.access(
+                            access.address,
+                            CoreType.CPU,
+                            core_index=access.core_index,
+                            access_type=(
+                                AccessType.STORE
+                                if access.kind is AccessKind.STORE
+                                else AccessType.LOAD
+                            ),
+                            is_instruction=(
+                                access.kind is AccessKind.INSTRUCTION_FETCH
+                            ),
+                        )
+                        events.extend(
+                            self._events_for_outcome(
+                                outcome, CoreType.CPU, cluster, access.cycle
+                            )
+                        )
+                for core in self.gpu_cores[cluster]:
+                    for access in core.advance(start, span):
+                        outcome = hierarchy.access(
+                            access.address,
+                            CoreType.GPU,
+                            core_index=access.core_index,
+                            access_type=(
+                                AccessType.NC_STORE
+                                if access.kind is AccessKind.STORE
+                                else AccessType.LOAD
+                            ),
+                        )
+                        events.extend(
+                            self._events_for_outcome(
+                                outcome, CoreType.GPU, cluster, access.cycle
+                            )
+                        )
+        return Trace(events, name="chip-model")
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Aggregate L1/L2 miss rates across the chip (diagnostics)."""
+        cpu_l1 = [
+            cache.stats
+            for cluster in self.hierarchy.clusters
+            for cache in cluster.cpu_l1d
+        ]
+        cpu_l2 = [c.cpu_l2.stats for c in self.hierarchy.clusters]
+        gpu_l2 = [c.gpu_l2.stats for c in self.hierarchy.clusters]
+
+        def mean_miss(stats_list):
+            rates = [s.miss_rate for s in stats_list if s.accesses]
+            return sum(rates) / len(rates) if rates else 0.0
+
+        return {
+            "cpu_l1d_miss_rate": mean_miss(cpu_l1),
+            "cpu_l2_miss_rate": mean_miss(cpu_l2),
+            "gpu_l2_miss_rate": mean_miss(gpu_l2),
+        }

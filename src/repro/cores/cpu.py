@@ -1,0 +1,182 @@
+"""A simple in-order CPU core model (Multi2Sim x86-timing stand-in).
+
+The model executes a synthetic instruction mix: every cycle it fetches
+from a sequential instruction stream (with occasional taken branches
+that jump within the code footprint) and, for memory instructions,
+issues a data access from a working-set-bounded stream.  Loads block
+the pipeline until their data returns; stores retire through a small
+store buffer.  The output is the timed sequence of (address, kind)
+accesses the cache hierarchy consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import List, Optional
+
+import numpy as np
+
+
+@unique
+class AccessKind(Enum):
+    """Memory access categories a core emits."""
+
+    INSTRUCTION_FETCH = "ifetch"
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class CoreAccess:
+    """One memory access issued by a core."""
+
+    cycle: int
+    address: int
+    kind: AccessKind
+    core_index: int = 0
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Instruction-mix and footprint parameters of a CPU core."""
+
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.15
+    ipc: float = 1.0
+    code_footprint_kb: int = 64
+    data_working_set_kb: int = 512
+    line_bytes: int = 64
+    #: Probability that a data access continues the current stride.
+    stride_locality: float = 0.3
+    #: Probability a data access touches the hot subset instead.
+    hot_fraction: float = 0.6
+    #: Size of the hot subset (should fit in the L1 for realistic
+    #: hit rates; Table I CPU L1D is 64 kB).
+    hot_kb: int = 16
+
+    def __post_init__(self) -> None:
+        if self.load_fraction + self.store_fraction > 1.0:
+            raise ValueError("memory fractions cannot exceed 1")
+        for frac in (
+            self.load_fraction,
+            self.store_fraction,
+            self.branch_fraction,
+            self.stride_locality,
+            self.hot_fraction,
+        ):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError("fractions must be in [0, 1]")
+        if self.hot_kb <= 0:
+            raise ValueError("hot_kb must be positive")
+        if self.hot_fraction + self.stride_locality > 1.0:
+            raise ValueError("hot_fraction + stride_locality cannot exceed 1")
+        if self.ipc <= 0:
+            raise ValueError("IPC must be positive")
+        if self.code_footprint_kb <= 0 or self.data_working_set_kb <= 0:
+            raise ValueError("footprints must be positive")
+
+
+class InOrderCpuCore:
+    """One in-order core generating a timed access stream.
+
+    ``advance(cycles)`` returns the accesses issued during that span;
+    a pending load return can be signalled with ``data_returned`` to
+    unblock the pipeline (the trace generators use a fixed miss
+    penalty instead of full closed-loop core stalling).
+    """
+
+    def __init__(
+        self,
+        params: Optional[CpuParams] = None,
+        core_index: int = 0,
+        code_base: int = 0,
+        data_base: int = 1 << 30,
+        seed: int = 0,
+    ) -> None:
+        self.params = params or CpuParams()
+        self.core_index = core_index
+        self.code_base = code_base
+        self.data_base = data_base
+        self._rng = np.random.default_rng(seed)
+        self._pc = 0
+        self._data_cursor = 0
+        self._stalled_until = 0
+        self.instructions_retired = 0
+
+    def _next_instruction_address(self) -> int:
+        line = self.params.line_bytes
+        code_bytes = self.params.code_footprint_kb * 1024
+        if self._rng.random() < self.params.branch_fraction:
+            self._pc = int(self._rng.integers(0, code_bytes // 4)) * 4
+        else:
+            self._pc = (self._pc + 4) % code_bytes
+        return self.code_base + self._pc
+
+    def _next_data_address(self) -> int:
+        line = self.params.line_bytes
+        ws = self.params.data_working_set_kb * 1024
+        roll = self._rng.random()
+        if roll < self.params.hot_fraction:
+            # Temporal reuse: the hot subset (stack, loop-carried data).
+            hot = self.params.hot_kb * 1024
+            return self.data_base + int(
+                self._rng.integers(0, hot // line)
+            ) * line
+        if roll < self.params.hot_fraction + self.params.stride_locality:
+            self._data_cursor = (self._data_cursor + line) % ws
+        else:
+            self._data_cursor = int(
+                self._rng.integers(0, ws // line)
+            ) * line
+        return self.data_base + self._data_cursor
+
+    def stall(self, until_cycle: int) -> None:
+        """Block the pipeline (e.g. on a load miss) until a cycle."""
+        self._stalled_until = max(self._stalled_until, until_cycle)
+
+    def advance(self, start_cycle: int, cycles: int) -> List[CoreAccess]:
+        """Issue instructions for ``cycles`` cycles from ``start_cycle``."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        accesses: List[CoreAccess] = []
+        budget = self.params.ipc * cycles
+        cycle = max(start_cycle, self._stalled_until)
+        end = start_cycle + cycles
+        while budget >= 1.0 and cycle < end:
+            # One fetch per instruction line boundary (simplified: one
+            # i-fetch every line worth of sequential instructions).
+            address = self._next_instruction_address()
+            if address % self.params.line_bytes < 4:
+                accesses.append(
+                    CoreAccess(
+                        cycle=cycle,
+                        address=address,
+                        kind=AccessKind.INSTRUCTION_FETCH,
+                        core_index=self.core_index,
+                    )
+                )
+            roll = self._rng.random()
+            if roll < self.params.load_fraction:
+                accesses.append(
+                    CoreAccess(
+                        cycle=cycle,
+                        address=self._next_data_address(),
+                        kind=AccessKind.LOAD,
+                        core_index=self.core_index,
+                    )
+                )
+            elif roll < self.params.load_fraction + self.params.store_fraction:
+                accesses.append(
+                    CoreAccess(
+                        cycle=cycle,
+                        address=self._next_data_address(),
+                        kind=AccessKind.STORE,
+                        core_index=self.core_index,
+                    )
+                )
+            self.instructions_retired += 1
+            budget -= 1.0
+            cycle += max(1, int(round(1.0 / self.params.ipc)))
+        return accesses

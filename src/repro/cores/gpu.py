@@ -1,0 +1,130 @@
+"""A SIMT GPU compute-unit model (Multi2Sim Evergreen stand-in).
+
+GPU traffic is kernel-driven: a launch wakes every wavefront, each
+wavefront streams through its assigned memory tile issuing coalesced
+accesses (one line per warp when addresses coalesce, several when they
+diverge), and the CU goes quiet until the next launch.  This produces
+exactly the bursty, flooding pattern the paper's DBA must contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .cpu import AccessKind, CoreAccess
+
+
+@dataclass(frozen=True)
+class GpuParams:
+    """Kernel and wavefront parameters of one compute unit."""
+
+    wavefronts_per_kernel: int = 8
+    accesses_per_wavefront: int = 64
+    #: Probability a warp access coalesces into a single line.
+    coalesce_rate: float = 0.7
+    #: Divergent accesses touch this many distinct lines.
+    divergence_lines: int = 4
+    store_fraction: float = 0.3
+    kernel_gap_cycles: float = 1_500.0
+    issue_per_cycle: int = 2
+    data_working_set_kb: int = 2_048
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.wavefronts_per_kernel <= 0 or self.accesses_per_wavefront <= 0:
+            raise ValueError("kernel geometry must be positive")
+        if not 0.0 <= self.coalesce_rate <= 1.0:
+            raise ValueError("coalesce_rate must be in [0, 1]")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+        if self.divergence_lines <= 0 or self.issue_per_cycle <= 0:
+            raise ValueError("divergence/issue parameters must be positive")
+        if self.kernel_gap_cycles < 0:
+            raise ValueError("kernel gap cannot be negative")
+
+
+class SimtGpuCore:
+    """One compute unit alternating kernel bursts and idle gaps."""
+
+    def __init__(
+        self,
+        params: Optional[GpuParams] = None,
+        core_index: int = 0,
+        data_base: int = 2 << 30,
+        seed: int = 0,
+    ) -> None:
+        self.params = params or GpuParams()
+        self.core_index = core_index
+        self.data_base = data_base
+        self._rng = np.random.default_rng(seed)
+        self._pending_accesses = 0
+        self._next_kernel_at = float(
+            self._rng.exponential(max(self.params.kernel_gap_cycles, 1.0))
+        )
+        self._tile_cursor = 0
+        self.kernels_launched = 0
+
+    @property
+    def in_kernel(self) -> bool:
+        """Whether a kernel is currently draining accesses."""
+        return self._pending_accesses > 0
+
+    def _launch_kernel(self) -> None:
+        self._pending_accesses = (
+            self.params.wavefronts_per_kernel
+            * self.params.accesses_per_wavefront
+        )
+        self.kernels_launched += 1
+
+    def _warp_addresses(self) -> List[int]:
+        line = self.params.line_bytes
+        ws = self.params.data_working_set_kb * 1024
+        self._tile_cursor = (self._tile_cursor + line) % ws
+        base = self.data_base + self._tile_cursor
+        if self._rng.random() < self.params.coalesce_rate:
+            return [base]
+        # Divergent warp: several scattered lines.
+        return [
+            self.data_base + int(self._rng.integers(0, ws // line)) * line
+            for _ in range(self.params.divergence_lines)
+        ]
+
+    def advance(self, start_cycle: int, cycles: int) -> List[CoreAccess]:
+        """Issue accesses for ``cycles`` cycles from ``start_cycle``."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        accesses: List[CoreAccess] = []
+        for cycle in range(start_cycle, start_cycle + cycles):
+            if not self.in_kernel:
+                if cycle >= self._next_kernel_at:
+                    self._launch_kernel()
+                else:
+                    continue
+            issued = 0
+            while self._pending_accesses > 0 and issued < self.params.issue_per_cycle:
+                kind = (
+                    AccessKind.STORE
+                    if self._rng.random() < self.params.store_fraction
+                    else AccessKind.LOAD
+                )
+                for address in self._warp_addresses():
+                    accesses.append(
+                        CoreAccess(
+                            cycle=cycle,
+                            address=address,
+                            kind=kind,
+                            core_index=self.core_index,
+                        )
+                    )
+                self._pending_accesses -= 1
+                issued += 1
+            if self._pending_accesses == 0:
+                self._next_kernel_at = cycle + float(
+                    self._rng.exponential(
+                        max(self.params.kernel_gap_cycles, 1.0)
+                    )
+                )
+        return accesses

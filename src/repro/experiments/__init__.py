@@ -1,0 +1,57 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every module exposes ``run(quick=True, seed=1) -> ExperimentResult``;
+``REGISTRY`` maps experiment ids to those callables, and ``run_all``
+regenerates the whole evaluation (used to produce EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (
+    ablations,
+    arbitration,
+    saturation,
+    thermal_study,
+    fig4_breakdown,
+    fig5_energy,
+    fig6_throughput,
+    fig7_laser_power,
+    fig8_states,
+    fig9_comparison,
+    fig10_window_sweep,
+    fig11_turn_on,
+    headline,
+    ml_quality,
+    tables,
+)
+from .runner import ExperimentResult, clear_cache
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": lambda quick=True, seed=1: tables.table1(),
+    "table2": lambda quick=True, seed=1: tables.table2(),
+    "table5": lambda quick=True, seed=1: tables.table5(),
+    "fig4": fig4_breakdown.run,
+    "fig5": fig5_energy.run,
+    "fig6": fig6_throughput.run,
+    "fig7": fig7_laser_power.run,
+    "fig8": fig8_states.run,
+    "fig9": fig9_comparison.run,
+    "fig10": fig10_window_sweep.run,
+    "fig11": fig11_turn_on.run,
+    "ml_quality": ml_quality.run,
+    "ablations": ablations.run,
+    "saturation": saturation.run,
+    "arbitration": arbitration.run,
+    "thermal_study": thermal_study.run,
+    "headline": headline.run,
+}
+
+
+def run_all(quick: bool = True, seed: int = 1) -> List[ExperimentResult]:
+    """Run every registered experiment in registry order."""
+    return [run(quick=quick, seed=seed) for run in REGISTRY.values()]
+
+
+__all__ = ["REGISTRY", "ExperimentResult", "clear_cache", "run_all"]

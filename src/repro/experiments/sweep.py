@@ -1,0 +1,69 @@
+"""Generic configuration sweeps.
+
+``sweep`` runs a user metric over the cartesian grid of configuration
+overrides — the utility behind "what if the buffer were deeper / the
+window longer / the turn-on slower" questions that do not warrant a
+dedicated experiment module.
+
+Overrides address nested config fields with dotted paths, e.g.
+``"power_scaling.reservation_window"`` or ``"photonic.laser_turn_on_ns"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, Iterable, Sequence
+
+from ..config import PearlConfig
+from .runner import ExperimentResult
+
+
+def apply_override(config: PearlConfig, path: str, value) -> PearlConfig:
+    """Return a config copy with one dotted-path field replaced."""
+    parts = path.split(".")
+    if len(parts) == 1:
+        return dataclasses.replace(config, **{parts[0]: value})
+    if len(parts) != 2:
+        raise ValueError(f"override path too deep: {path!r}")
+    section_name, field_name = parts
+    section = getattr(config, section_name)
+    if not any(f.name == field_name for f in dataclasses.fields(section)):
+        raise ValueError(
+            f"{type(section).__name__} has no field {field_name!r}"
+        )
+    new_section = dataclasses.replace(section, **{field_name: value})
+    return dataclasses.replace(config, **{section_name: new_section})
+
+
+def grid(axes: Dict[str, Sequence]) -> Iterable[Dict[str, object]]:
+    """Yield one override dict per point of the cartesian grid."""
+    if not axes:
+        yield {}
+        return
+    names = list(axes)
+    for values in itertools.product(*(axes[name] for name in names)):
+        yield dict(zip(names, values))
+
+
+def sweep(
+    axes: Dict[str, Sequence],
+    metric: Callable[[PearlConfig], Dict[str, float]],
+    base: PearlConfig = None,
+    name: str = "sweep",
+) -> ExperimentResult:
+    """Evaluate ``metric`` at every grid point.
+
+    ``metric`` receives the overridden config and returns a dict of
+    result columns; the override values are prepended to each row.
+    """
+    base = base or PearlConfig()
+    result = ExperimentResult(name=name)
+    for overrides in grid(axes):
+        config = base
+        for path, value in overrides.items():
+            config = apply_override(config, path, value)
+        row = dict(overrides)
+        row.update(metric(config))
+        result.add_row(**row)
+    return result

@@ -1,0 +1,29 @@
+"""Machine-learning substrate: ridge regression, features, metrics."""
+
+from .extensions import (
+    EwmaPredictor,
+    LastValuePredictor,
+    PolynomialRidge,
+    SgdRidge,
+)
+from .features import CACHE_LEVEL_ORDER, FEATURE_NAMES, NUM_FEATURES, FeatureCollector
+from .metrics import nrmse, rmse, state_selection_accuracy, top_state_accuracy
+from .ridge import RidgeRegression, Standardizer, select_lambda
+
+__all__ = [
+    "CACHE_LEVEL_ORDER",
+    "EwmaPredictor",
+    "LastValuePredictor",
+    "PolynomialRidge",
+    "SgdRidge",
+    "FEATURE_NAMES",
+    "FeatureCollector",
+    "NUM_FEATURES",
+    "RidgeRegression",
+    "Standardizer",
+    "nrmse",
+    "rmse",
+    "select_lambda",
+    "state_selection_accuracy",
+    "top_state_accuracy",
+]

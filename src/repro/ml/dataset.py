@@ -1,0 +1,87 @@
+"""Feature datasets for the power-scaling regressor.
+
+A dataset is a pair of aligned arrays: Table III feature vectors and
+their next-window injected-packet labels, one row per (router, window)
+sample.  Datasets can be merged across benchmark pairs and saved/loaded
+as ``.npz`` so the collection phase (slow: it runs the simulator) can
+be decoupled from training.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+import numpy as np
+
+from .features import NUM_FEATURES
+
+
+class FeatureDataset:
+    """Append-only (features, label) store with train-time views."""
+
+    def __init__(self, name: str = "dataset") -> None:
+        self.name = name
+        self._features: List[np.ndarray] = []
+        self._labels: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def append(self, features: np.ndarray, label: float) -> None:
+        """Add one (router, window) sample."""
+        features = np.asarray(features, dtype=float).ravel()
+        if features.shape[0] != NUM_FEATURES:
+            raise ValueError(
+                f"expected {NUM_FEATURES} features, got {features.shape[0]}"
+            )
+        if label < 0:
+            raise ValueError("labels (packet counts) cannot be negative")
+        self._features.append(features)
+        self._labels.append(float(label))
+
+    def extend(self, other: "FeatureDataset") -> None:
+        """Append every sample of another dataset."""
+        self._features.extend(other._features)
+        self._labels.extend(other._labels)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(X, y) as numpy arrays; X is (n, 30)."""
+        if not self._labels:
+            return (
+                np.empty((0, NUM_FEATURES), dtype=float),
+                np.empty((0,), dtype=float),
+            )
+        return np.vstack(self._features), np.asarray(self._labels, dtype=float)
+
+    @property
+    def mean_label(self) -> float:
+        """Mean injected-packet count (sanity diagnostics)."""
+        if not self._labels:
+            return 0.0
+        return float(np.mean(self._labels))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist as an ``.npz`` archive."""
+        X, y = self.arrays()
+        np.savez_compressed(Path(path), X=X, y=y, name=self.name)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FeatureDataset":
+        """Load an archive written by :meth:`save`."""
+        archive = np.load(Path(path), allow_pickle=False)
+        dataset = cls(name=str(archive.get("name", "dataset")))
+        X, y = archive["X"], archive["y"]
+        for row, label in zip(X, y):
+            dataset.append(row, float(label))
+        return dataset
+
+    @classmethod
+    def merge(
+        cls, datasets: Iterable["FeatureDataset"], name: str = "merged"
+    ) -> "FeatureDataset":
+        """Concatenate several datasets."""
+        merged = cls(name=name)
+        for dataset in datasets:
+            merged.extend(dataset)
+        return merged

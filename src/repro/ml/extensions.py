@@ -1,0 +1,249 @@
+"""Alternative predictors beyond the paper's closed-form ridge.
+
+The paper closes with: "ML-based research can further optimize the
+power-performance of photonic NoCs by improving the prediction
+accuracy."  This module supplies that exploration surface:
+
+* :class:`LastValuePredictor` — the trivial non-ML baseline (next
+  window = this window's injections, read from feature 9);
+* :class:`EwmaPredictor` — an exponentially weighted moving average of
+  the same signal (cheap hardware, no training);
+* :class:`PolynomialRidge` — ridge over degree-2 interaction features,
+  capturing e.g. occupancy x wavelength-state interactions;
+* :class:`SgdRidge` — the same ridge objective trained by stochastic
+  gradient descent, the shape a hardware-online implementation takes.
+
+All expose ``fit(X, t)`` / ``predict(X)`` / ``is_fitted`` so they drop
+into :class:`repro.core.ml_scaling.MLPowerScaler` unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .features import FEATURE_NAMES
+from .ridge import RidgeRegression, Standardizer
+
+#: Index of "incoming packets from the cores" (feature 9 of Table III).
+INJECTED_FEATURE_INDEX = FEATURE_NAMES.index("incoming_from_cores")
+
+
+class LastValuePredictor:
+    """Predict next-window injections = this window's injections.
+
+    The natural non-ML baseline: it needs no training and no weights,
+    only the feature-9 counter every router already has.
+    """
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """Fit is a no-op; flips the flag for interface parity."""
+        return self._fitted
+
+    def fit(self, X: np.ndarray, t: np.ndarray) -> "LastValuePredictor":
+        """No parameters to learn."""
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Echo the current window's injection counter."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            return X[INJECTED_FEATURE_INDEX]
+        return X[:, INJECTED_FEATURE_INDEX]
+
+
+class EwmaPredictor:
+    """Exponentially weighted moving average of window injections.
+
+    Stateful across ``predict`` calls in sample order, mirroring the
+    per-router running average a hardware implementation would keep.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._state: Optional[float] = None
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """Fit is a no-op; flips the flag for interface parity."""
+        return self._fitted
+
+    def fit(self, X: np.ndarray, t: np.ndarray) -> "EwmaPredictor":
+        """No parameters to learn; resets the running state."""
+        self._state = None
+        self._fitted = True
+        return self
+
+    def reset(self) -> None:
+        """Clear the running average (e.g. between routers)."""
+        self._state = None
+
+    def _step(self, observation: float) -> float:
+        if self._state is None:
+            self._state = observation
+        else:
+            self._state = (
+                self.alpha * observation + (1 - self.alpha) * self._state
+            )
+        return self._state
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Advance the average with each row's injection counter."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            return self._step(float(X[INJECTED_FEATURE_INDEX]))
+        return np.array(
+            [self._step(float(row[INJECTED_FEATURE_INDEX])) for row in X]
+        )
+
+
+class PolynomialRidge:
+    """Ridge regression over degree-2 interaction features.
+
+    Expands the 30 Table III features with pairwise products of a
+    selected subset (by default the six utilization features plus the
+    wavelength state), then fits the ordinary closed-form ridge.
+    Captures interactions such as "high occupancy matters more at low
+    wavelength states" that the linear model cannot express.
+    """
+
+    #: Default interaction columns: features 2-6 and 30 of Table III.
+    DEFAULT_INTERACTION_COLUMNS = (1, 2, 3, 4, 5, 29)
+
+    def __init__(
+        self,
+        lam: float = 1.0,
+        interaction_columns: Optional[Sequence[int]] = None,
+        standardize: bool = True,
+    ) -> None:
+        self.interaction_columns = tuple(
+            interaction_columns
+            if interaction_columns is not None
+            else self.DEFAULT_INTERACTION_COLUMNS
+        )
+        if not self.interaction_columns:
+            raise ValueError("need at least one interaction column")
+        self._ridge = RidgeRegression(lam=lam, standardize=standardize)
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._ridge.is_fitted
+
+    @property
+    def lam(self) -> float:
+        """The ridge regularisation strength."""
+        return self._ridge.lam
+
+    def _expand(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X.reshape(1, -1)
+        cols = list(self.interaction_columns)
+        products: List[np.ndarray] = []
+        for i, a in enumerate(cols):
+            for b in cols[i:]:
+                products.append(X[:, a] * X[:, b])
+        expanded = np.hstack([X, np.column_stack(products)])
+        return expanded[0] if single else expanded
+
+    def fit(self, X: np.ndarray, t: np.ndarray) -> "PolynomialRidge":
+        """Expand then fit the closed-form ridge."""
+        self._ridge.fit(self._expand(X), t)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict on expanded features."""
+        return self._ridge.predict(self._expand(X))
+
+
+class SgdRidge:
+    """The Eq. 4 ridge objective trained by stochastic gradient descent.
+
+    Functionally interchangeable with the closed-form solution but
+    shaped like an online hardware implementation: one multiply-
+    accumulate sweep per sample, fixed learning-rate schedule, no
+    matrix inversion.
+    """
+
+    def __init__(
+        self,
+        lam: float = 1.0,
+        learning_rate: float = 0.01,
+        epochs: int = 50,
+        batch_size: int = 32,
+        seed: int = 0,
+        standardize: bool = True,
+    ) -> None:
+        if learning_rate <= 0 or epochs <= 0 or batch_size <= 0:
+            raise ValueError("SGD hyper-parameters must be positive")
+        if lam < 0:
+            raise ValueError("ridge lambda cannot be negative")
+        self.lam = lam
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.standardize = standardize
+        self.weights: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+        self._scaler: Optional[Standardizer] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self.weights is not None
+
+    def fit(self, X: np.ndarray, t: np.ndarray) -> "SgdRidge":
+        """Minimise Eq. 4 by mini-batch gradient descent."""
+        X = np.asarray(X, dtype=float)
+        t = np.asarray(t, dtype=float).ravel()
+        if X.shape[0] != t.shape[0] or X.shape[0] == 0:
+            raise ValueError("X and t must align and be non-empty")
+        if self.standardize:
+            self._scaler = Standardizer.fit(X)
+            Z = self._scaler.transform(X)
+        else:
+            Z = X
+        rng = np.random.default_rng(self.seed)
+        n, d = Z.shape
+        w = np.zeros(d)
+        b = t.mean()
+        lam_per_sample = self.lam / n
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            lr = self.learning_rate / (1 + 0.05 * epoch)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                batch, target = Z[idx], t[idx]
+                error = batch @ w + b - target
+                grad_w = batch.T @ error / len(idx) + lam_per_sample * w
+                grad_b = error.mean()
+                w -= lr * grad_w
+                b -= lr * grad_b
+        self.weights = w
+        self.intercept = float(b)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets."""
+        if self.weights is None:
+            raise RuntimeError("model must be fitted before predicting")
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X.reshape(1, -1)
+        if self._scaler is not None:
+            X = self._scaler.transform(X)
+        out = X @ self.weights + self.intercept
+        return out[0] if single else out

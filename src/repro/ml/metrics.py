@@ -1,0 +1,85 @@
+"""Prediction-quality metrics used in the paper's evaluation (Sec. IV-C).
+
+The paper reports the *normalized* root-mean-square error, defined so
+that 1 is a perfect fit and -inf the worst fit — i.e. the
+coefficient-of-determination style normalisation
+
+    NRMSE = 1 - ||t - y|| / ||t - mean(t)||,
+
+plus the wavelength-state selection accuracy (how often the predicted
+packet count maps to the same state as the true count).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def rmse(targets: np.ndarray, predictions: np.ndarray) -> float:
+    """Root-mean-square error."""
+    targets = np.asarray(targets, dtype=float).ravel()
+    predictions = np.asarray(predictions, dtype=float).ravel()
+    if targets.shape != predictions.shape:
+        raise ValueError("targets and predictions must align")
+    if targets.size == 0:
+        raise ValueError("cannot score an empty set")
+    return float(np.sqrt(np.mean((targets - predictions) ** 2)))
+
+
+def nrmse(targets: np.ndarray, predictions: np.ndarray) -> float:
+    """Normalized RMSE where 1 = perfect fit, -inf = worst fit.
+
+    Matches the paper's convention ("1 represents perfect fit and -inf
+    corresponds to the worst fit").  A constant target vector with exact
+    predictions scores 1.0; with any error it scores -inf.
+    """
+    targets = np.asarray(targets, dtype=float).ravel()
+    predictions = np.asarray(predictions, dtype=float).ravel()
+    err = rmse(targets, predictions)
+    spread = float(np.sqrt(np.mean((targets - targets.mean()) ** 2)))
+    if spread < 1e-12:
+        return 1.0 if err < 1e-12 else float("-inf")
+    return 1.0 - err / spread
+
+
+def state_selection_accuracy(
+    targets: Sequence[float],
+    predictions: Sequence[float],
+    to_state: Callable[[float], int],
+) -> float:
+    """Fraction of samples whose predicted and true states agree."""
+    targets = list(targets)
+    predictions = list(predictions)
+    if len(targets) != len(predictions):
+        raise ValueError("targets and predictions must align")
+    if not targets:
+        raise ValueError("cannot score an empty set")
+    hits = sum(
+        1 for t, p in zip(targets, predictions) if to_state(t) == to_state(p)
+    )
+    return hits / len(targets)
+
+
+def top_state_accuracy(
+    targets: Sequence[float],
+    predictions: Sequence[float],
+    to_state: Callable[[float], int],
+    top_state: int,
+) -> float:
+    """Accuracy restricted to windows whose *true* state is the top state.
+
+    This is the paper's 99.9% number for ML RW2000: even with a poor
+    global NRMSE the model almost always recognises full-bandwidth
+    windows, which preserves throughput.
+    """
+    pairs = [
+        (t, p)
+        for t, p in zip(targets, predictions)
+        if to_state(t) == top_state
+    ]
+    if not pairs:
+        raise ValueError("no samples with the top true state")
+    hits = sum(1 for t, p in pairs if to_state(p) == top_state)
+    return hits / len(pairs)

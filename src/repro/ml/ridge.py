@@ -1,0 +1,185 @@
+"""Ridge regression implemented from scratch (Sec. III-D1).
+
+The model minimises the regularised least-squares cost of Eq. 4,
+
+    E(w) = 1/2 * sum_n (w^T phi(x_n) - t_n)^2 + lambda/2 * ||w||^2,
+
+whose closed-form solution (Eq. 6) is ``w = (lambda*I + Phi^T Phi)^-1
+Phi^T t``.  Features are optionally standardised (zero mean, unit
+variance) before fitting, which is essential here because the 30 PEARL
+features mix fractions with raw packet counts; the bias column is never
+regularised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Standardizer:
+    """Per-feature zero-mean / unit-variance scaling learned from data."""
+
+    mean: np.ndarray
+    scale: np.ndarray
+
+    @classmethod
+    def fit(cls, X: np.ndarray) -> "Standardizer":
+        """Learn column statistics; constant columns get unit scale."""
+        mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale = np.where(scale < 1e-12, 1.0, scale)
+        return cls(mean=mean, scale=scale)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        return (X - self.mean) / self.scale
+
+
+class RidgeRegression:
+    """Closed-form ridge regression with an unregularised intercept."""
+
+    def __init__(self, lam: float = 1.0, standardize: bool = True) -> None:
+        if lam < 0:
+            raise ValueError("ridge lambda cannot be negative")
+        self.lam = lam
+        self.standardize = standardize
+        self.weights: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+        self._scaler: Optional[Standardizer] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self.weights is not None
+
+    def fit(self, X: np.ndarray, t: np.ndarray) -> "RidgeRegression":
+        """Solve Eq. 6 for the weight vector.
+
+        ``X`` is (n_samples, n_features); ``t`` the target vector.  The
+        intercept is handled by centring the targets so it escapes the
+        regularisation penalty.
+        """
+        X = np.asarray(X, dtype=float)
+        t = np.asarray(t, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be a 2-D matrix")
+        if X.shape[0] != t.shape[0]:
+            raise ValueError("X and t disagree on the number of samples")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        if self.standardize:
+            self._scaler = Standardizer.fit(X)
+            Phi = self._scaler.transform(X)
+        else:
+            self._scaler = None
+            Phi = X
+
+        t_mean = t.mean()
+        phi_mean = Phi.mean(axis=0)
+        Phi_c = Phi - phi_mean
+        t_c = t - t_mean
+
+        n_features = Phi.shape[1]
+        gram = Phi_c.T @ Phi_c + self.lam * np.eye(n_features)
+        self.weights = np.linalg.solve(gram, Phi_c.T @ t_c)
+        self.intercept = float(t_mean - phi_mean @ self.weights)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for a feature matrix (or single row)."""
+        if self.weights is None:
+            raise RuntimeError("model must be fitted before predicting")
+        X = np.asarray(X, dtype=float)
+        single = X.ndim == 1
+        if single:
+            X = X.reshape(1, -1)
+        if self._scaler is not None:
+            X = self._scaler.transform(X)
+        out = X @ self.weights + self.intercept
+        return out[0] if single else out
+
+    def save(self, path) -> None:
+        """Persist the fitted model as an ``.npz`` archive."""
+        if self.weights is None:
+            raise RuntimeError("cannot save an unfitted model")
+        from pathlib import Path
+
+        scaler_mean = (
+            self._scaler.mean if self._scaler is not None else np.zeros(0)
+        )
+        scaler_scale = (
+            self._scaler.scale if self._scaler is not None else np.zeros(0)
+        )
+        np.savez_compressed(
+            Path(path),
+            weights=self.weights,
+            intercept=np.array([self.intercept]),
+            lam=np.array([self.lam]),
+            standardize=np.array([1 if self.standardize else 0]),
+            scaler_mean=scaler_mean,
+            scaler_scale=scaler_scale,
+        )
+
+    @classmethod
+    def load(cls, path) -> "RidgeRegression":
+        """Restore a model written by :meth:`save`."""
+        from pathlib import Path
+
+        archive = np.load(Path(path), allow_pickle=False)
+        model = cls(
+            lam=float(archive["lam"][0]),
+            standardize=bool(int(archive["standardize"][0])),
+        )
+        model.weights = archive["weights"]
+        model.intercept = float(archive["intercept"][0])
+        if archive["scaler_mean"].size:
+            model._scaler = Standardizer(
+                mean=archive["scaler_mean"], scale=archive["scaler_scale"]
+            )
+        return model
+
+    def cost(self, X: np.ndarray, t: np.ndarray) -> float:
+        """The Eq. 4 objective value at the fitted weights."""
+        if self.weights is None:
+            raise RuntimeError("model must be fitted before evaluating cost")
+        residual = self.predict(X) - np.asarray(t, dtype=float).ravel()
+        return 0.5 * float(residual @ residual) + 0.5 * self.lam * float(
+            self.weights @ self.weights
+        )
+
+
+def select_lambda(
+    X_train: np.ndarray,
+    t_train: np.ndarray,
+    X_val: np.ndarray,
+    t_val: np.ndarray,
+    lambda_grid: Sequence[float],
+    standardize: bool = True,
+) -> Tuple[RidgeRegression, float]:
+    """Tune lambda on a validation split (Sec. IV-A).
+
+    Fits one model per lambda on the training set and returns the model
+    with the lowest validation mean-squared error together with its
+    lambda.
+    """
+    if len(lambda_grid) == 0:
+        raise ValueError("lambda_grid cannot be empty")
+    best_model: Optional[RidgeRegression] = None
+    best_lam = float(lambda_grid[0])
+    best_mse = np.inf
+    t_val = np.asarray(t_val, dtype=float).ravel()
+    for lam in lambda_grid:
+        model = RidgeRegression(lam=lam, standardize=standardize)
+        model.fit(X_train, t_train)
+        mse = float(np.mean((model.predict(X_val) - t_val) ** 2))
+        if mse < best_mse:
+            best_mse = mse
+            best_model = model
+            best_lam = float(lam)
+    assert best_model is not None
+    return best_model, best_lam

@@ -1,0 +1,367 @@
+"""The PEARL network: 16 cluster routers + the banked L3 router.
+
+Runs a closed-loop cycle simulation: a trace supplies the core-generated
+*requests*; every delivered request triggers a response from its target
+(local L2, peer cluster or the L3/memory system), so power scaling that
+slows the network also delays responses and raises buffer pressure —
+the feedback the paper's controllers react to.
+
+The same class serves every PEARL variant of the evaluation:
+
+* ``PEARL-Dyn``   — dynamic bandwidth, static 64 WL;
+* ``PEARL-FCFS``  — static even split, static 64 WL;
+* ``Dyn RWx``     — dynamic bandwidth + reactive power scaling;
+* ``ML RWx``      — dynamic bandwidth + ML power scaling;
+* random-state    — dataset-collection runs for the ML pipeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cache.memory import MemoryController
+from ..config import PearlConfig
+from ..core.ml_scaling import MLPowerScaler, StateSelector
+from ..ml.ridge import RidgeRegression
+from .packet import CacheLevel, CoreType, Packet, PacketClass
+from .router import PearlRouter, PowerPolicyKind, Transmission
+from .stats import NetworkStats
+from ..traffic.trace import Trace, TraceCursor
+
+#: Flits in a data-bearing response (64-byte line + header).
+RESPONSE_FLITS = 5
+
+
+@dataclass(frozen=True)
+class ResponderConfig:
+    """Closed-loop response generation parameters."""
+
+    l3_hit_latency: int = 8
+    local_l2_latency: int = 4
+    peer_latency: int = 6
+    cpu_l3_miss_rate: float = 0.25
+    gpu_l3_miss_rate: float = 0.30
+    response_flits: int = RESPONSE_FLITS
+
+    def __post_init__(self) -> None:
+        for rate in (self.cpu_l3_miss_rate, self.gpu_l3_miss_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("miss rates must be in [0, 1]")
+        if min(self.l3_hit_latency, self.local_l2_latency, self.peer_latency) < 0:
+            raise ValueError("latencies cannot be negative")
+
+
+@dataclass
+class PearlRunResult:
+    """Everything a single simulation run produced."""
+
+    stats: NetworkStats
+    state_residency: Dict[int, float]
+    mean_laser_power_w: float
+    laser_stall_cycles: int
+    ml_predictions: List[float] = field(default_factory=list)
+    ml_labels: List[float] = field(default_factory=list)
+
+    def throughput(self) -> float:
+        """Network throughput in flits/cycle."""
+        return self.stats.throughput_flits_per_cycle()
+
+
+class PearlNetwork:
+    """The full PEARL photonic interconnect simulator."""
+
+    def __init__(
+        self,
+        config: Optional[PearlConfig] = None,
+        power_policy: PowerPolicyKind = PowerPolicyKind.STATIC,
+        use_dynamic_bandwidth: bool = True,
+        static_state: Optional[int] = None,
+        ml_model: Optional[RidgeRegression] = None,
+        allow_8wl: Optional[bool] = None,
+        responder: Optional[ResponderConfig] = None,
+        l3_parallel_links: int = 8,
+        seed: int = 1,
+    ) -> None:
+        self.config = config or PearlConfig()
+        self.responder = responder or ResponderConfig()
+        self.power_policy = power_policy
+        self._rng = np.random.default_rng(seed)
+        arch = self.config.architecture
+
+        self.routers: List[PearlRouter] = []
+        for router_id in range(arch.num_routers):
+            is_l3 = router_id == arch.l3_router_id
+            ml_scaler = None
+            if power_policy is PowerPolicyKind.ML:
+                if ml_model is None:
+                    raise ValueError("ML policy requires a fitted model")
+                selector = StateSelector(
+                    self.config.photonic,
+                    reservation_window=self.config.ml.reservation_window,
+                    allow_8wl=(
+                        self.config.ml.reintroduce_8wl
+                        if allow_8wl is None
+                        else allow_8wl
+                    ),
+                    capacity_multiplier=(
+                        float(l3_parallel_links) if is_l3 else 1.0
+                    ),
+                    # L3 injects 5-flit cache-line responses; clusters
+                    # mostly 1-flit requests plus peer data forwards.
+                    avg_packet_flits=5.0 if is_l3 else 2.0,
+                )
+                ml_scaler = MLPowerScaler(
+                    model=ml_model,
+                    selector=selector,
+                    config=self.config.ml,
+                    router_id=router_id,
+                    stagger_cycles=self.config.power_scaling.router_stagger_cycles,
+                )
+            self.routers.append(
+                PearlRouter(
+                    router_id=router_id,
+                    config=self.config,
+                    policy_kind=power_policy,
+                    use_dynamic_bandwidth=use_dynamic_bandwidth,
+                    static_state=static_state,
+                    ml_scaler=ml_scaler,
+                    parallel_links=l3_parallel_links if is_l3 else 1,
+                    rng=np.random.default_rng(seed * 1000 + router_id),
+                )
+            )
+        self.stats = NetworkStats()
+        self.memory = MemoryController(
+            num_controllers=arch.memory_controllers,
+            line_bytes=arch.cache_line_bytes,
+        )
+        # (arrival_cycle, sequence, transmission) min-heap of packets in flight.
+        self._in_flight: List[Tuple[int, int, Transmission]] = []
+        # (inject_cycle, sequence, router_id, packet) pending responses.
+        self._responses: List[Tuple[int, int, int, Packet]] = []
+        self._sequence = 0
+        # Per-router FIFO of packets whose input buffer was full; only
+        # the head is retried each cycle (stalled cores stay in order).
+        from collections import deque
+
+        self._injection_backlog: List = [
+            deque() for _ in range(arch.num_routers)
+        ]
+
+    @property
+    def injection_backlog_size(self) -> int:
+        """Packets stalled at full input buffers across all routers."""
+        return sum(len(backlog) for backlog in self._injection_backlog)
+
+    # -- collection-mode support -------------------------------------------------
+
+    def enable_collection(
+        self, hook: Callable[[int, np.ndarray, float], None]
+    ) -> None:
+        """Install a (router_id, features, label) dataset hook."""
+        for router in self.routers:
+            router.collection_hook = (
+                lambda feats, label, rid=router.router_id: hook(rid, feats, label)
+            )
+
+    # -- responder ---------------------------------------------------------------
+
+    def _schedule_response(self, request: Packet, cycle: int) -> None:
+        """Generate the closed-loop response to a delivered request."""
+        arch = self.config.architecture
+        if request.destination == arch.l3_router_id:
+            miss_rate = (
+                self.responder.cpu_l3_miss_rate
+                if request.core_type is CoreType.CPU
+                else self.responder.gpu_l3_miss_rate
+            )
+            ready = cycle + self.responder.l3_hit_latency
+            if self._rng.random() < miss_rate:
+                line = request.source * 131 + request.created_cycle
+                ready = self.memory.request(
+                    line * arch.cache_line_bytes, ready
+                )
+            level = CacheLevel.L3
+            source = arch.l3_router_id
+        elif request.is_local:
+            ready = cycle + self.responder.local_l2_latency
+            level = (
+                CacheLevel.CPU_L2_UP
+                if request.core_type is CoreType.CPU
+                else CacheLevel.GPU_L2_UP
+            )
+            source = request.destination
+        else:
+            ready = cycle + self.responder.peer_latency
+            level = (
+                CacheLevel.CPU_L2_UP
+                if request.core_type is CoreType.CPU
+                else CacheLevel.GPU_L2_UP
+            )
+            source = request.destination
+        response = Packet(
+            source=source,
+            destination=request.source,
+            core_type=request.core_type,
+            packet_class=PacketClass.RESPONSE,
+            cache_level=level,
+            size_flits=(
+                1 if request.is_local else self.responder.response_flits
+            ),
+            created_cycle=ready,
+        )
+        self._sequence += 1
+        heapq.heappush(
+            self._responses, (ready, self._sequence, source, response)
+        )
+
+    def _on_delivered(self, packet: Packet, cycle: int) -> None:
+        self.stats.on_delivered(packet, cycle)
+        if packet.is_request:
+            self._schedule_response(packet, cycle)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def _try_inject(self, router: PearlRouter, packet: Packet, cycle: int) -> bool:
+        if router.can_inject(packet):
+            router.inject(packet, cycle)
+            self.stats.on_injected(packet)
+            return True
+        return False
+
+    def step(self, cycle: int, cursor: Optional[TraceCursor] = None) -> None:
+        """Advance the network by one cycle."""
+        routers = self.routers
+        # 1. Retry backlogged injections (stalled cores), oldest first;
+        #    stop at the first packet that still does not fit.
+        for router_id, backlog in enumerate(self._injection_backlog):
+            router = routers[router_id]
+            while backlog and self._try_inject(router, backlog[0], cycle):
+                backlog.popleft()
+        # 2. Ready responses.
+        while self._responses and self._responses[0][0] <= cycle:
+            _, _, router_id, packet = heapq.heappop(self._responses)
+            backlog = self._injection_backlog[router_id]
+            if backlog or not self._try_inject(
+                routers[router_id], packet, cycle
+            ):
+                backlog.append(packet)
+        # 3. New trace events.
+        if cursor is not None:
+            for event in cursor.pop_ready(cycle):
+                packet = event.to_packet()
+                backlog = self._injection_backlog[packet.source]
+                if backlog or not self._try_inject(
+                    routers[packet.source], packet, cycle
+                ):
+                    backlog.append(packet)
+        # 4. Control planes (DBA sampling, window boundaries, laser power).
+        for router in routers:
+            router.tick_control(cycle)
+        # 5. Transmissions.
+        for router in routers:
+            for transmission in router.transmit(cycle):
+                self._sequence += 1
+                heapq.heappush(
+                    self._in_flight,
+                    (transmission.arrival_cycle, self._sequence, transmission),
+                )
+            self.stats.on_link_sample(router.link_busy)
+        # 6. Arrivals.
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _, _, transmission = heapq.heappop(self._in_flight)
+            packet = transmission.packet
+            destination = routers[packet.destination]
+            if packet.is_local:
+                destination.deliver_local(packet)
+            else:
+                destination.receive(packet)
+        # 7. Ejection to cores (delivery + closed-loop responses).
+        for router in routers:
+            router.drain_ejection(cycle, self._on_delivered)
+
+    def run(self, trace: Trace) -> PearlRunResult:
+        """Simulate warm-up plus measurement over a trace."""
+        sim = self.config.simulation
+        cursor = TraceCursor(trace)
+        for cycle in range(sim.warmup_cycles):
+            self.step(cycle, cursor)
+        self.stats.begin_measurement(sim.warmup_cycles)
+        for router in self.routers:
+            router.reset_power_stats()
+        self.memory.stats.busy_cycles = 0
+        for cycle in range(sim.warmup_cycles, sim.total_cycles):
+            self.step(cycle, cursor)
+        self.stats.finish(sim.total_cycles)
+        self._integrate_energy()
+        return self._result()
+
+    # -- accounting -----------------------------------------------------------------
+
+    def _integrate_energy(self) -> None:
+        from .photonic import PhotonicLinkModel
+
+        model = PhotonicLinkModel(self.config.optical, self.config.photonic)
+        cycle_s = (
+            1.0 / (self.config.architecture.network_frequency_ghz * 1e9)
+        )
+        laser = 0.0
+        trimming = 0.0
+        ml = 0.0
+        for router in self.routers:
+            laser += router.laser.energy_j * router.parallel_links
+            for state, cycles in router.laser.cycles_in_state.items():
+                trimming += (
+                    model.trimming_power_w(state)
+                    * cycles
+                    * cycle_s
+                    * router.parallel_links
+                )
+            ml += router.ml_energy_j
+        flits = self.stats.network_flits_delivered
+        self.stats.laser_energy_j = laser
+        self.stats.trimming_energy_j = trimming
+        self.stats.modulation_energy_j = (
+            model.modulation_energy_j_per_flit() * flits
+        )
+        self.stats.receiver_energy_j = (
+            model.receiver_energy_j_per_flit() * flits
+        )
+        self.stats.ml_energy_j = ml
+
+    def _result(self) -> PearlRunResult:
+        total_cycles = 0
+        per_state: Dict[int, int] = {
+            s: 0 for s in self.routers[0].ladder.states
+        }
+        stalls = 0
+        for router in self.routers:
+            for state, cycles in router.laser.cycles_in_state.items():
+                per_state[state] += cycles
+            total_cycles += router.laser.total_cycles()
+            stalls += router.laser.stall_cycles
+        residency = {
+            s: (c / total_cycles if total_cycles else 0.0)
+            for s, c in per_state.items()
+        }
+        predictions: List[float] = []
+        labels: List[float] = []
+        if self.power_policy is PowerPolicyKind.ML:
+            for router in self.routers:
+                if router.ml_scaler is not None:
+                    targets, preds = router.ml_scaler.aligned_history()
+                    labels.extend(targets.tolist())
+                    predictions.extend(preds.tolist())
+        return PearlRunResult(
+            stats=self.stats,
+            state_residency=residency,
+            mean_laser_power_w=self.stats.mean_laser_power_w(
+                self.config.architecture.network_frequency_ghz
+            ),
+            laser_stall_cycles=stalls,
+            ml_predictions=predictions,
+            ml_labels=labels,
+        )

@@ -1,0 +1,207 @@
+"""Packet and flit types for the PEARL and CMESH network simulators.
+
+Packets carry the metadata the PEARL controllers need:
+
+* ``core_type`` — CPU or GPU (drives the dynamic bandwidth allocator);
+* ``packet_class`` — request (asks for data) or response (carries data);
+* ``cache_level`` — which cache transaction produced the packet, one of
+  the eight categories that back ML features 14-29 of Table III.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Iterator, Optional
+
+
+@unique
+class CoreType(Enum):
+    """Which side of the heterogeneous chip generated the packet."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    @property
+    def other(self) -> "CoreType":
+        """The opposite core type."""
+        return CoreType.GPU if self is CoreType.CPU else CoreType.CPU
+
+
+@unique
+class PacketClass(Enum):
+    """Request packets ask for data; response packets carry data."""
+
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+@unique
+class CacheLevel(Enum):
+    """Cache transaction category (Table III features 14-29).
+
+    ``*_L2_UP`` means the packet is travelling from L2 up towards an L1;
+    ``*_L2_DOWN`` means from L2 down towards the L3.
+    """
+
+    CPU_L1_INSTR = "cpu_l1i"
+    CPU_L1_DATA = "cpu_l1d"
+    CPU_L2_UP = "cpu_l2_up"
+    CPU_L2_DOWN = "cpu_l2_down"
+    GPU_L1 = "gpu_l1"
+    GPU_L2_UP = "gpu_l2_up"
+    GPU_L2_DOWN = "gpu_l2_down"
+    L3 = "l3"
+
+    @property
+    def core_type(self) -> Optional[CoreType]:
+        """Core type implied by the cache level (None for the shared L3)."""
+        if self.value.startswith("cpu"):
+            return CoreType.CPU
+        if self.value.startswith("gpu"):
+            return CoreType.GPU
+        return None
+
+
+CPU_CACHE_LEVELS = (
+    CacheLevel.CPU_L1_INSTR,
+    CacheLevel.CPU_L1_DATA,
+    CacheLevel.CPU_L2_UP,
+    CacheLevel.CPU_L2_DOWN,
+)
+GPU_CACHE_LEVELS = (
+    CacheLevel.GPU_L1,
+    CacheLevel.GPU_L2_UP,
+    CacheLevel.GPU_L2_DOWN,
+)
+
+_packet_ids = itertools.count()
+
+
+def _next_packet_id() -> int:
+    return next(_packet_ids)
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    ``size_flits`` is the number of 128-bit flits: 1 for a request (header
+    only) and typically 5 for a response carrying a 64-byte cache line.
+    Timestamp fields are filled in by the simulator as the packet moves.
+    """
+
+    source: int
+    destination: int
+    core_type: CoreType
+    packet_class: PacketClass
+    cache_level: CacheLevel
+    size_flits: int = 1
+    created_cycle: int = 0
+    packet_id: int = field(default_factory=_next_packet_id)
+    injected_cycle: Optional[int] = None
+    received_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_flits <= 0:
+            raise ValueError("packet must contain at least one flit")
+        if self.created_cycle < 0:
+            raise ValueError("created_cycle cannot be negative")
+        implied = self.cache_level.core_type
+        if implied is not None and implied is not self.core_type:
+            raise ValueError(
+                f"cache level {self.cache_level.value} does not belong to "
+                f"core type {self.core_type.value}"
+            )
+
+    @property
+    def is_local(self) -> bool:
+        """True for intra-cluster traffic (L1<->L2 through the local
+        crossbar) that never touches the photonic link."""
+        return self.source == self.destination
+
+    @property
+    def is_request(self) -> bool:
+        """True when this packet asks for data."""
+        return self.packet_class is PacketClass.REQUEST
+
+    @property
+    def is_response(self) -> bool:
+        """True when this packet carries data."""
+        return self.packet_class is PacketClass.RESPONSE
+
+    @property
+    def size_bits(self) -> int:
+        """Payload size assuming 128-bit flits."""
+        return self.size_flits * 128
+
+    @property
+    def latency(self) -> Optional[int]:
+        """End-to-end latency in cycles, or None while still in flight."""
+        if self.received_cycle is None:
+            return None
+        return self.received_cycle - self.created_cycle
+
+    def flits(self) -> Iterator["Flit"]:
+        """Decompose the packet into flits (used by the CMESH baseline)."""
+        for i in range(self.size_flits):
+            yield Flit(
+                packet=self,
+                index=i,
+                is_head=(i == 0),
+                is_tail=(i == self.size_flits - 1),
+            )
+
+
+@dataclass
+class Flit:
+    """One 128-bit slice of a packet (wormhole switching unit)."""
+
+    packet: Packet
+    index: int
+    is_head: bool
+    is_tail: bool
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.packet.size_flits:
+            raise ValueError("flit index outside its packet")
+
+
+def make_request(
+    source: int,
+    destination: int,
+    core_type: CoreType,
+    cache_level: CacheLevel,
+    cycle: int = 0,
+) -> Packet:
+    """Convenience constructor for a 1-flit request packet."""
+    return Packet(
+        source=source,
+        destination=destination,
+        core_type=core_type,
+        packet_class=PacketClass.REQUEST,
+        cache_level=cache_level,
+        size_flits=1,
+        created_cycle=cycle,
+    )
+
+
+def make_response(
+    source: int,
+    destination: int,
+    core_type: CoreType,
+    cache_level: CacheLevel,
+    cycle: int = 0,
+    size_flits: int = 5,
+) -> Packet:
+    """Convenience constructor for a data-bearing response packet."""
+    return Packet(
+        source=source,
+        destination=destination,
+        core_type=core_type,
+        packet_class=PacketClass.RESPONSE,
+        cache_level=cache_level,
+        size_flits=size_flits,
+        created_cycle=cycle,
+    )

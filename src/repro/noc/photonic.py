@@ -1,0 +1,106 @@
+"""Physical-layer photonic link model (Sec. III-A1, Table V).
+
+Derives the per-wavelength laser output required by the worst-case loss
+budget and the receiver sensitivity, the wall-plug electrical power of
+the on-chip laser, and the per-bit modulation / ring-heating / receiver
+energies that feed the energy-per-bit results (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import OpticalConfig, PhotonicConfig
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert milliwatts to dBm."""
+    if mw <= 0:
+        raise ValueError("power must be positive to express in dBm")
+    import math
+
+    return 10.0 * math.log10(mw)
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """The optical power budget of one SWMR data link."""
+
+    loss_db: float
+    receiver_sensitivity_dbm: float
+    margin_db: float = 3.0
+
+    @property
+    def required_output_dbm(self) -> float:
+        """Per-wavelength laser output at the source (dBm)."""
+        return self.receiver_sensitivity_dbm + self.loss_db + self.margin_db
+
+    @property
+    def required_output_mw(self) -> float:
+        """Per-wavelength laser output at the source (mW)."""
+        return dbm_to_mw(self.required_output_dbm)
+
+
+class PhotonicLinkModel:
+    """Wall-plug power and per-bit energy of a PEARL photonic link."""
+
+    def __init__(
+        self,
+        optical: OpticalConfig,
+        photonic: PhotonicConfig,
+    ) -> None:
+        self.optical = optical
+        self.photonic = photonic
+        self.budget = LinkBudget(
+            loss_db=optical.link_loss_db(),
+            receiver_sensitivity_dbm=optical.receiver_sensitivity_dbm,
+        )
+
+    def laser_electrical_power_w(self, wavelengths: int) -> float:
+        """Wall-plug laser power for ``wavelengths`` active channels.
+
+        Optical output per wavelength comes from the link budget; the
+        electrical draw divides by the wall-plug efficiency.
+        """
+        if wavelengths <= 0:
+            raise ValueError("wavelengths must be positive")
+        optical_w = self.budget.required_output_mw * 1e-3 * wavelengths
+        return optical_w / self.optical.laser_wall_plug_efficiency
+
+    def trimming_power_w(self, wavelengths: int) -> float:
+        """Ring-heater power for the active banks (scales with state).
+
+        PEARL's four-bank design lets trimming power scale down with the
+        laser (Sec. III-C): only the rings of powered banks are heated,
+        on both the modulator and receiver sides.
+        """
+        rings = 2 * wavelengths
+        return rings * self.optical.ring_heating_w
+
+    def modulation_energy_j_per_flit(self, flit_bits: int = 128) -> float:
+        """Ring-modulator energy to serialize one flit.
+
+        The 500 uW modulating power at 16 Gbit/s per ring amounts to
+        ``P / rate`` joules per bit.
+        """
+        per_bit = self.optical.ring_modulating_w / (
+            self.photonic.data_rate_gbps_per_wl * 1e9
+        )
+        return per_bit * flit_bits
+
+    def receiver_energy_j_per_flit(
+        self, flit_bits: int = 128, pj_per_bit: float = 0.1
+    ) -> float:
+        """Photodetector + TIA + amplifier energy per received flit."""
+        return pj_per_bit * 1e-12 * flit_bits
+
+    def static_power_w(self, wavelengths: int) -> float:
+        """Laser plus trimming power at a given wavelength state."""
+        return self.laser_electrical_power_w(wavelengths) + self.trimming_power_w(
+            wavelengths
+        )

@@ -1,0 +1,69 @@
+"""Shared closed-loop response generation.
+
+All three network models (PEARL R-SWMR, token-MWSR, CMESH) answer
+delivered requests the same way: the L3 bank serves after a hit/miss
+latency (misses queue at the memory controllers), peer clusters forward
+after a small fixed latency, and local L2s answer intra-cluster
+requests.  This module centralises that policy so baselines stay
+comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..cache.memory import MemoryController
+from .network import ResponderConfig
+from .packet import CacheLevel, CoreType, Packet, PacketClass
+
+
+def build_response(
+    request: Packet,
+    cycle: int,
+    config: ResponderConfig,
+    rng: np.random.Generator,
+    memory: MemoryController,
+    l3_router_id: int,
+    line_bytes: int = 64,
+) -> Tuple[int, Packet]:
+    """The (ready_cycle, response packet) for a delivered request."""
+    if request.destination == l3_router_id:
+        miss_rate = (
+            config.cpu_l3_miss_rate
+            if request.core_type is CoreType.CPU
+            else config.gpu_l3_miss_rate
+        )
+        ready = cycle + config.l3_hit_latency
+        if rng.random() < miss_rate:
+            line = request.source * 131 + request.created_cycle
+            ready = memory.request(line * line_bytes, ready)
+        level = CacheLevel.L3
+        source = l3_router_id
+    elif request.is_local:
+        ready = cycle + config.local_l2_latency
+        level = (
+            CacheLevel.CPU_L2_UP
+            if request.core_type is CoreType.CPU
+            else CacheLevel.GPU_L2_UP
+        )
+        source = request.destination
+    else:
+        ready = cycle + config.peer_latency
+        level = (
+            CacheLevel.CPU_L2_UP
+            if request.core_type is CoreType.CPU
+            else CacheLevel.GPU_L2_UP
+        )
+        source = request.destination
+    response = Packet(
+        source=source,
+        destination=request.source,
+        core_type=request.core_type,
+        packet_class=PacketClass.RESPONSE,
+        cache_level=level,
+        size_flits=1 if request.is_local else config.response_flits,
+        created_cycle=ready,
+    )
+    return ready, response

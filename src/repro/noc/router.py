@@ -1,0 +1,350 @@
+"""The PEARL router microarchitecture (Fig. 2).
+
+Each cluster router owns:
+
+* CPU/GPU-partitioned input buffers fed by the local cores;
+* a per-cycle dynamic bandwidth allocator (or the FCFS fallback);
+* one R-SWMR data waveguide driven by its laser bank, with independent
+  CPU and GPU transmit engines so both core types can transmit
+  simultaneously on their allocated wavelength shares;
+* a local crossbar path for intra-cluster L1<->L2 packets that never
+  touch the photonic link;
+* ejection buffers toward the cores (their occupancy backs ML features
+  3 and 5);
+* a power-scaling policy (static / reactive / ML / random) driving the
+  laser bank at reservation-window boundaries.
+
+The L3 router is the same structure with ``parallel_links`` > 1 — the
+banked L3 drives several SWMR waveguides so it can source cache-line
+responses for all sixteen clusters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..config import PearlConfig
+from ..core.dba import DynamicBandwidthAllocator, FCFSAllocator
+from ..core.ml_scaling import MLPowerScaler
+from ..core.power_scaling import LaserBank, ReactivePowerScaler, StaticPowerPolicy
+from ..core.wavelength import WavelengthLadder
+from ..ml.features import FeatureCollector
+from .buffer import InputBuffer, PartitionedBuffer
+from .packet import CoreType, Packet
+
+#: Pipeline overhead outside serialization: reservation broadcast, E/O,
+#: waveguide propagation and O/E + buffer write (Sec. III-A3).
+PIPELINE_OVERHEAD_CYCLES = 4
+
+#: Latency of the local (intra-cluster) crossbar path.
+LOCAL_CROSSBAR_CYCLES = 2
+
+#: Energy of one ML inference (Sec. IV-B, Synopsys estimate).
+ML_INFERENCE_ENERGY_J = 44.6e-12
+
+#: Packets the cores can drain from an ejection buffer per cycle.
+EJECTION_DRAIN_PER_CYCLE = 2
+
+#: Ejection buffer capacity in slots.
+EJECTION_SLOTS = 64
+
+
+@unique
+class PowerPolicyKind(Enum):
+    """Which wavelength-state controller a router runs."""
+
+    STATIC = "static"
+    REACTIVE = "reactive"
+    ADAPTIVE = "adaptive"
+    ML = "ml"
+    RANDOM = "random"
+
+
+@dataclass
+class Transmission:
+    """A packet in flight on the photonic (or local) path."""
+
+    packet: Packet
+    arrival_cycle: int
+    source_router: int
+
+
+class _TransmitEngine:
+    """One core type's serializer on one link slice."""
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+
+    def is_free(self, cycle: int) -> bool:
+        return cycle >= self.busy_until
+
+
+class PearlRouter:
+    """One PEARL router plus its share of the photonic crossbar."""
+
+    def __init__(
+        self,
+        router_id: int,
+        config: PearlConfig,
+        policy_kind: PowerPolicyKind,
+        use_dynamic_bandwidth: bool = True,
+        static_state: Optional[int] = None,
+        ml_scaler: Optional[MLPowerScaler] = None,
+        parallel_links: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if parallel_links <= 0:
+            raise ValueError("parallel_links must be positive")
+        self.router_id = router_id
+        self.config = config
+        self.is_l3 = router_id == config.architecture.l3_router_id
+        self.parallel_links = parallel_links
+        self.ladder = WavelengthLadder(config.photonic)
+
+        self.buffers = PartitionedBuffer(
+            config.dba.cpu_buffer_slots,
+            config.dba.gpu_buffer_slots,
+            name=f"r{router_id}",
+        )
+        self.ejection = {
+            CoreType.CPU: InputBuffer(EJECTION_SLOTS, name=f"r{router_id}/ej-cpu"),
+            CoreType.GPU: InputBuffer(EJECTION_SLOTS, name=f"r{router_id}/ej-gpu"),
+        }
+        self._ejection_backlog: List[Packet] = []
+
+        if use_dynamic_bandwidth:
+            self.dba = DynamicBandwidthAllocator(config.dba)
+        else:
+            self.dba = FCFSAllocator(config.dba)
+
+        self.laser = LaserBank(
+            config.photonic,
+            network_frequency_ghz=config.architecture.network_frequency_ghz,
+            initial_state=static_state,
+        )
+        self.policy_kind = policy_kind
+        self.features = FeatureCollector(is_l3_router=self.is_l3)
+        self._rng = rng or np.random.default_rng(router_id + 7)
+
+        self.reactive: Optional[ReactivePowerScaler] = None
+        self.ml_scaler: Optional[MLPowerScaler] = None
+        self.static_policy: Optional[StaticPowerPolicy] = None
+        if policy_kind is PowerPolicyKind.REACTIVE:
+            self.reactive = ReactivePowerScaler(
+                config.power_scaling, self.ladder, router_id=router_id
+            )
+        elif policy_kind is PowerPolicyKind.ADAPTIVE:
+            from ..core.adaptive import AdaptiveReactiveScaler
+
+            self.reactive = AdaptiveReactiveScaler(
+                config.power_scaling, self.ladder, router_id=router_id
+            )
+        elif policy_kind is PowerPolicyKind.ML:
+            if ml_scaler is None:
+                raise ValueError("ML policy requires a fitted MLPowerScaler")
+            self.ml_scaler = ml_scaler
+        elif policy_kind is PowerPolicyKind.STATIC:
+            self.static_policy = StaticPowerPolicy(
+                static_state or self.ladder.max_state, self.ladder
+            )
+        # RANDOM policy uses the window cadence of the reactive config.
+        self._window = config.power_scaling.reservation_window
+        self._offset = (
+            router_id * config.power_scaling.router_stagger_cycles
+        ) % max(self._window, 1)
+
+        # Transmit engines: per link slice, one per core type.
+        self._engines = {
+            CoreType.CPU: [_TransmitEngine() for _ in range(parallel_links)],
+            CoreType.GPU: [_TransmitEngine() for _ in range(parallel_links)],
+        }
+        self._local_engine = _TransmitEngine()
+        self.ml_energy_j = 0.0
+        self.reservations_sent = 0
+        # Hook set by the network: called with (features, label) pairs
+        # when running in dataset-collection mode.
+        self.collection_hook: Optional[Callable[[np.ndarray, float], None]] = None
+        self._prev_features: Optional[np.ndarray] = None
+
+    # -- injection / ejection ------------------------------------------------
+
+    def can_inject(self, packet: Packet) -> bool:
+        """Whether the core-side input buffer has room."""
+        return self.buffers.can_accept(packet)
+
+    def inject(self, packet: Packet, cycle: int) -> None:
+        """A local core hands a packet to the router."""
+        packet.injected_cycle = cycle
+        self.buffers.push(packet)
+        self.features.on_injected(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """A packet arrives from the photonic link (O/E complete)."""
+        self.features.on_received(packet)
+        self._push_ejection(packet)
+
+    def deliver_local(self, packet: Packet) -> None:
+        """A local-crossbar packet reaches the cores."""
+        self._push_ejection(packet)
+
+    def _push_ejection(self, packet: Packet) -> None:
+        pool = self.ejection[packet.core_type]
+        if pool.can_accept(packet):
+            pool.push(packet)
+        else:
+            self._ejection_backlog.append(packet)
+
+    def drain_ejection(self, cycle: int, on_delivered) -> None:
+        """Cores consume up to a fixed number of packets per cycle."""
+        # Retry backlogged arrivals first.
+        if self._ejection_backlog:
+            remaining: List[Packet] = []
+            for packet in self._ejection_backlog:
+                pool = self.ejection[packet.core_type]
+                if pool.can_accept(packet):
+                    pool.push(packet)
+                else:
+                    remaining.append(packet)
+            self._ejection_backlog = remaining
+        for pool in self.ejection.values():
+            for _ in range(EJECTION_DRAIN_PER_CYCLE):
+                if pool.is_empty:
+                    break
+                packet = pool.pop()
+                self.features.on_delivered_to_core(packet)
+                on_delivered(packet, cycle)
+
+    # -- per-cycle operation ---------------------------------------------------
+
+    def window_boundary(self, cycle: int) -> bool:
+        """True on this router's staggered reservation-window boundary."""
+        if self.policy_kind is PowerPolicyKind.STATIC:
+            # Static routers still close windows for feature collection.
+            return (cycle - self._offset) % self._window == 0
+        if self.reactive is not None:  # REACTIVE and ADAPTIVE policies
+            return self.reactive.window_boundary(cycle)
+        if self.policy_kind is PowerPolicyKind.ML:
+            assert self.ml_scaler is not None
+            return self.ml_scaler.window_boundary(cycle)
+        return (cycle - self._offset) % self._window == 0
+
+    def close_window(self, cycle: int) -> None:
+        """Reservation-window boundary: pick the next wavelength state."""
+        label = float(self.features.network_injected_this_window)
+        snapshot = self.features.snapshot(self.laser.state)
+        if self.collection_hook is not None and self._prev_features is not None:
+            self.collection_hook(self._prev_features, label)
+        self._prev_features = snapshot
+
+        if self.reactive is not None:  # REACTIVE and ADAPTIVE policies
+            self.laser.request_state(self.reactive.close_window())
+        elif self.policy_kind is PowerPolicyKind.ML:
+            assert self.ml_scaler is not None
+            self.ml_scaler.record_label(int(label))
+            state = self.ml_scaler.decide(snapshot)
+            self.laser.request_state(state)
+            self.ml_energy_j += ML_INFERENCE_ENERGY_J
+        elif self.policy_kind is PowerPolicyKind.RANDOM:
+            states = self.ladder.states_without_lowest()
+            state = int(self._rng.choice(states))
+            self.laser.request_state(state)
+        # STATIC: nothing to decide.
+
+    def tick_control(self, cycle: int) -> None:
+        """Per-cycle bookkeeping: occupancies, scalers, laser power."""
+        occupancy = self.buffers.combined_occupancy
+        if self.reactive is not None:
+            self.reactive.observe(occupancy)
+        self.features.observe_occupancies(
+            cpu_core=self.buffers.cpu_occupancy,
+            cpu_other=self.ejection[CoreType.CPU].occupancy,
+            gpu_core=self.buffers.gpu_occupancy,
+            gpu_other=self.ejection[CoreType.GPU].occupancy,
+        )
+        if self.window_boundary(cycle):
+            self.close_window(cycle)
+        self.laser.tick()
+
+    def transmit(self, cycle: int) -> List[Transmission]:
+        """Dispatch head packets onto the local and photonic paths."""
+        started: List[Transmission] = []
+        allocation = self.dba.allocate_from_buffers(self.buffers)
+        link_busy = False
+        for core_type in (CoreType.CPU, CoreType.GPU):
+            pool = self.buffers.pool(core_type)
+            fraction = allocation.fraction(core_type)
+            engines = self._engines[core_type]
+            while not pool.is_empty:
+                head = pool.peek()
+                assert head is not None
+                if head.is_local:
+                    if not self._local_engine.is_free(cycle):
+                        break
+                    pool.pop()
+                    self._local_engine.busy_until = cycle + 1
+                    started.append(
+                        Transmission(
+                            packet=head,
+                            arrival_cycle=cycle + LOCAL_CROSSBAR_CYCLES,
+                            source_router=self.router_id,
+                        )
+                    )
+                    continue
+                if fraction <= 0.0 or not self.laser.can_transmit:
+                    break
+                engine = next(
+                    (e for e in engines if e.is_free(cycle)), None
+                )
+                if engine is None:
+                    break
+                pool.pop()
+                serialize = int(
+                    math.ceil(
+                        self.ladder.serialization_cycles(self.laser.state)
+                        * head.size_flits
+                        / fraction
+                    )
+                )
+                engine.busy_until = cycle + serialize
+                self.reservations_sent += 1
+                started.append(
+                    Transmission(
+                        packet=head,
+                        arrival_cycle=cycle
+                        + serialize
+                        + PIPELINE_OVERHEAD_CYCLES,
+                        source_router=self.router_id,
+                    )
+                )
+                link_busy = True
+        if not link_busy:
+            link_busy = any(
+                not engine.is_free(cycle)
+                for engines in self._engines.values()
+                for engine in engines
+            )
+        self.features.observe_link(link_busy)
+        self._link_busy_this_cycle = link_busy
+        return started
+
+    @property
+    def link_busy(self) -> bool:
+        """Whether any transmit engine was busy last cycle."""
+        return getattr(self, "_link_busy_this_cycle", False)
+
+    def reset_power_stats(self) -> None:
+        """Clear laser/ML energy integrals (warm-up boundary)."""
+        self.laser.cycles_in_state = {
+            s: 0 for s in self.ladder.states
+        }
+        self.laser.energy_j = 0.0
+        self.laser.stall_cycles = 0
+        self.laser.transitions = 0
+        self.ml_energy_j = 0.0

@@ -1,0 +1,235 @@
+"""Microring thermal model and heater feedback control (Sec. III-A1).
+
+Microring resonators drift with temperature (~0.1 nm/K); PEARL keeps
+them on-wavelength with ring heaters (Table V: 26 uW/ring).  This
+module models that loop:
+
+* :class:`RingThermalModel` — first-order thermal RC: ring temperature
+  relaxes toward ambient plus self-heating from modulation activity;
+* :class:`HeaterController` — per-ring bang-bang/proportional heater
+  that injects just enough power to hold the resonance at its locked
+  temperature, so trimming power *falls* when neighbouring activity
+  heats the ring for free;
+* :class:`ThermalTrimmingModel` — aggregates heater power across a
+  router's ring banks, replacing the constant 26 uW/ring figure with an
+  activity-dependent one (PEARL's four-bank design powers heaters only
+  for the banks whose lasers are lit).
+
+The model is deliberately lumped (one node per ring) — the goal is the
+power bookkeeping and the drift/misalignment failure mode, not FEM
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import OpticalConfig
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Lumped thermal constants for one microring."""
+
+    #: Resonance drift per Kelvin (nm/K); silicon rings ~0.1 nm/K.
+    drift_nm_per_k: float = 0.1
+    #: Channel spacing; drift beyond half of it breaks the link (nm).
+    channel_spacing_nm: float = 0.8
+    #: Thermal time constant in network cycles (us-scale at 2 GHz).
+    time_constant_cycles: float = 2_000.0
+    #: Steady-state self-heating at 100% modulation activity (K).
+    self_heating_k: float = 4.0
+    #: Heater's maximum achievable temperature lift (K).
+    heater_range_k: float = 20.0
+    #: Electrical power for the full heater range (W).
+    heater_full_power_w: float = 52e-6  # 2x the Table V per-ring figure
+
+    def __post_init__(self) -> None:
+        if self.time_constant_cycles <= 0:
+            raise ValueError("time constant must be positive")
+        if self.heater_range_k <= 0 or self.heater_full_power_w <= 0:
+            raise ValueError("heater parameters must be positive")
+
+
+class RingThermalModel:
+    """First-order thermal state of one ring.
+
+    ``step`` advances one (or more) cycles with a given modulation
+    activity in [0, 1] and heater power fraction in [0, 1]; temperature
+    relaxes exponentially toward the implied steady state.
+    """
+
+    def __init__(
+        self,
+        params: Optional[ThermalParams] = None,
+        ambient_k: float = 350.0,
+    ) -> None:
+        self.params = params or ThermalParams()
+        self.ambient_k = ambient_k
+        self.temperature_k = ambient_k
+
+    def steady_state_k(self, activity: float, heater_fraction: float) -> float:
+        """Equilibrium temperature for constant inputs."""
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        if not 0.0 <= heater_fraction <= 1.0:
+            raise ValueError("heater_fraction must be in [0, 1]")
+        return (
+            self.ambient_k
+            + activity * self.params.self_heating_k
+            + heater_fraction * self.params.heater_range_k
+        )
+
+    def step(
+        self, activity: float, heater_fraction: float, cycles: int = 1
+    ) -> float:
+        """Advance ``cycles`` network cycles; returns the temperature."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        import math
+
+        target = self.steady_state_k(activity, heater_fraction)
+        decay = math.exp(-cycles / self.params.time_constant_cycles)
+        self.temperature_k = target + (self.temperature_k - target) * decay
+        return self.temperature_k
+
+    def drift_nm(self, locked_temperature_k: float) -> float:
+        """Resonance drift away from the locked point (signed, nm)."""
+        return (
+            self.temperature_k - locked_temperature_k
+        ) * self.params.drift_nm_per_k
+
+    def is_aligned(self, locked_temperature_k: float) -> bool:
+        """Whether the ring still resolves its channel."""
+        return (
+            abs(self.drift_nm(locked_temperature_k))
+            < self.params.channel_spacing_nm / 2
+        )
+
+
+class HeaterController:
+    """Proportional heater loop holding a ring at its locked point.
+
+    The lock temperature is chosen *above* worst-case ambient+activity
+    so the heater always has authority; when modulation activity heats
+    the ring for free, the controller backs the heater off and trimming
+    power drops — the effect PEARL's bank gating exploits.
+    """
+
+    def __init__(
+        self,
+        ring: RingThermalModel,
+        locked_temperature_k: Optional[float] = None,
+        gain: float = 0.5,
+    ) -> None:
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        self.ring = ring
+        self.locked_temperature_k = (
+            locked_temperature_k
+            if locked_temperature_k is not None
+            else ring.ambient_k + ring.params.self_heating_k + 2.0
+        )
+        self.gain = gain
+        self._heater_fraction = (
+            (self.locked_temperature_k - ring.ambient_k)
+            / ring.params.heater_range_k
+        )
+        self._heater_fraction = min(max(self._heater_fraction, 0.0), 1.0)
+        self.energy_j = 0.0
+
+    @property
+    def heater_fraction(self) -> float:
+        """Current heater drive in [0, 1]."""
+        return self._heater_fraction
+
+    def heater_power_w(self) -> float:
+        """Instantaneous electrical heater power."""
+        return self._heater_fraction * self.ring.params.heater_full_power_w
+
+    def step(self, activity: float, cycles: int = 1, cycle_s: float = 0.5e-9) -> float:
+        """Advance the loop; returns the ring temperature."""
+        error = self.locked_temperature_k - self.ring.temperature_k
+        adjust = self.gain * error / self.ring.params.heater_range_k
+        self._heater_fraction = min(
+            max(self._heater_fraction + adjust, 0.0), 1.0
+        )
+        temperature = self.ring.step(activity, self._heater_fraction, cycles)
+        self.energy_j += self.heater_power_w() * cycles * cycle_s
+        return temperature
+
+    def is_locked(self) -> bool:
+        """Whether the ring currently resolves its channel."""
+        return self.ring.is_aligned(self.locked_temperature_k)
+
+
+class ThermalTrimmingModel:
+    """Activity-dependent trimming power for one router's ring banks.
+
+    PEARL's four-bank layout heats only the banks whose lasers are on
+    (Sec. III-C).  One controller per bank (rings in a bank are assumed
+    thermally similar); ``step`` advances every powered bank with its
+    bank-level activity and returns the total trimming power.
+    """
+
+    def __init__(
+        self,
+        num_banks: int = 4,
+        rings_per_bank: int = 32,  # 16 modulators + 16 receivers
+        params: Optional[ThermalParams] = None,
+        optical: Optional[OpticalConfig] = None,
+    ) -> None:
+        if num_banks <= 0 or rings_per_bank <= 0:
+            raise ValueError("bank geometry must be positive")
+        self.num_banks = num_banks
+        self.rings_per_bank = rings_per_bank
+        self.params = params or ThermalParams()
+        self.optical = optical or OpticalConfig()
+        self.controllers: List[HeaterController] = [
+            HeaterController(RingThermalModel(self.params))
+            for _ in range(num_banks)
+        ]
+        self._last_powered = num_banks
+
+    def banks_powered(self, wavelengths: int, max_wavelengths: int = 64) -> int:
+        """How many banks the active wavelength state keeps lit."""
+        if wavelengths <= 0:
+            return 0
+        per_bank = max_wavelengths // self.num_banks
+        return min(
+            self.num_banks, max(1, -(-wavelengths // per_bank))
+        )
+
+    def step(
+        self, wavelengths: int, activity: float, cycles: int = 1
+    ) -> float:
+        """Advance one step; returns total trimming power (W)."""
+        powered = self.banks_powered(wavelengths)
+        self._last_powered = powered
+        total = 0.0
+        for index, controller in enumerate(self.controllers):
+            if index < powered:
+                controller.step(activity, cycles)
+                total += controller.heater_power_w() * self.rings_per_bank
+            else:
+                # Unpowered banks: heater off, ring relaxes to ambient.
+                controller.ring.step(0.0, 0.0, cycles)
+        return total
+
+    def all_locked(self) -> bool:
+        """Whether every *powered* bank's rings resolve their channels.
+
+        Unpowered banks are allowed to drift — their lasers are off, so
+        misalignment is harmless until they are re-lit (and the laser
+        turn-on dark time covers the re-lock).
+        """
+        return all(
+            c.is_locked() for c in self.controllers[: self._last_powered]
+        )
+
+    def total_energy_j(self) -> float:
+        """Heater energy integrated across banks (per-ring scaled)."""
+        return sum(
+            c.energy_j * self.rings_per_bank for c in self.controllers
+        )

@@ -1,0 +1,155 @@
+"""Physical floorplan of the PEARL chip (Fig. 1b) and link geometry.
+
+The sixteen clusters sit in a 4x4 checkerboard with the L3 cache and
+memory controllers in the centre spine.  Each router drives one SWMR
+data waveguide that snakes past every other router; the waveguide
+length to the *farthest* reader sets the worst-case optical loss and
+therefore the per-wavelength laser power (the laser must close the
+link to any destination, since SWMR readers are selected per packet).
+
+Cluster dimensions follow Table II: ~25 mm^2 cluster + 2.1 mm^2 L2
+gives a ~5.2 mm tile pitch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import ArchitectureConfig, AreaConfig, OpticalConfig
+from .photonic import LinkBudget
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A router's position on the die (mm, tile centres)."""
+
+    router_id: int
+    x_mm: float
+    y_mm: float
+
+    def manhattan_mm(self, other: "Placement") -> float:
+        """Waveguides route rectilinearly, so Manhattan distance."""
+        return abs(self.x_mm - other.x_mm) + abs(self.y_mm - other.y_mm)
+
+
+class ChipFloorplan:
+    """Tile placement for the 4x4 cluster grid plus the centre L3."""
+
+    def __init__(
+        self,
+        architecture: ArchitectureConfig = ArchitectureConfig(),
+        area: AreaConfig = AreaConfig(),
+        grid_width: int = 4,
+    ) -> None:
+        if grid_width <= 0:
+            raise ValueError("grid_width must be positive")
+        clusters = architecture.num_clusters
+        if clusters % grid_width != 0:
+            raise ValueError("clusters must fill the grid evenly")
+        self.architecture = architecture
+        self.grid_width = grid_width
+        self.grid_height = clusters // grid_width
+        tile_mm2 = area.cluster_mm2 + area.l2_per_cluster_mm2
+        self.tile_pitch_mm = math.sqrt(tile_mm2)
+        self._placements: List[Placement] = []
+        for router_id in range(clusters):
+            gx = router_id % grid_width
+            gy = router_id // grid_width
+            self._placements.append(
+                Placement(
+                    router_id=router_id,
+                    x_mm=(gx + 0.5) * self.tile_pitch_mm,
+                    y_mm=(gy + 0.5) * self.tile_pitch_mm,
+                )
+            )
+        # The L3 router sits at the die centre (Fig. 1b spine).
+        self._placements.append(
+            Placement(
+                router_id=architecture.l3_router_id,
+                x_mm=self.grid_width * self.tile_pitch_mm / 2,
+                y_mm=self.grid_height * self.tile_pitch_mm / 2,
+            )
+        )
+
+    def placement(self, router_id: int) -> Placement:
+        """Placement of a router by id."""
+        return self._placements[router_id]
+
+    @property
+    def die_width_mm(self) -> float:
+        """Die width implied by the tile grid."""
+        return self.grid_width * self.tile_pitch_mm
+
+    @property
+    def die_height_mm(self) -> float:
+        """Die height implied by the tile grid."""
+        return self.grid_height * self.tile_pitch_mm
+
+    def link_length_mm(self, source: int, destination: int) -> float:
+        """Rectilinear waveguide length between two routers."""
+        return self.placement(source).manhattan_mm(
+            self.placement(destination)
+        )
+
+    def worst_case_link_mm(self, source: int) -> float:
+        """Length to the farthest reader of ``source``'s waveguide."""
+        src = self.placement(source)
+        return max(
+            src.manhattan_mm(p)
+            for p in self._placements
+            if p.router_id != source
+        )
+
+    def all_link_lengths(self) -> Dict[Tuple[int, int], float]:
+        """Every directed (source, destination) length in mm."""
+        out: Dict[Tuple[int, int], float] = {}
+        for a in self._placements:
+            for b in self._placements:
+                if a.router_id != b.router_id:
+                    out[(a.router_id, b.router_id)] = a.manhattan_mm(b)
+        return out
+
+    def propagation_cycles(
+        self,
+        source: int,
+        destination: int,
+        ps_per_mm: float = 10.45,
+        network_frequency_ghz: float = 2.0,
+    ) -> int:
+        """Waveguide propagation delay in whole network cycles.
+
+        The paper's silicon waveguides propagate at 10.45 ps/mm; a
+        2 GHz cycle is 500 ps, so even corner-to-corner stays within
+        one cycle on this die.
+        """
+        delay_ps = self.link_length_mm(source, destination) * ps_per_mm
+        cycle_ps = 1_000.0 / network_frequency_ghz
+        return max(1, math.ceil(delay_ps / cycle_ps))
+
+
+def per_router_link_budget(
+    floorplan: ChipFloorplan,
+    optical: OpticalConfig = OpticalConfig(),
+    source: int = 0,
+) -> LinkBudget:
+    """Worst-case loss budget for one router's SWMR waveguide.
+
+    Replaces the flat ``waveguide_length_cm`` of Table V's budget with
+    the floorplan's farthest-reader distance for this source.
+    """
+    length_cm = floorplan.worst_case_link_mm(source) / 10.0
+    loss_db = (
+        optical.modulator_insertion_db
+        + optical.waveguide_db_per_cm * length_cm
+        + optical.coupler_db
+        + optical.splitter_db
+        + optical.filter_through_db * optical.rings_passed_through
+        + optical.filter_drop_db
+        + optical.photodetector_db
+    )
+    return LinkBudget(
+        loss_db=loss_db,
+        receiver_sensitivity_dbm=optical.receiver_sensitivity_dbm,
+    )

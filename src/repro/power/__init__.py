@@ -1,0 +1,26 @@
+"""Power and area accounting: optical budget, ML overhead, energy/bit."""
+
+from .electrical import (
+    ElectricalParams,
+    derive_config,
+    link_energy_pj_per_flit,
+    router_energy_pj_per_flit,
+    static_power_w_per_router,
+)
+from .area import area_table, chip_area_mm2, control_overhead_fraction
+from .energy import EnergyBreakdown, energy_per_bit_pj
+from .ml_overhead import MLHardwareModel
+
+__all__ = [
+    "ElectricalParams",
+    "EnergyBreakdown",
+    "MLHardwareModel",
+    "area_table",
+    "chip_area_mm2",
+    "control_overhead_fraction",
+    "derive_config",
+    "energy_per_bit_pj",
+    "link_energy_pj_per_flit",
+    "router_energy_pj_per_flit",
+    "static_power_w_per_router",
+]

@@ -1,0 +1,49 @@
+"""Chip-area accounting (Table II).
+
+Reproduces the paper's area-overhead table and provides simple derived
+totals, including the overhead fractions of the dynamic-allocation and
+ML hardware that the paper uses to argue the techniques are cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import ArchitectureConfig, AreaConfig
+
+
+def area_table(area: AreaConfig = AreaConfig()) -> Dict[str, float]:
+    """Table II as a name -> mm^2 (or um) mapping, paper order."""
+    return {
+        "Cluster (CPU, GPU and L1 cache)": area.cluster_mm2,
+        "L2 Cache per Cluster": area.l2_per_cluster_mm2,
+        "Optical Components (MRRs and Waveguides)": area.optical_components_mm2,
+        "Waveguide Width (um)": area.waveguide_width_um,
+        "MRR Diameter (um)": area.mrr_diameter_um,
+        "L3 Cache": area.l3_cache_mm2,
+        "Router": area.router_mm2,
+        "On-Chip laser per router": area.laser_per_router_mm2,
+        "Dynamic Allocation": area.dynamic_allocation_mm2,
+        "Machine Learning": area.machine_learning_mm2,
+    }
+
+
+def chip_area_mm2(
+    area: AreaConfig = AreaConfig(),
+    architecture: ArchitectureConfig = ArchitectureConfig(),
+) -> float:
+    """Total chip area for the configured cluster count."""
+    return area.total_mm2(architecture.num_clusters)
+
+
+def control_overhead_fraction(
+    area: AreaConfig = AreaConfig(),
+    architecture: ArchitectureConfig = ArchitectureConfig(),
+) -> float:
+    """Area fraction spent on the DBA + ML control hardware.
+
+    The paper's point: reconfiguration control costs well under 1% of
+    the chip.
+    """
+    control = area.dynamic_allocation_mm2 + area.machine_learning_mm2
+    return control / chip_area_mm2(area, architecture)

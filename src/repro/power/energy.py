@@ -1,0 +1,75 @@
+"""Energy-per-bit bookkeeping shared by the Fig. 5 comparison.
+
+Pulls together the photonic-side energies (laser, trimming, modulation,
+receiver, ML) and the electrical-side energies (CMESH router/link/
+static) into a uniform per-bit breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..noc.stats import NetworkStats
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component energy of one run, in joules."""
+
+    laser_j: float = 0.0
+    trimming_j: float = 0.0
+    modulation_j: float = 0.0
+    receiver_j: float = 0.0
+    ml_j: float = 0.0
+    electrical_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        """Sum of all components."""
+        return (
+            self.laser_j
+            + self.trimming_j
+            + self.modulation_j
+            + self.receiver_j
+            + self.ml_j
+            + self.electrical_j
+        )
+
+    def per_bit_pj(self, bits: int) -> float:
+        """Total energy per delivered bit (picojoules)."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        return self.total_j / bits * 1e12
+
+    def as_dict(self) -> Dict[str, float]:
+        """Component map (for reports)."""
+        return {
+            "laser_j": self.laser_j,
+            "trimming_j": self.trimming_j,
+            "modulation_j": self.modulation_j,
+            "receiver_j": self.receiver_j,
+            "ml_j": self.ml_j,
+            "electrical_j": self.electrical_j,
+            "total_j": self.total_j,
+        }
+
+    @classmethod
+    def from_stats(cls, stats: NetworkStats) -> "EnergyBreakdown":
+        """Extract the breakdown a simulator integrated into its stats."""
+        return cls(
+            laser_j=stats.laser_energy_j,
+            trimming_j=stats.trimming_energy_j,
+            modulation_j=stats.modulation_energy_j,
+            receiver_j=stats.receiver_energy_j,
+            ml_j=stats.ml_energy_j,
+            electrical_j=stats.electrical_energy_j,
+        )
+
+
+def energy_per_bit_pj(stats: NetworkStats) -> float:
+    """Energy per delivered *network* bit of a finished run."""
+    bits = stats.network_flits_delivered * 128
+    if bits == 0:
+        return 0.0
+    return EnergyBreakdown.from_stats(stats).per_bit_pj(bits)

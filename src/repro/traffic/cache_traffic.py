@@ -1,0 +1,258 @@
+"""Cache-driven trace generation.
+
+The statistical generator in :mod:`repro.traffic.synthetic` models
+injections directly; this module instead drives the *real* cache
+hierarchy of :mod:`repro.cache` with synthetic address streams and lets
+hits, misses, coherence forwards and writebacks decide which packets
+enter the network — the closest offline analogue to the paper's
+Multi2Sim front-end.
+
+Address streams mix sequential strides with working-set-bounded random
+jumps; GPU streams add non-coherent streaming stores.  Each emitted
+event carries the correct Table III cache level, so traces from this
+generator exercise the full ML feature space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..cache.coherence import AccessType
+from ..cache.hierarchy import ChipHierarchy, TrafficKind
+from ..config import ArchitectureConfig
+from ..noc.packet import CacheLevel, CoreType, PacketClass
+from .benchmarks import BenchmarkProfile
+from .synthetic import _phase_multipliers, _profile_seed, _burst_mask
+from .trace import InjectionEvent, Trace
+
+#: Flits in a writeback / data-bearing packet (64-byte line + header).
+DATA_FLITS = 5
+
+#: Probability that a non-sequential access jumps outside the hot set.
+COLD_JUMP_PROB = 0.05
+
+#: GPU fraction of stores that are non-coherent streaming stores.
+GPU_NC_STORE_SHARE = 0.7
+
+
+class AddressStream:
+    """Synthetic address generator with tunable locality.
+
+    Accesses walk sequentially through the working set with probability
+    ``sequential_prob`` and jump uniformly inside the working set
+    otherwise (with a small chance of a cold jump far outside, modelling
+    compulsory misses).
+    """
+
+    def __init__(
+        self,
+        working_set_kb: int,
+        base_address: int,
+        rng: np.random.Generator,
+        line_bytes: int = 64,
+        sequential_prob: float = 0.7,
+    ) -> None:
+        if working_set_kb <= 0:
+            raise ValueError("working set must be positive")
+        if not 0.0 <= sequential_prob <= 1.0:
+            raise ValueError("sequential_prob must be in [0, 1]")
+        self.working_set_bytes = working_set_kb * 1024
+        self.base_address = base_address
+        self.line_bytes = line_bytes
+        self.sequential_prob = sequential_prob
+        self._rng = rng
+        self._cursor = 0
+
+    def next_address(self) -> int:
+        """The next access address."""
+        roll = self._rng.random()
+        if roll < self.sequential_prob:
+            self._cursor = (self._cursor + self.line_bytes) % self.working_set_bytes
+        elif roll < self.sequential_prob + COLD_JUMP_PROB:
+            # Cold jump: far outside the hot set (compulsory miss).
+            return self.base_address + self.working_set_bytes + int(
+                self._rng.integers(0, 1 << 28)
+            )
+        else:
+            self._cursor = int(
+                self._rng.integers(0, self.working_set_bytes // self.line_bytes)
+            ) * self.line_bytes
+        return self.base_address + self._cursor
+
+
+class CacheTraceGenerator:
+    """Generate a NoC trace by simulating the cache hierarchy."""
+
+    def __init__(
+        self,
+        architecture: Optional[ArchitectureConfig] = None,
+        shared_data_fraction: float = 0.15,
+    ) -> None:
+        if not 0.0 <= shared_data_fraction <= 1.0:
+            raise ValueError("shared_data_fraction must be in [0, 1]")
+        self.architecture = architecture or ArchitectureConfig()
+        self.shared_data_fraction = shared_data_fraction
+
+    def generate(
+        self,
+        profile: BenchmarkProfile,
+        duration: int = 20_000,
+        seed: int = 1,
+        accesses_per_packet_cycle: int = 1,
+    ) -> Trace:
+        """Run the benchmark's address streams through fresh caches.
+
+        Clusters share ``shared_data_fraction`` of their working set (a
+        common region at address 0), which is what produces coherence
+        forwards and invalidations between clusters.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        arch = self.architecture
+        chip = ChipHierarchy(arch)
+        rng = np.random.default_rng(_profile_seed(profile, seed) ^ 0xC0FFEE)
+        multipliers = _phase_multipliers(profile, duration)
+        events: List[InjectionEvent] = []
+        l3_router = arch.l3_router_id
+
+        shared_bytes = int(profile.working_set_kb * 1024 * self.shared_data_fraction)
+        streams = []
+        for cluster in range(arch.num_clusters):
+            private_base = (1 + cluster) << 32
+            streams.append(
+                AddressStream(
+                    working_set_kb=profile.working_set_kb,
+                    base_address=private_base,
+                    rng=rng,
+                    line_bytes=arch.cache_line_bytes,
+                    sequential_prob=0.8 if profile.core_type is CoreType.CPU else 0.6,
+                )
+            )
+        shared_stream = AddressStream(
+            working_set_kb=max(1, shared_bytes // 1024),
+            base_address=0,
+            rng=rng,
+            line_bytes=arch.cache_line_bytes,
+            sequential_prob=0.5,
+        )
+
+        for cluster in range(arch.num_clusters):
+            burst = _burst_mask(profile, duration, rng)
+            burst_fraction = burst.mean() if profile.is_bursty else 0.0
+            denom = profile.idle_level + burst_fraction * (
+                profile.burst_intensity - profile.idle_level
+            )
+            base_rate = profile.injection_rate / denom * accesses_per_packet_cycle
+            rates = base_rate * multipliers
+            if profile.is_bursty:
+                rates = np.where(
+                    burst,
+                    rates * profile.burst_intensity,
+                    rates * profile.idle_level,
+                )
+            np.clip(rates, 0.0, 1.0, out=rates)
+            access_cycles = np.flatnonzero(rng.random(duration) < rates)
+
+            hierarchy = chip.cluster(cluster)
+            for cycle in access_cycles:
+                cycle = int(cycle)
+                use_shared = rng.random() < self.shared_data_fraction
+                stream = shared_stream if use_shared else streams[cluster]
+                address = stream.next_address()
+                is_write = rng.random() > profile.read_fraction
+                if profile.core_type is CoreType.GPU and is_write:
+                    access_type = (
+                        AccessType.NC_STORE
+                        if rng.random() < GPU_NC_STORE_SHARE
+                        else AccessType.STORE
+                    )
+                elif is_write:
+                    access_type = AccessType.STORE
+                else:
+                    access_type = AccessType.LOAD
+                is_instr = (
+                    profile.core_type is CoreType.CPU
+                    and not is_write
+                    and rng.random() < 0.3
+                )
+                core_index = int(rng.integers(0, 4))
+                outcome = hierarchy.access(
+                    address,
+                    profile.core_type,
+                    core_index=core_index,
+                    access_type=AccessType.LOAD if is_instr else access_type,
+                    is_instruction=is_instr,
+                )
+                events.extend(
+                    self._events_for(
+                        outcome, profile.core_type, cluster, l3_router, cycle
+                    )
+                )
+        return Trace(events, name=f"cache:{profile.name}")
+
+    def _events_for(
+        self,
+        outcome,
+        core_type: CoreType,
+        cluster: int,
+        l3_router: int,
+        cycle: int,
+    ) -> List[InjectionEvent]:
+        down_level = (
+            CacheLevel.CPU_L2_DOWN
+            if core_type is CoreType.CPU
+            else CacheLevel.GPU_L2_DOWN
+        )
+        out: List[InjectionEvent] = []
+        for kind in outcome.traffic:
+            if kind is TrafficKind.LOCAL_L1_TO_L2:
+                out.append(
+                    InjectionEvent(
+                        cycle=cycle,
+                        source=cluster,
+                        destination=cluster,
+                        core_type=core_type,
+                        packet_class=PacketClass.REQUEST,
+                        cache_level=outcome.cache_level,
+                    )
+                )
+            elif kind is TrafficKind.L2_TO_L3:
+                out.append(
+                    InjectionEvent(
+                        cycle=cycle,
+                        source=cluster,
+                        destination=l3_router,
+                        core_type=core_type,
+                        packet_class=PacketClass.REQUEST,
+                        cache_level=down_level,
+                    )
+                )
+            elif kind is TrafficKind.L2_TO_PEER:
+                peer = outcome.peer_cluster
+                if peer is None or peer == cluster:
+                    continue
+                out.append(
+                    InjectionEvent(
+                        cycle=cycle,
+                        source=cluster,
+                        destination=peer,
+                        core_type=core_type,
+                        packet_class=PacketClass.REQUEST,
+                        cache_level=down_level,
+                    )
+                )
+            elif kind is TrafficKind.WRITEBACK:
+                out.append(
+                    InjectionEvent(
+                        cycle=cycle,
+                        source=cluster,
+                        destination=l3_router,
+                        core_type=core_type,
+                        packet_class=PacketClass.RESPONSE,
+                        cache_level=down_level,
+                        size_flits=DATA_FLITS,
+                    )
+                )
+        return out

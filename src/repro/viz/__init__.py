@@ -1,0 +1,19 @@
+"""Terminal visualization: unicode charts for the reproduced figures."""
+
+from .charts import (
+    bar_chart,
+    grouped_bar_chart,
+    residency_chart,
+    series_table,
+    sparkline,
+)
+from .figures import RENDERERS
+
+__all__ = [
+    "RENDERERS",
+    "bar_chart",
+    "grouped_bar_chart",
+    "residency_chart",
+    "series_table",
+    "sparkline",
+]

@@ -1,0 +1,140 @@
+"""Terminal charts: horizontal bars, grouped bars and sparklines.
+
+The environment is headless (no matplotlib), so the figure renderers
+emit unicode text charts — good enough to eyeball every paper figure
+from a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Eighths-block characters for sub-cell bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+#: Sparkline levels.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    """A left-aligned bar of ``width`` cells scaled to ``max_value``."""
+    if max_value <= 0:
+        return ""
+    fraction = max(0.0, min(value / max_value, 1.0))
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * full + partial
+
+
+def bar_chart(
+    data: Dict[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    ``data`` preserves insertion order.  Values may be any
+    non-negative magnitudes; ``max_value`` pins the scale (defaults to
+    the data maximum).
+    """
+    if not data:
+        return title or "(no data)"
+    if any(v < 0 for v in data.values()):
+        raise ValueError("bar charts need non-negative values")
+    scale = max_value if max_value is not None else max(data.values())
+    label_width = max(len(label) for label in data)
+    lines: List[str] = [title] if title else []
+    for label, value in data.items():
+        bar = _bar(value, scale, width)
+        lines.append(f"{label:<{label_width}} │{bar:<{width}}│ {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Dict[str, float]],
+    title: str = "",
+    width: int = 30,
+    unit: str = "",
+) -> str:
+    """Render groups of bars sharing one scale (e.g. per-WL-state rows)."""
+    if not groups:
+        return title or "(no data)"
+    scale = max(
+        (value for series in groups.values() for value in series.values()),
+        default=0.0,
+    )
+    lines: List[str] = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        label_width = max(len(label) for label in series)
+        for label, value in series.items():
+            bar = _bar(value, scale, width)
+            lines.append(
+                f"  {label:<{label_width}} │{bar:<{width}}│ {value:.3g}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of a series."""
+    values = list(values)
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARKS[0] * len(values)
+    span = high - low
+    return "".join(
+        _SPARKS[int((v - low) / span * (len(_SPARKS) - 1))] for v in values
+    )
+
+
+def series_table(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "x",
+) -> str:
+    """A compact x-vs-many-series table with per-series sparklines."""
+    lines: List[str] = [title] if title else []
+    header = f"{x_label:>10} " + " ".join(f"{name:>14}" for name in series)
+    lines.append(header)
+    for i, xv in enumerate(x):
+        row = f"{xv:>10.4g} " + " ".join(
+            f"{values[i]:>14.4g}" for values in series.values()
+        )
+        lines.append(row)
+    lines.append(
+        "trend      "
+        + " ".join(f"{sparkline(values):>14}" for values in series.values())
+    )
+    return "\n".join(lines)
+
+
+def residency_chart(
+    residency: Dict[int, float], title: str = "", width: int = 40
+) -> str:
+    """A stacked one-line view of wavelength-state residency."""
+    if not residency:
+        return title or "(no data)"
+    total = sum(residency.values())
+    if total <= 0:
+        return title or "(idle)"
+    symbols = {64: "█", 48: "▓", 32: "▒", 16: "░", 8: "·"}
+    line = ""
+    for state in sorted(residency, reverse=True):
+        cells = int(round(residency[state] / total * width))
+        line += symbols.get(state, "?") * cells
+    legend = "  ".join(
+        f"{symbols.get(s, '?')}={s}WL {residency[s]:.0%}"
+        for s in sorted(residency, reverse=True)
+        if residency[s] > 0.005
+    )
+    parts = [title] if title else []
+    parts.append(line[:width])
+    parts.append(legend)
+    return "\n".join(parts)

@@ -1,0 +1,127 @@
+"""Chart renderers for the reproduced paper figures.
+
+Each ``render_figN`` takes the corresponding
+:class:`~repro.experiments.runner.ExperimentResult` and turns it into a
+terminal chart, so `pearl-sim experiment fig7 --chart`-style workflows
+can eyeball the shapes without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from ..experiments.runner import ExperimentResult
+from .charts import bar_chart, grouped_bar_chart, residency_chart, series_table
+
+
+def render_fig4(result: ExperimentResult) -> str:
+    """CPU share of packets per pair."""
+    data = {
+        str(row["pair"]): float(row["cpu_percent"]) for row in result.rows
+    }
+    return bar_chart(
+        data, title="Fig.4 CPU share of injected packets", unit="%",
+        max_value=100.0,
+    )
+
+
+def render_fig5(result: ExperimentResult) -> str:
+    """Energy per bit grouped by wavelength state."""
+    groups = {
+        f"{row['wavelengths']} WL": {
+            "PEARL-Dyn": float(row["pearl_dyn_epb_pj"]),
+            "PEARL-FCFS": float(row["pearl_fcfs_epb_pj"]),
+            "CMESH": float(row["cmesh_epb_pj"]),
+        }
+        for row in result.rows
+    }
+    return grouped_bar_chart(
+        groups, title="Fig.5 energy per bit", unit=" pJ/b"
+    )
+
+
+def render_fig6(result: ExperimentResult) -> str:
+    """Throughput per power-scaling configuration."""
+    data = {
+        str(row["config"]): float(row["throughput_flits_per_cycle"])
+        for row in result.rows
+    }
+    return bar_chart(
+        data, title="Fig.6 throughput (flits/cycle)", unit=" f/c"
+    )
+
+
+def render_fig7(result: ExperimentResult) -> str:
+    """Average laser power per configuration."""
+    data = {
+        str(row["config"]): float(row["laser_power_w"]) for row in result.rows
+    }
+    return bar_chart(data, title="Fig.7 average laser power", unit=" W")
+
+
+def render_fig8(result: ExperimentResult) -> str:
+    """Wavelength-state residency bars per ML configuration."""
+    parts = []
+    for row in result.rows:
+        residency = {
+            int(key[2:-4]): float(value) / 100.0
+            for key, value in row.items()
+            if key.startswith("wl")
+        }
+        parts.append(
+            residency_chart(residency, title=f"Fig.8 {row['config']}")
+        )
+    return "\n\n".join(parts)
+
+
+def render_fig9(result: ExperimentResult) -> str:
+    """Throughput comparison bars."""
+    data = {
+        str(row["config"]): float(row["throughput_flits_per_cycle"])
+        for row in result.rows
+    }
+    return bar_chart(
+        data, title="Fig.9 RW500 throughput comparison", unit=" f/c"
+    )
+
+
+def render_fig10(result: ExperimentResult) -> str:
+    """Window-size sweep bars."""
+    data = {
+        str(row["window"]): float(row["throughput_flits_per_cycle"])
+        for row in result.rows
+    }
+    return bar_chart(
+        data, title="Fig.10 ML window-size sweep", unit=" f/c"
+    )
+
+
+def render_fig11(result: ExperimentResult) -> str:
+    """Turn-on sensitivity as an x-vs-series table with sparklines."""
+    configs = sorted({str(row["config"]) for row in result.rows})
+    turn_ons = sorted({float(row["turn_on_ns"]) for row in result.rows})
+    series = {}
+    for config in configs:
+        rows = {
+            float(row["turn_on_ns"]): float(row["laser_power_w"])
+            for row in result.rows
+            if str(row["config"]) == config
+        }
+        series[config] = [rows[t] for t in turn_ons]
+    return series_table(
+        turn_ons,
+        series,
+        title="Fig.11 laser power vs turn-on time (W)",
+        x_label="turn-on ns",
+    )
+
+
+#: Figure-id to renderer mapping used by the CLI.
+RENDERERS = {
+    "fig4": render_fig4,
+    "fig5": render_fig5,
+    "fig6": render_fig6,
+    "fig7": render_fig7,
+    "fig8": render_fig8,
+    "fig9": render_fig9,
+    "fig10": render_fig10,
+    "fig11": render_fig11,
+}

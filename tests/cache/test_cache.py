@@ -1,0 +1,182 @@
+"""Tests for repro.cache.cache — set-associative storage and NMOESI states."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheStats, LineState, SetAssociativeCache
+
+
+def _cache(size=1024, assoc=2, line=64):
+    return SetAssociativeCache(size, assoc, line)
+
+
+class TestLineState:
+    def test_valid_states(self):
+        assert not LineState.INVALID.is_valid
+        for state in LineState:
+            if state is not LineState.INVALID:
+                assert state.is_valid
+
+    def test_dirty_states(self):
+        assert LineState.MODIFIED.is_dirty
+        assert LineState.OWNED.is_dirty
+        assert LineState.NON_COHERENT.is_dirty
+        assert not LineState.SHARED.is_dirty
+        assert not LineState.EXCLUSIVE.is_dirty
+
+    def test_writable_states(self):
+        assert LineState.MODIFIED.can_write
+        assert LineState.EXCLUSIVE.can_write
+        assert LineState.NON_COHERENT.can_write
+        assert not LineState.SHARED.can_write
+        assert not LineState.OWNED.can_write
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = _cache(size=1024, assoc=2, line=64)
+        assert cache.num_sets == 8
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 3, 64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 1, 64)
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = _cache()
+        assert not cache.lookup(0x100)
+        cache.fill(0x100, LineState.SHARED)
+        assert cache.lookup(0x100)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_offset_hits(self):
+        cache = _cache(line=64)
+        cache.fill(0x100, LineState.SHARED)
+        assert cache.lookup(0x100 + 63)
+
+    def test_adjacent_line_misses(self):
+        cache = _cache(line=64)
+        cache.fill(0x100, LineState.SHARED)
+        assert not cache.lookup(0x140)
+
+    def test_fill_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            _cache().fill(0, LineState.INVALID)
+
+    def test_state_tracking(self):
+        cache = _cache()
+        cache.fill(0x40, LineState.EXCLUSIVE)
+        assert cache.state_of(0x40) is LineState.EXCLUSIVE
+        cache.set_state(0x40, LineState.MODIFIED)
+        assert cache.state_of(0x40) is LineState.MODIFIED
+
+    def test_set_state_missing_raises(self):
+        with pytest.raises(KeyError):
+            _cache().set_state(0x40, LineState.SHARED)
+
+    def test_state_of_absent_is_invalid(self):
+        assert _cache().state_of(0x999) is LineState.INVALID
+
+
+class TestEviction:
+    def test_lru_victim(self):
+        """With a 2-way set, the least recently used line is evicted."""
+        cache = _cache(size=256, assoc=2, line=64)  # 2 sets
+        set_stride = cache.num_sets * 64
+        a, b, c = 0, set_stride, 2 * set_stride  # same set
+        cache.fill(a, LineState.SHARED)
+        cache.fill(b, LineState.SHARED)
+        cache.lookup(a)  # refresh a; b becomes LRU
+        evicted = cache.fill(c, LineState.SHARED)
+        assert evicted == (b, LineState.SHARED)
+        assert cache.lookup(a)
+        assert not cache.lookup(b)
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = _cache(size=128, assoc=1, line=64)
+        stride = cache.num_sets * 64
+        cache.fill(0, LineState.MODIFIED)
+        evicted = cache.fill(stride, LineState.SHARED)
+        assert evicted == (0, LineState.MODIFIED)
+        assert cache.stats.writebacks == 1
+        assert cache.stats.evictions == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = _cache(size=128, assoc=1, line=64)
+        stride = cache.num_sets * 64
+        cache.fill(0, LineState.SHARED)
+        cache.fill(stride, LineState.SHARED)
+        assert cache.stats.writebacks == 0
+
+    def test_invalid_way_preferred(self):
+        cache = _cache(size=256, assoc=2, line=64)
+        cache.fill(0, LineState.SHARED)
+        assert cache.fill(cache.num_sets * 64, LineState.SHARED) is None
+
+
+class TestInvalidate:
+    def test_invalidate_returns_previous_state(self):
+        cache = _cache()
+        cache.fill(0x80, LineState.MODIFIED)
+        assert cache.invalidate(0x80) is LineState.MODIFIED
+        assert not cache.lookup(0x80)
+
+    def test_invalidate_absent(self):
+        assert _cache().invalidate(0x80) is LineState.INVALID
+
+
+class TestStats:
+    def test_miss_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.miss_rate == 0.25
+        assert stats.accesses == 4
+
+    def test_miss_rate_no_accesses(self):
+        assert CacheStats().miss_rate == 0.0
+
+
+class TestResidentLines:
+    def test_round_trip(self):
+        cache = _cache()
+        cache.fill(0x000, LineState.SHARED)
+        cache.fill(0x440, LineState.MODIFIED)
+        resident = cache.resident_lines()
+        assert resident[0x000] is LineState.SHARED
+        assert resident[0x440] is LineState.MODIFIED
+
+
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_capacity_invariant(addresses):
+    """The cache never holds more lines than its capacity."""
+    cache = SetAssociativeCache(1024, 2, 64)
+    max_lines = 1024 // 64
+    for address in addresses:
+        cache.lookup(address)
+        if cache.state_of(address) is LineState.INVALID:
+            cache.fill(address, LineState.SHARED)
+    assert len(cache.resident_lines()) <= max_lines
+
+
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=100
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_refill_after_eviction_always_hits(addresses):
+    """Immediately after a fill, a lookup of the same address hits."""
+    cache = SetAssociativeCache(512, 2, 64)
+    for address in addresses:
+        if not cache.lookup(address):
+            cache.fill(address, LineState.SHARED)
+        assert cache.lookup(address)

@@ -1,0 +1,215 @@
+"""Tests for repro.cache.coherence — the NMOESI protocol engine."""
+
+import pytest
+
+from repro.cache.cache import LineState, SetAssociativeCache
+from repro.cache.coherence import (
+    AccessType,
+    CoherenceAction,
+    Directory,
+    NmoesiController,
+)
+
+LINE = 64
+
+
+def _system(num_clusters=3, cache_kb=4):
+    directory = Directory(LINE)
+    peers = {}
+    controllers = [
+        NmoesiController(
+            i,
+            SetAssociativeCache(cache_kb * 1024, 4, LINE, name=f"l2.{i}"),
+            directory,
+            peers,
+        )
+        for i in range(num_clusters)
+    ]
+    return directory, controllers
+
+
+class TestLoads:
+    def test_cold_load_is_exclusive(self):
+        _, (c0, c1, c2) = _system()
+        result = c0.access(0x1000, AccessType.LOAD)
+        assert result.state is LineState.EXCLUSIVE
+        assert CoherenceAction.FETCH_FROM_MEMORY in result.actions
+
+    def test_second_load_hits(self):
+        _, (c0, *_) = _system()
+        c0.access(0x1000, AccessType.LOAD)
+        result = c0.access(0x1000, AccessType.LOAD)
+        assert result.was_hit
+
+    def test_shared_load_from_two_clusters(self):
+        """The second loader gets a forwarded copy from the E holder,
+        and the E holder is downgraded to SHARED."""
+        _, (c0, c1, _) = _system()
+        c0.access(0x1000, AccessType.LOAD)
+        result = c1.access(0x1000, AccessType.LOAD)
+        assert result.state is LineState.SHARED
+        assert CoherenceAction.FETCH_FROM_OWNER in result.actions
+        assert c0.cache.state_of(0x1000) is LineState.SHARED
+
+    def test_third_loader_fetches_from_memory(self):
+        """Once the line is purely SHARED there is no forwarder."""
+        _, (c0, c1, c2) = _system()
+        c0.access(0x1000, AccessType.LOAD)
+        c1.access(0x1000, AccessType.LOAD)
+        result = c2.access(0x1000, AccessType.LOAD)
+        assert CoherenceAction.FETCH_FROM_MEMORY in result.actions
+        assert result.state is LineState.SHARED
+
+    def test_load_from_owner_forwards(self):
+        """Loading a line another cluster modified fetches from owner."""
+        _, (c0, c1, _) = _system()
+        c0.access(0x1000, AccessType.STORE)
+        result = c1.access(0x1000, AccessType.LOAD)
+        assert CoherenceAction.FETCH_FROM_OWNER in result.actions
+        assert result.forwarded_from == 0
+        # The previous owner was downgraded to OWNED (dirty, sharable).
+        assert c0.cache.state_of(0x1000) is LineState.OWNED
+
+
+class TestStores:
+    def test_cold_store_is_modified(self):
+        _, (c0, *_) = _system()
+        result = c0.access(0x2000, AccessType.STORE)
+        assert result.state is LineState.MODIFIED
+
+    def test_store_hit_on_exclusive_upgrades_silently(self):
+        _, (c0, *_) = _system()
+        c0.access(0x2000, AccessType.LOAD)  # EXCLUSIVE
+        result = c0.access(0x2000, AccessType.STORE)
+        assert result.was_hit
+        assert c0.cache.state_of(0x2000) is LineState.MODIFIED
+
+    def test_store_invalidates_sharers(self):
+        _, (c0, c1, c2) = _system()
+        c0.access(0x2000, AccessType.LOAD)
+        c1.access(0x2000, AccessType.LOAD)
+        result = c2.access(0x2000, AccessType.STORE)
+        assert CoherenceAction.INVALIDATE_SHARERS in result.actions
+        assert result.invalidated == {0, 1}
+        assert c0.cache.state_of(0x2000) is LineState.INVALID
+        assert c1.cache.state_of(0x2000) is LineState.INVALID
+
+    def test_store_on_shared_is_upgrade_in_place(self):
+        _, (c0, c1, _) = _system()
+        c0.access(0x2000, AccessType.LOAD)
+        c1.access(0x2000, AccessType.LOAD)  # both SHARED now
+        result = c0.access(0x2000, AccessType.STORE)
+        assert CoherenceAction.UPGRADE in result.actions
+        assert c0.cache.state_of(0x2000) is LineState.MODIFIED
+
+    def test_store_fetches_from_remote_owner(self):
+        _, (c0, c1, _) = _system()
+        c0.access(0x2000, AccessType.STORE)
+        result = c1.access(0x2000, AccessType.STORE)
+        assert CoherenceAction.FETCH_FROM_OWNER in result.actions
+        assert c0.cache.state_of(0x2000) is LineState.INVALID
+
+    def test_single_writer_invariant(self):
+        """After any store, at most one cluster holds a writable copy."""
+        _, controllers = _system()
+        address = 0x3000
+        for controller in controllers:
+            controller.access(address, AccessType.STORE)
+            writable = [
+                c
+                for c in controllers
+                if c.cache.state_of(address).can_write
+            ]
+            assert len(writable) == 1
+            assert writable[0] is controller
+
+
+class TestNcStores:
+    def test_nc_store_installs_n_state(self):
+        _, (c0, *_) = _system()
+        result = c0.access(0x4000, AccessType.NC_STORE)
+        assert result.state is LineState.NON_COHERENT
+        assert c0.cache.state_of(0x4000) is LineState.NON_COHERENT
+
+    def test_nc_store_hit(self):
+        _, (c0, *_) = _system()
+        c0.access(0x4000, AccessType.NC_STORE)
+        assert c0.access(0x4000, AccessType.NC_STORE).was_hit
+
+    def test_nc_store_skips_directory(self):
+        directory, (c0, *_) = _system()
+        c0.access(0x4000, AccessType.NC_STORE)
+        assert len(directory) == 0
+
+    def test_nc_line_downgrades_to_owned_on_remote_read(self):
+        _, (c0, c1, _) = _system()
+        c0.access(0x4000, AccessType.NC_STORE)
+        c0.handle_downgrade(0x4000)
+        assert c0.cache.state_of(0x4000) is LineState.OWNED
+
+
+class TestEvictionInteraction:
+    def test_dirty_eviction_reports_writeback(self):
+        _, (c0, *_) = _system(cache_kb=1)  # 1 KiB, 4-way: 4 sets
+        stride = 4 * LINE
+        results = []
+        for i in range(6):
+            results.append(c0.access(i * stride, AccessType.STORE))
+        assert any(
+            CoherenceAction.WRITEBACK in r.actions for r in results
+        )
+
+    def test_evicted_line_leaves_directory(self):
+        directory, (c0, *_) = _system(cache_kb=1)
+        stride = 4 * LINE
+        for i in range(8):
+            c0.access(i * stride, AccessType.LOAD)
+        # Only lines still resident may keep directory entries.
+        assert len(directory) <= 4
+
+
+class TestDirectory:
+    def test_entry_auto_creates(self):
+        directory = Directory(LINE)
+        entry = directory.entry(0x123)
+        assert entry.is_uncached
+        assert len(directory) == 1
+
+    def test_entry_normalises_to_line(self):
+        directory = Directory(LINE)
+        assert directory.entry(0x100) is directory.entry(0x13F)
+
+    def test_drop_only_when_uncached(self):
+        directory = Directory(LINE)
+        entry = directory.entry(0x100)
+        entry.sharers.add(1)
+        directory.drop(0x100)
+        assert len(directory) == 1
+        entry.sharers.clear()
+        directory.drop(0x100)
+        assert len(directory) == 0
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            Directory(0)
+
+
+class TestRemoteHandlers:
+    def test_downgrade_modified_to_owned(self):
+        _, (c0, *_) = _system()
+        c0.access(0x5000, AccessType.STORE)
+        assert c0.handle_downgrade(0x5000) is LineState.OWNED
+
+    def test_downgrade_exclusive_to_shared(self):
+        _, (c0, *_) = _system()
+        c0.access(0x5000, AccessType.LOAD)
+        assert c0.handle_downgrade(0x5000) is LineState.SHARED
+
+    def test_downgrade_absent_line(self):
+        _, (c0, *_) = _system()
+        assert c0.handle_downgrade(0x5000) is LineState.INVALID
+
+    def test_invalidate_returns_state(self):
+        _, (c0, *_) = _system()
+        c0.access(0x5000, AccessType.STORE)
+        assert c0.handle_invalidate(0x5000) is LineState.MODIFIED

@@ -1,0 +1,133 @@
+"""Tests for repro.cache.hierarchy — the full Table I memory system."""
+
+import pytest
+
+from repro.cache.coherence import AccessType
+from repro.cache.hierarchy import ChipHierarchy, SharedL3, TrafficKind
+from repro.config import ArchitectureConfig
+from repro.noc.packet import CacheLevel, CoreType
+
+
+@pytest.fixture
+def chip():
+    # A 4-cluster chip keeps construction cheap.
+    return ChipHierarchy(ArchitectureConfig(num_clusters=4))
+
+
+class TestClusterAccess:
+    def test_cold_load_reaches_l3(self, chip):
+        outcome = chip.cluster(0).access(0x10000, CoreType.CPU)
+        assert outcome.hit_level == "l3"
+        assert TrafficKind.LOCAL_L1_TO_L2 in outcome.traffic
+        assert TrafficKind.L2_TO_L3 in outcome.traffic
+
+    def test_warm_load_hits_l1(self, chip):
+        cluster = chip.cluster(0)
+        cluster.access(0x10000, CoreType.CPU)
+        outcome = cluster.access(0x10000, CoreType.CPU)
+        assert outcome.hit_level == "l1"
+        assert outcome.traffic == []
+
+    def test_l2_hit_after_l1_conflict(self, chip):
+        """Different cores of a cluster share the L2."""
+        cluster = chip.cluster(0)
+        cluster.access(0x10000, CoreType.CPU, core_index=0)
+        outcome = cluster.access(0x10000, CoreType.CPU, core_index=1)
+        assert outcome.hit_level == "l2"
+        assert TrafficKind.L2_TO_L3 not in outcome.traffic
+
+    def test_instruction_fetch_uses_l1i(self, chip):
+        cluster = chip.cluster(0)
+        outcome = cluster.access(
+            0x20000, CoreType.CPU, is_instruction=True
+        )
+        assert outcome.cache_level in (
+            CacheLevel.CPU_L1_INSTR,
+            CacheLevel.CPU_L2_DOWN,
+        )
+        assert cluster.cpu_l1i[0].stats.accesses == 1
+
+    def test_gpu_instruction_fetch_rejected(self, chip):
+        with pytest.raises(ValueError):
+            chip.cluster(0).access(
+                0x20000, CoreType.GPU, is_instruction=True
+            )
+
+    def test_gpu_access_uses_gpu_side(self, chip):
+        cluster = chip.cluster(0)
+        cluster.access(0x30000, CoreType.GPU)
+        assert cluster.gpu_l1[0].stats.accesses == 1
+        assert cluster.gpu_l2.stats.accesses == 1
+        assert cluster.cpu_l2.stats.accesses == 0
+
+    def test_remote_dirty_line_forwarded_from_peer(self, chip):
+        chip.cluster(1).access(0x40000, CoreType.CPU, access_type=AccessType.STORE)
+        outcome = chip.cluster(0).access(0x40000, CoreType.CPU)
+        assert TrafficKind.L2_TO_PEER in outcome.traffic
+        assert outcome.peer_cluster == 1
+
+    def test_network_request_uses_l2_down_level(self, chip):
+        outcome = chip.cluster(0).access(0x50000, CoreType.GPU)
+        assert outcome.cache_level is CacheLevel.GPU_L2_DOWN
+
+
+class TestSharedL3:
+    def test_split_banks(self):
+        l3 = SharedL3(ArchitectureConfig())
+        assert l3.cpu_bank.size_bytes == l3.gpu_bank.size_bytes
+        assert l3.cpu_bank.size_bytes == 4 * 1024 * 1024
+
+    def test_miss_goes_to_memory(self):
+        l3 = SharedL3(ArchitectureConfig())
+        hit, done = l3.access(0x1000, CoreType.CPU, cycle=0)
+        assert not hit
+        assert done > 0
+
+    def test_hit_after_fill(self):
+        l3 = SharedL3(ArchitectureConfig())
+        l3.access(0x1000, CoreType.CPU, cycle=0)
+        hit, done = l3.access(0x1000, CoreType.CPU, cycle=10)
+        assert hit
+        assert done == 10
+
+    def test_banks_isolated_by_core_type(self):
+        l3 = SharedL3(ArchitectureConfig())
+        l3.access(0x1000, CoreType.CPU, cycle=0)
+        hit, _ = l3.access(0x1000, CoreType.GPU, cycle=0)
+        assert not hit
+
+    def test_copy_between_banks(self):
+        """CPU->GPU sharing copies the line into the GPU bank."""
+        l3 = SharedL3(ArchitectureConfig())
+        l3.access(0x1000, CoreType.CPU, cycle=0)
+        l3.copy_between_banks(0x1000, CoreType.GPU)
+        hit, _ = l3.access(0x1000, CoreType.GPU, cycle=0)
+        assert hit
+
+
+class TestChipHierarchy:
+    def test_cluster_count(self, chip):
+        assert len(chip.clusters) == 4
+
+    def test_controllers_share_directory(self, chip):
+        chip.cluster(0).access(0x60000, CoreType.CPU)
+        assert len(chip.directory) >= 1
+
+
+class TestInclusiveInvalidation:
+    def test_remote_store_invalidates_l1_copies(self, chip):
+        """A peer's store must reach the L1s, not just the L2
+        (otherwise cores read stale data)."""
+        address = 0x70000
+        chip.cluster(0).access(address, CoreType.CPU, access_type=AccessType.STORE)
+        chip.cluster(1).access(address, CoreType.CPU, access_type=AccessType.STORE)
+        outcome = chip.cluster(0).access(address, CoreType.CPU)
+        assert outcome.hit_level != "l1"
+        assert TrafficKind.L2_TO_PEER in outcome.traffic
+
+    def test_gpu_l1s_also_invalidated(self, chip):
+        address = 0x80000
+        chip.cluster(0).access(address, CoreType.GPU, access_type=AccessType.STORE)
+        chip.cluster(1).access(address, CoreType.GPU, access_type=AccessType.STORE)
+        outcome = chip.cluster(0).access(address, CoreType.GPU)
+        assert outcome.hit_level != "l1"

@@ -1,0 +1,64 @@
+"""Tests for repro.cache.memory — the memory-controller model."""
+
+import pytest
+
+from repro.cache.memory import MemoryController
+
+
+class TestMemoryController:
+    def test_basic_latency(self):
+        memory = MemoryController(num_controllers=1, access_latency_cycles=120)
+        assert memory.request(0, 0) == 120
+
+    def test_queueing_delay_accumulates(self):
+        memory = MemoryController(
+            num_controllers=1, access_latency_cycles=100, service_cycles=10
+        )
+        first = memory.request(0, 0)
+        second = memory.request(64, 0)  # other line, same channel set of 1
+        assert second == first + 10
+
+    def test_channel_interleaving(self):
+        memory = MemoryController(num_controllers=2, line_bytes=64)
+        assert memory.channel_for(0) == 0
+        assert memory.channel_for(64) == 1
+        assert memory.channel_for(128) == 0
+
+    def test_parallel_channels_no_queueing(self):
+        memory = MemoryController(
+            num_controllers=2, access_latency_cycles=100, service_cycles=10
+        )
+        a = memory.request(0, 0)
+        b = memory.request(64, 0)  # different channel
+        assert a == b == 100
+
+    def test_idle_channel_no_queueing(self):
+        memory = MemoryController(num_controllers=1, service_cycles=10)
+        memory.request(0, 0)
+        late = memory.request(64, 1000)
+        assert late == 1000 + memory.access_latency_cycles
+
+    def test_stats(self):
+        memory = MemoryController(num_controllers=1)
+        memory.request(0, 0)
+        memory.request(64, 0)
+        assert memory.stats.requests == 2
+        assert memory.stats.mean_latency > 0
+
+    def test_utilization(self):
+        memory = MemoryController(num_controllers=2, service_cycles=8)
+        memory.request(0, 0)
+        assert memory.utilization(100) == pytest.approx(8 / 200)
+
+    def test_utilization_zero_cycles(self):
+        assert MemoryController().utilization(0) == 0.0
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryController().request(0, -1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MemoryController(num_controllers=0)
+        with pytest.raises(ValueError):
+            MemoryController(service_cycles=0)

@@ -1,0 +1,61 @@
+"""Shared fixtures: tiny configurations that keep the suite fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    MLConfig,
+    PearlConfig,
+    PowerScalingConfig,
+    SimulationConfig,
+)
+from repro.ml.pipeline import PowerModelTrainer
+from repro.traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS
+from repro.traffic.synthetic import generate_pair_trace
+
+
+@pytest.fixture
+def tiny_config() -> PearlConfig:
+    """A PEARL config sized for sub-second simulation runs."""
+    return PearlConfig(
+        simulation=SimulationConfig(warmup_cycles=100, measure_cycles=1_500),
+        power_scaling=PowerScalingConfig(reservation_window=200),
+        ml=MLConfig(reservation_window=200),
+    )
+
+
+@pytest.fixture
+def tiny_trace(tiny_config):
+    """A short FA+DCT trace matched to ``tiny_config``."""
+    return generate_pair_trace(
+        CPU_BENCHMARKS["fluidanimate"],
+        GPU_BENCHMARKS["dct"],
+        tiny_config.architecture,
+        tiny_config.simulation.total_cycles,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_model():
+    """A ridge model trained through the real two-phase pipeline.
+
+    Session-scoped because collection runs the simulator; two training
+    pairs and one validation pair at short cycle counts keep it to a
+    few seconds while exercising every pipeline stage.
+    """
+    config = PearlConfig(
+        simulation=SimulationConfig(warmup_cycles=100, measure_cycles=2_000),
+        power_scaling=PowerScalingConfig(reservation_window=200),
+        ml=MLConfig(reservation_window=200),
+    )
+    train = [
+        (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"]),
+        (CPU_BENCHMARKS["canneal"], GPU_BENCHMARKS["matrix_mult"]),
+    ]
+    val = [(CPU_BENCHMARKS["raytrace"], GPU_BENCHMARKS["prefix_sum"])]
+    trainer = PowerModelTrainer(
+        config=config, train_pairs=train, val_pairs=val, seed=11
+    )
+    return trainer.train()

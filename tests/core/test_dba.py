@@ -1,0 +1,123 @@
+"""Tests for repro.core.dba — Algorithm 1 steps 1-5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DBAConfig
+from repro.core.dba import DynamicBandwidthAllocator, FCFSAllocator, OccupancySample
+from repro.noc.buffer import PartitionedBuffer
+from repro.noc.packet import CacheLevel, CoreType, make_request
+
+
+@pytest.fixture
+def dba():
+    return DynamicBandwidthAllocator(DBAConfig())
+
+
+class TestAlgorithmBranches:
+    def test_step_3a_gpu_idle(self, dba):
+        """GPU empty, CPU busy: CPU gets the whole link."""
+        alloc = dba.allocate(OccupancySample(cpu=0.5, gpu=0.0))
+        assert alloc.cpu_fraction == 1.0
+        assert alloc.gpu_fraction == 0.0
+
+    def test_step_3b_cpu_idle(self, dba):
+        alloc = dba.allocate(OccupancySample(cpu=0.0, gpu=0.5))
+        assert alloc.gpu_fraction == 1.0
+        assert alloc.cpu_fraction == 0.0
+
+    def test_step_3c_light_gpu(self, dba):
+        """GPU under its 6% bound: CPU 75 / GPU 25."""
+        alloc = dba.allocate(OccupancySample(cpu=0.5, gpu=0.05))
+        assert alloc.cpu_fraction == pytest.approx(0.75)
+        assert alloc.gpu_fraction == pytest.approx(0.25)
+
+    def test_step_3d_light_cpu(self, dba):
+        """CPU under its 16% bound (GPU above 6%): CPU 25 / GPU 75."""
+        alloc = dba.allocate(OccupancySample(cpu=0.10, gpu=0.50))
+        assert alloc.cpu_fraction == pytest.approx(0.25)
+        assert alloc.gpu_fraction == pytest.approx(0.75)
+
+    def test_step_3e_both_heavy(self, dba):
+        alloc = dba.allocate(OccupancySample(cpu=0.5, gpu=0.5))
+        assert alloc.cpu_fraction == alloc.gpu_fraction == 0.5
+
+    def test_both_idle_falls_through_to_step_3c(self, dba):
+        """With both sides idle neither 3a nor 3b fires; step 3c gives
+        the latency-sensitive CPU the 75% share (irrelevant in practice
+        since nothing is queued, but it is what Algorithm 1 computes)."""
+        alloc = dba.allocate(OccupancySample(cpu=0.0, gpu=0.0))
+        assert alloc.cpu_fraction == pytest.approx(0.75)
+        assert alloc.gpu_fraction == pytest.approx(0.25)
+
+    def test_cpu_precedence_at_boundary(self, dba):
+        """Step 3c is checked before 3d: light GPU wins CPU the 75%."""
+        alloc = dba.allocate(OccupancySample(cpu=0.05, gpu=0.03))
+        assert alloc.cpu_fraction == pytest.approx(0.75)
+
+    def test_finer_granularity_changes_splits(self):
+        dba = DynamicBandwidthAllocator(DBAConfig(bandwidth_step=0.125))
+        alloc = dba.allocate(OccupancySample(cpu=0.5, gpu=0.05))
+        assert alloc.cpu_fraction == pytest.approx(0.875)
+        assert alloc.gpu_fraction == pytest.approx(0.125)
+
+    @given(
+        cpu=st.floats(min_value=0.0, max_value=1.0),
+        gpu=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_allocation_always_work_conserving(self, cpu, gpu):
+        """Whatever the occupancy, the full link is always allocated."""
+        dba = DynamicBandwidthAllocator(DBAConfig())
+        alloc = dba.allocate(OccupancySample(cpu=cpu, gpu=gpu))
+        assert alloc.cpu_fraction + alloc.gpu_fraction == pytest.approx(1.0)
+
+    @given(
+        cpu=st.floats(min_value=0.001, max_value=1.0),
+        gpu=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_busy_cpu_never_starved(self, cpu, gpu):
+        """A CPU with queued packets always receives some bandwidth."""
+        dba = DynamicBandwidthAllocator(DBAConfig())
+        alloc = dba.allocate(OccupancySample(cpu=cpu, gpu=gpu))
+        assert alloc.cpu_fraction > 0.0
+
+
+class TestBufferIntegration:
+    def test_sample_reads_buffers(self, dba):
+        buffers = PartitionedBuffer(10, 10)
+        buffers.push(make_request(0, 1, CoreType.CPU, CacheLevel.CPU_L2_DOWN))
+        sample = dba.sample(buffers)
+        assert sample.cpu == pytest.approx(0.1)
+        assert sample.gpu == 0.0
+
+    def test_allocate_from_buffers(self, dba):
+        buffers = PartitionedBuffer(10, 10)
+        buffers.push(make_request(0, 1, CoreType.CPU, CacheLevel.CPU_L2_DOWN))
+        alloc = dba.allocate_from_buffers(buffers)
+        assert alloc.cpu_fraction == 1.0
+
+
+class TestOccupancySample:
+    def test_combined(self):
+        assert OccupancySample(cpu=0.4, gpu=0.2).combined == pytest.approx(0.3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            OccupancySample(cpu=1.5, gpu=0.0)
+
+
+class TestFCFS:
+    def test_always_even(self):
+        fcfs = FCFSAllocator(DBAConfig())
+        for cpu, gpu in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (0.7, 0.7)]:
+            alloc = fcfs.allocate(OccupancySample(cpu=cpu, gpu=gpu))
+            assert alloc.cpu_fraction == alloc.gpu_fraction == 0.5
+
+    def test_allocate_from_buffers_static(self):
+        fcfs = FCFSAllocator(DBAConfig())
+        buffers = PartitionedBuffer(10, 10)
+        alloc = fcfs.allocate_from_buffers(buffers)
+        assert alloc.cpu_fraction == 0.5

@@ -1,0 +1,91 @@
+"""Tests for repro.core.reservation — R-SWMR reservation arithmetic."""
+
+import math
+
+import pytest
+
+from repro.core.reservation import (
+    Reservation,
+    ReservationChannel,
+    reservation_packet_bits,
+    reservation_wavelengths,
+)
+
+
+class TestReservationPacketBits:
+    def test_paper_configuration(self):
+        """16 routers, 2+2 packet types, 5 allocation levels, 1 L3."""
+        bits = reservation_packet_bits(16)
+        assert bits == math.ceil(math.log2(2 * 16 * 2 * 2 * 5 * 1))
+
+    def test_monotone_in_routers(self):
+        assert reservation_packet_bits(32) >= reservation_packet_bits(16)
+
+    def test_monotone_in_allocation_levels(self):
+        assert reservation_packet_bits(
+            16, allocation_levels=9
+        ) >= reservation_packet_bits(16, allocation_levels=5)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_routers(self, bad):
+        with pytest.raises(ValueError):
+            reservation_packet_bits(bad)
+
+    def test_rejects_nonpositive_types(self):
+        with pytest.raises(ValueError):
+            reservation_packet_bits(16, cpu_packet_types=0)
+
+
+class TestReservationWavelengths:
+    def test_single_cycle_broadcast(self):
+        """At 16 Gb/s per WL and 2 GHz, one WL carries 8 bits/cycle."""
+        assert reservation_wavelengths(10) == 2
+        assert reservation_wavelengths(8) == 1
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            reservation_wavelengths(0)
+
+
+class TestReservationChannel:
+    def test_visible_after_latency(self):
+        channel = ReservationChannel(latency_cycles=2)
+        res = Reservation(0, 5, 0.75, 0.25, issue_cycle=10)
+        channel.broadcast(res)
+        assert channel.ready(0, 11) is None
+        assert channel.ready(0, 12) is res
+
+    def test_zero_latency_immediate(self):
+        channel = ReservationChannel(latency_cycles=0)
+        res = Reservation(0, 5, 0.5, 0.5, issue_cycle=0)
+        channel.broadcast(res)
+        assert channel.ready(0, 0) is res
+
+    def test_consume_removes(self):
+        channel = ReservationChannel()
+        channel.broadcast(Reservation(0, 5, 0.5, 0.5, issue_cycle=0))
+        channel.consume(0)
+        assert channel.ready(0, 100) is None
+
+    def test_sources_independent(self):
+        channel = ReservationChannel()
+        channel.broadcast(Reservation(0, 5, 0.5, 0.5, issue_cycle=0))
+        channel.broadcast(Reservation(1, 6, 0.5, 0.5, issue_cycle=0))
+        assert channel.ready(0, 5).destination == 5
+        assert channel.ready(1, 5).destination == 6
+
+    def test_broadcast_count(self):
+        channel = ReservationChannel()
+        for i in range(3):
+            channel.broadcast(Reservation(i, i + 1, 0.5, 0.5, issue_cycle=0))
+        assert channel.broadcast_count == 3
+
+    def test_reservation_validation(self):
+        with pytest.raises(ValueError):
+            Reservation(3, 3, 0.5, 0.5, issue_cycle=0)
+        with pytest.raises(ValueError):
+            Reservation(0, 1, 0.5, 0.5, issue_cycle=-1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            ReservationChannel(latency_cycles=-1)

@@ -1,0 +1,135 @@
+"""Tests for repro.core.wavelength."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PhotonicConfig
+from repro.core.wavelength import (
+    BandwidthAllocation,
+    WavelengthLadder,
+    mean_power_w,
+    transmission_cycles,
+    wavelengths_for_share,
+)
+from repro.noc.packet import CoreType
+
+
+@pytest.fixture
+def ladder():
+    return WavelengthLadder(PhotonicConfig())
+
+
+class TestWavelengthLadder:
+    def test_states_descending(self, ladder):
+        assert ladder.states == (64, 48, 32, 16, 8)
+        assert ladder.max_state == 64
+        assert ladder.min_state == 8
+
+    def test_states_without_lowest(self, ladder):
+        assert ladder.states_without_lowest() == (64, 48, 32, 16)
+
+    def test_step_up_saturates(self, ladder):
+        assert ladder.step_up(64) == 64
+        assert ladder.step_up(48) == 64
+        assert ladder.step_up(8) == 16
+
+    def test_step_down_saturates(self, ladder):
+        assert ladder.step_down(8) == 8
+        assert ladder.step_down(64) == 48
+
+    def test_power_monotone_in_state(self, ladder):
+        powers = [ladder.power_w(s) for s in ladder.states]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_serialization_monotone(self, ladder):
+        cycles = [ladder.serialization_cycles(s) for s in ladder.states]
+        assert cycles == sorted(cycles)
+
+    def test_clamp_snaps_to_nearest(self, ladder):
+        assert ladder.clamp(60, allow_lowest=True) == 64
+        assert ladder.clamp(10, allow_lowest=True) == 8
+        assert ladder.clamp(10, allow_lowest=False) == 16
+
+    def test_clamp_identity_on_valid_state(self, ladder):
+        for state in ladder.states:
+            assert ladder.clamp(state, allow_lowest=True) == state
+
+    def test_index_of(self, ladder):
+        assert ladder.index_of(64) == 0
+        assert ladder.index_of(8) == 4
+
+
+class TestBandwidthAllocation:
+    def test_even_split(self):
+        alloc = BandwidthAllocation.even_split()
+        assert alloc.cpu_fraction == alloc.gpu_fraction == 0.5
+
+    def test_fraction_lookup(self):
+        alloc = BandwidthAllocation(cpu_fraction=0.75, gpu_fraction=0.25)
+        assert alloc.fraction(CoreType.CPU) == 0.75
+        assert alloc.fraction(CoreType.GPU) == 0.25
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BandwidthAllocation(cpu_fraction=-0.1, gpu_fraction=0.5)
+
+    def test_rejects_over_unity_sum(self):
+        with pytest.raises(ValueError):
+            BandwidthAllocation(cpu_fraction=0.8, gpu_fraction=0.8)
+
+    def test_exclusive_allocations(self):
+        BandwidthAllocation(cpu_fraction=1.0, gpu_fraction=0.0)
+        BandwidthAllocation(cpu_fraction=0.0, gpu_fraction=1.0)
+
+
+class TestTransmissionCycles:
+    def test_full_link_base_latency(self, ladder):
+        assert transmission_cycles(ladder, 64, 1.0) == 2
+        assert transmission_cycles(ladder, 16, 1.0) == 8
+
+    def test_half_share_doubles(self, ladder):
+        assert transmission_cycles(ladder, 64, 0.5) == 4
+
+    def test_quarter_share(self, ladder):
+        assert transmission_cycles(ladder, 64, 0.25) == 8
+
+    def test_multi_flit_scales(self, ladder):
+        assert transmission_cycles(ladder, 64, 1.0, size_flits=5) == 10
+
+    def test_zero_share_returns_none(self, ladder):
+        assert transmission_cycles(ladder, 64, 0.0) is None
+
+    def test_zero_flits_rejected(self, ladder):
+        with pytest.raises(ValueError):
+            transmission_cycles(ladder, 64, 1.0, size_flits=0)
+
+    @given(
+        state=st.sampled_from([64, 48, 32, 16, 8]),
+        fraction=st.floats(min_value=0.01, max_value=1.0),
+        flits=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_faster_than_full_link(self, state, fraction, flits):
+        """A fractional share never beats the whole link."""
+        ladder = WavelengthLadder(PhotonicConfig())
+        full = transmission_cycles(ladder, state, 1.0, flits)
+        partial = transmission_cycles(ladder, state, fraction, flits)
+        assert partial >= full
+
+
+class TestHelpers:
+    def test_wavelengths_for_share(self):
+        assert wavelengths_for_share(64, 0.75) == 48
+        assert wavelengths_for_share(64, 0.25) == 16
+
+    def test_mean_power_weighted(self, ladder):
+        power = mean_power_w(ladder, [(64, 0.5), (8, 0.5)])
+        assert power == pytest.approx((1.16 + 0.145) / 2)
+
+    def test_mean_power_empty(self, ladder):
+        assert mean_power_w(ladder, []) == 0.0
+
+    def test_mean_power_normalises_fractions(self, ladder):
+        power = mean_power_w(ladder, [(64, 2.0), (8, 2.0)])
+        assert power == pytest.approx((1.16 + 0.145) / 2)

@@ -1,0 +1,85 @@
+"""Tests for repro.cores.chip — the full-chip core front-end."""
+
+import pytest
+
+from repro.config import ArchitectureConfig
+from repro.cores import ChipModel
+from repro.noc.packet import CoreType, PacketClass
+
+ARCH = ArchitectureConfig(num_clusters=2)
+
+
+class TestChipModel:
+    @pytest.fixture(scope="class")
+    def trace_and_chip(self):
+        from repro.cores import GpuParams
+
+        # Short kernel gaps so every CU launches within the test span.
+        chip = ChipModel(
+            ARCH, gpu_params=GpuParams(kernel_gap_cycles=300.0), seed=3
+        )
+        trace = chip.run(2_000)
+        return trace, chip
+
+    def test_produces_trace(self, trace_and_chip):
+        trace, _ = trace_and_chip
+        assert len(trace) > 0
+
+    def test_both_core_types(self, trace_and_chip):
+        trace, _ = trace_and_chip
+        counts = trace.packets_by_core_type()
+        assert counts[CoreType.CPU] > 0
+        assert counts[CoreType.GPU] > 0
+
+    def test_gpu_floods_more_than_cpu(self, trace_and_chip):
+        """The microarchitectural model reproduces the paper's premise:
+        GPU CUs overwhelm the network relative to CPUs."""
+        trace, _ = trace_and_chip
+        counts = trace.packets_by_core_type()
+        assert counts[CoreType.GPU] > counts[CoreType.CPU]
+
+    def test_event_destinations_valid(self, trace_and_chip):
+        trace, _ = trace_and_chip
+        assert all(
+            0 <= e.destination <= ARCH.l3_router_id for e in trace
+        )
+
+    def test_writebacks_are_data_responses(self, trace_and_chip):
+        trace, _ = trace_and_chip
+        responses = [
+            e for e in trace if e.packet_class is PacketClass.RESPONSE
+        ]
+        assert all(e.size_flits == 5 for e in responses)
+
+    def test_cache_stats_populated(self, trace_and_chip):
+        _, chip = trace_and_chip
+        stats = chip.cache_stats()
+        assert 0.0 < stats["cpu_l1d_miss_rate"] < 1.0
+        assert 0.0 < stats["gpu_l2_miss_rate"] <= 1.0
+
+    def test_core_counts_match_architecture(self):
+        chip = ChipModel(ARCH)
+        assert len(chip.cpu_cores) == 2
+        assert all(len(cores) == 2 for cores in chip.cpu_cores)
+        assert all(len(cores) == 4 for cores in chip.gpu_cores)
+
+    def test_deterministic(self):
+        a = ChipModel(ARCH, seed=9).run(800)
+        b = ChipModel(ARCH, seed=9).run(800)
+        assert a.events == b.events
+
+    def test_shared_region_creates_peer_traffic(self):
+        chip = ChipModel(ArchitectureConfig(num_clusters=4), seed=5)
+        trace = chip.run(4_000)
+        peers = [
+            e
+            for e in trace
+            if e.destination not in (e.source, 4)  # 4 = L3 for 4 clusters
+        ]
+        assert peers, "coherence forwards should appear between clusters"
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            ChipModel(ARCH).run(0)
+        with pytest.raises(ValueError):
+            ChipModel(ARCH).run(100, chunk=0)

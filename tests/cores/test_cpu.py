@@ -1,0 +1,107 @@
+"""Tests for repro.cores.cpu — the in-order CPU core model."""
+
+import pytest
+
+from repro.cores.cpu import AccessKind, CpuParams, InOrderCpuCore
+
+
+class TestCpuParams:
+    def test_defaults_valid(self):
+        params = CpuParams()
+        assert params.load_fraction + params.store_fraction <= 1.0
+
+    def test_memory_fraction_bound(self):
+        with pytest.raises(ValueError):
+            CpuParams(load_fraction=0.8, store_fraction=0.4)
+
+    def test_locality_budget_bound(self):
+        with pytest.raises(ValueError):
+            CpuParams(hot_fraction=0.8, stride_locality=0.5)
+
+    def test_positive_ipc(self):
+        with pytest.raises(ValueError):
+            CpuParams(ipc=0)
+
+    def test_positive_footprints(self):
+        with pytest.raises(ValueError):
+            CpuParams(code_footprint_kb=0)
+        with pytest.raises(ValueError):
+            CpuParams(hot_kb=0)
+
+
+class TestInOrderCpuCore:
+    def test_advances_and_retires(self):
+        core = InOrderCpuCore(seed=1)
+        accesses = core.advance(0, 1_000)
+        assert core.instructions_retired == 1_000
+        assert accesses
+
+    def test_access_cycles_in_range(self):
+        core = InOrderCpuCore(seed=1)
+        accesses = core.advance(100, 500)
+        assert all(100 <= a.cycle < 600 for a in accesses)
+
+    def test_deterministic(self):
+        a = InOrderCpuCore(seed=3).advance(0, 500)
+        b = InOrderCpuCore(seed=3).advance(0, 500)
+        assert a == b
+
+    def test_mix_matches_parameters(self):
+        params = CpuParams(load_fraction=0.3, store_fraction=0.1)
+        core = InOrderCpuCore(params, seed=5)
+        accesses = core.advance(0, 20_000)
+        loads = sum(1 for a in accesses if a.kind is AccessKind.LOAD)
+        stores = sum(1 for a in accesses if a.kind is AccessKind.STORE)
+        assert loads / 20_000 == pytest.approx(0.3, abs=0.02)
+        assert stores / 20_000 == pytest.approx(0.1, abs=0.02)
+
+    def test_instruction_fetches_present(self):
+        core = InOrderCpuCore(seed=2)
+        accesses = core.advance(0, 2_000)
+        fetches = [
+            a for a in accesses if a.kind is AccessKind.INSTRUCTION_FETCH
+        ]
+        assert fetches
+        code_bytes = core.params.code_footprint_kb * 1024
+        assert all(
+            core.code_base <= a.address < core.code_base + code_bytes
+            for a in fetches
+        )
+
+    def test_data_addresses_within_working_set(self):
+        core = InOrderCpuCore(seed=2)
+        accesses = core.advance(0, 2_000)
+        ws = core.params.data_working_set_kb * 1024
+        data = [
+            a
+            for a in accesses
+            if a.kind in (AccessKind.LOAD, AccessKind.STORE)
+        ]
+        assert all(
+            core.data_base <= a.address < core.data_base + ws for a in data
+        )
+
+    def test_hot_subset_concentrates_accesses(self):
+        """At default parameters most data lands in the hot region."""
+        core = InOrderCpuCore(seed=4)
+        accesses = core.advance(0, 10_000)
+        hot_bytes = core.params.hot_kb * 1024
+        data = [
+            a
+            for a in accesses
+            if a.kind in (AccessKind.LOAD, AccessKind.STORE)
+        ]
+        hot = sum(
+            1 for a in data if a.address < core.data_base + hot_bytes
+        )
+        assert hot / len(data) > 0.5
+
+    def test_stall_delays_issue(self):
+        core = InOrderCpuCore(seed=1)
+        core.stall(until_cycle=500)
+        accesses = core.advance(0, 600)
+        assert all(a.cycle >= 500 for a in accesses)
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ValueError):
+            InOrderCpuCore().advance(0, 0)

@@ -1,0 +1,83 @@
+"""Tests for repro.cores.gpu — the SIMT compute-unit model."""
+
+import pytest
+
+from repro.cores.cpu import AccessKind
+from repro.cores.gpu import GpuParams, SimtGpuCore
+
+
+class TestGpuParams:
+    def test_defaults_valid(self):
+        GpuParams()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuParams(wavefronts_per_kernel=0)
+        with pytest.raises(ValueError):
+            GpuParams(coalesce_rate=1.5)
+        with pytest.raises(ValueError):
+            GpuParams(kernel_gap_cycles=-1)
+        with pytest.raises(ValueError):
+            GpuParams(issue_per_cycle=0)
+
+
+class TestSimtGpuCore:
+    def test_kernels_launch_over_time(self):
+        core = SimtGpuCore(GpuParams(kernel_gap_cycles=200.0), seed=1)
+        core.advance(0, 10_000)
+        assert core.kernels_launched >= 2
+
+    def test_bursty_structure(self):
+        """Accesses cluster into kernel bursts with quiet gaps."""
+        core = SimtGpuCore(
+            GpuParams(kernel_gap_cycles=2_000.0, accesses_per_wavefront=16),
+            seed=2,
+        )
+        accesses = core.advance(0, 12_000)
+        assert accesses
+        busy_cycles = {a.cycle for a in accesses}
+        # Far fewer busy cycles than the span: the CU idles between kernels.
+        assert len(busy_cycles) < 6_000
+
+    def test_kernel_access_budget(self):
+        """Each kernel drains wavefronts x accesses warp requests."""
+        params = GpuParams(
+            wavefronts_per_kernel=2,
+            accesses_per_wavefront=8,
+            coalesce_rate=1.0,
+            kernel_gap_cycles=100_000.0,  # only the first kernel fires
+            store_fraction=0.0,
+        )
+        core = SimtGpuCore(params, seed=3)
+        accesses = core.advance(0, 50_000)
+        assert len(accesses) == 2 * 8  # fully coalesced: one line each
+
+    def test_divergence_multiplies_lines(self):
+        diverged = SimtGpuCore(
+            GpuParams(coalesce_rate=0.0, divergence_lines=4,
+                      kernel_gap_cycles=100.0),
+            seed=4,
+        )
+        coalesced = SimtGpuCore(
+            GpuParams(coalesce_rate=1.0, kernel_gap_cycles=100.0), seed=4
+        )
+        a = diverged.advance(0, 5_000)
+        b = coalesced.advance(0, 5_000)
+        assert len(a) > len(b)
+
+    def test_store_fraction(self):
+        core = SimtGpuCore(
+            GpuParams(store_fraction=0.5, kernel_gap_cycles=100.0), seed=5
+        )
+        accesses = core.advance(0, 10_000)
+        stores = sum(1 for a in accesses if a.kind is AccessKind.STORE)
+        assert 0.3 < stores / len(accesses) < 0.7
+
+    def test_deterministic(self):
+        a = SimtGpuCore(seed=6).advance(0, 3_000)
+        b = SimtGpuCore(seed=6).advance(0, 3_000)
+        assert a == b
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ValueError):
+            SimtGpuCore().advance(0, 0)

@@ -1,0 +1,55 @@
+"""Unit tests for the power-scaling-suite plumbing (no simulation)."""
+
+import pytest
+
+from repro.experiments.power_scaling_suite import (
+    ConfigOutcome,
+    SUITE_LABELS,
+    parse_suite_label,
+)
+from repro.noc.router import PowerPolicyKind
+
+
+class TestParseSuiteLabel:
+    def test_baseline(self):
+        window, policy, allow = parse_suite_label("64WL")
+        assert policy is PowerPolicyKind.STATIC
+        assert allow is None
+
+    def test_dyn_labels(self):
+        assert parse_suite_label("Dyn RW500") == (
+            500,
+            PowerPolicyKind.REACTIVE,
+            None,
+        )
+        assert parse_suite_label("Dyn RW2000")[0] == 2000
+
+    def test_ml_labels(self):
+        window, policy, allow = parse_suite_label("ML RW500")
+        assert (window, policy, allow) == (500, PowerPolicyKind.ML, True)
+        window, policy, allow = parse_suite_label("ML RW500 no8WL")
+        assert allow is False
+
+    def test_every_suite_label_parses(self):
+        for label in SUITE_LABELS:
+            parse_suite_label(label)
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            parse_suite_label("Mystery RW1")
+
+
+class TestConfigOutcome:
+    def test_loss_and_savings(self):
+        base = ConfigOutcome(label="base", throughput=10.0, laser_power_w=20.0)
+        scaled = ConfigOutcome(
+            label="scaled", throughput=9.0, laser_power_w=10.0
+        )
+        assert scaled.throughput_loss_vs(base) == pytest.approx(0.1)
+        assert scaled.power_savings_vs(base) == pytest.approx(0.5)
+
+    def test_degenerate_baseline(self):
+        base = ConfigOutcome(label="base")
+        scaled = ConfigOutcome(label="s", throughput=1.0, laser_power_w=1.0)
+        assert scaled.throughput_loss_vs(base) == 0.0
+        assert scaled.power_savings_vs(base) == 0.0

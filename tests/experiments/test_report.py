@@ -1,0 +1,39 @@
+"""Tests for repro.experiments.report (rendering only — no sweeps)."""
+
+from repro.experiments import REGISTRY
+from repro.experiments.report import PAPER_NOTES, render_markdown
+from repro.experiments.runner import ExperimentResult
+
+
+def _fake_results():
+    results = []
+    for exp_id in REGISTRY:
+        result = ExperimentResult(name=f"{exp_id}: fake")
+        result.add_row(metric="x", value=1.0)
+        results.append(result)
+    return results
+
+
+class TestRenderMarkdown:
+    def test_every_experiment_sectioned(self):
+        text = render_markdown(_fake_results(), quick=True)
+        for exp_id in REGISTRY:
+            assert f"## {exp_id}" in text
+
+    def test_paper_notes_included(self):
+        text = render_markdown(_fake_results(), quick=True)
+        assert "40-65% power" in text
+        assert "0.79->0.68" in text
+
+    def test_mode_line(self):
+        quick_text = render_markdown(_fake_results(), quick=True)
+        full_text = render_markdown(_fake_results(), quick=False)
+        assert "quick" in quick_text
+        assert "full" in full_text
+
+    def test_notes_cover_registry(self):
+        assert set(PAPER_NOTES) == set(REGISTRY)
+
+    def test_tables_fenced(self):
+        text = render_markdown(_fake_results(), quick=True)
+        assert text.count("```") == 2 * len(REGISTRY)

@@ -1,0 +1,84 @@
+"""Tests for repro.experiments.runner."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    cached,
+    clear_cache,
+    describe_pair,
+    experiment_pairs,
+    simulation_config,
+)
+from repro.traffic.benchmarks import test_pairs as paper_test_pairs
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        result = ExperimentResult(name="demo")
+        result.add_row(config="a", value=1.0)
+        result.add_row(config="b", value=3.0)
+        assert result.column("value") == [1.0, 3.0]
+        assert result.mean("value") == 2.0
+
+    def test_mean_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            ExperimentResult(name="demo").mean("nope")
+
+    def test_format_table_contains_rows(self):
+        result = ExperimentResult(name="demo")
+        result.add_row(config="a", value=1.2345)
+        text = result.format_table()
+        assert "demo" in text
+        assert "config" in text
+        assert "1.234" in text
+
+    def test_format_empty(self):
+        assert "no rows" in ExperimentResult(name="x").format_table()
+
+    def test_notes_appended(self):
+        result = ExperimentResult(name="demo", notes=["hello"])
+        result.add_row(a=1)
+        assert "hello" in result.format_table()
+
+
+class TestPairsAndConfig:
+    def test_quick_pairs_are_diagonal(self):
+        quick = experiment_pairs(quick=True)
+        assert len(quick) == 4
+        full = paper_test_pairs()
+        assert quick == [full[0], full[5], full[10], full[15]]
+
+    def test_full_pairs_are_all_sixteen(self):
+        assert len(experiment_pairs(quick=False)) == 16
+
+    def test_quick_cycles_shorter(self):
+        assert (
+            simulation_config(quick=True).measure_cycles
+            < simulation_config(quick=False).measure_cycles
+        )
+
+    def test_describe_pair(self):
+        pair = experiment_pairs()[0]
+        assert describe_pair(pair) == "FA+DCT"
+
+
+class TestCache:
+    def test_cached_computes_once(self):
+        clear_cache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cached("key", compute) == 42
+        assert cached("key", compute) == 42
+        assert len(calls) == 1
+        clear_cache()
+
+    def test_distinct_keys_isolated(self):
+        clear_cache()
+        assert cached("a", lambda: 1) == 1
+        assert cached("b", lambda: 2) == 2
+        clear_cache()

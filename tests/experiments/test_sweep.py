@@ -1,0 +1,98 @@
+"""Tests for repro.experiments.sweep — the generic grid-sweep utility."""
+
+import pytest
+
+from repro.config import PearlConfig
+from repro.experiments.sweep import apply_override, grid, sweep
+
+
+class TestApplyOverride:
+    def test_nested_field(self):
+        config = apply_override(
+            PearlConfig(), "power_scaling.reservation_window", 999
+        )
+        assert config.power_scaling.reservation_window == 999
+        # Other sections untouched.
+        assert config.architecture.num_clusters == 16
+
+    def test_photonic_field(self):
+        config = apply_override(PearlConfig(), "photonic.laser_turn_on_ns", 16.0)
+        assert config.photonic.laser_turn_on_ns == 16.0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            apply_override(PearlConfig(), "photonic.bogus", 1)
+
+    def test_too_deep_path_rejected(self):
+        with pytest.raises(ValueError):
+            apply_override(PearlConfig(), "a.b.c", 1)
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            apply_override(PearlConfig(), "dba.bandwidth_step", 0.3)
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        points = list(grid({"a": [1, 2], "b": [10, 20, 30]}))
+        assert len(points) == 6
+        assert {"a": 2, "b": 30} in points
+
+    def test_empty_axes(self):
+        assert list(grid({})) == [{}]
+
+    def test_single_axis(self):
+        points = list(grid({"x": [1, 2, 3]}))
+        assert points == [{"x": 1}, {"x": 2}, {"x": 3}]
+
+
+class TestSweep:
+    def test_metric_sees_overridden_config(self):
+        seen = []
+
+        def metric(config):
+            seen.append(config.power_scaling.reservation_window)
+            return {"value": float(config.power_scaling.reservation_window)}
+
+        result = sweep(
+            {"power_scaling.reservation_window": [100, 200]}, metric
+        )
+        assert seen == [100, 200]
+        assert result.column("value") == [100.0, 200.0]
+
+    def test_rows_carry_override_columns(self):
+        result = sweep(
+            {
+                "photonic.laser_turn_on_ns": [2.0, 4.0],
+                "power_scaling.use_8wl": [True, False],
+            },
+            lambda config: {"ok": 1.0},
+        )
+        assert len(result.rows) == 4
+        assert "photonic.laser_turn_on_ns" in result.rows[0]
+
+    def test_real_simulation_metric(self):
+        """End-to-end: a tiny sweep over the reservation window."""
+        from repro.config import SimulationConfig
+        from repro.noc.network import PearlNetwork
+        from repro.noc.router import PowerPolicyKind
+        from repro.traffic.synthetic import uniform_random_trace
+
+        base = PearlConfig(
+            simulation=SimulationConfig(warmup_cycles=0, measure_cycles=600)
+        )
+        trace = uniform_random_trace(rate=0.05, duration=600, seed=1)
+
+        def metric(config):
+            network = PearlNetwork(
+                config, power_policy=PowerPolicyKind.REACTIVE
+            )
+            run = network.run(trace)
+            return {"laser_w": run.mean_laser_power_w}
+
+        result = sweep(
+            {"power_scaling.reservation_window": [100, 300]},
+            metric,
+            base=base,
+        )
+        assert all(row["laser_w"] > 0 for row in result.rows)

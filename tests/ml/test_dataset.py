@@ -1,0 +1,73 @@
+"""Tests for repro.ml.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import FeatureDataset
+from repro.ml.features import NUM_FEATURES
+
+
+def _row(value=1.0):
+    return np.full(NUM_FEATURES, value)
+
+
+class TestFeatureDataset:
+    def test_starts_empty(self):
+        dataset = FeatureDataset()
+        assert len(dataset) == 0
+        X, y = dataset.arrays()
+        assert X.shape == (0, NUM_FEATURES)
+        assert y.shape == (0,)
+
+    def test_append_and_arrays(self):
+        dataset = FeatureDataset()
+        dataset.append(_row(1.0), 10.0)
+        dataset.append(_row(2.0), 20.0)
+        X, y = dataset.arrays()
+        assert X.shape == (2, NUM_FEATURES)
+        assert list(y) == [10.0, 20.0]
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureDataset().append(np.zeros(5), 1.0)
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureDataset().append(_row(), -1.0)
+
+    def test_mean_label(self):
+        dataset = FeatureDataset()
+        dataset.append(_row(), 10.0)
+        dataset.append(_row(), 30.0)
+        assert dataset.mean_label == 20.0
+
+    def test_mean_label_empty(self):
+        assert FeatureDataset().mean_label == 0.0
+
+    def test_extend(self):
+        a, b = FeatureDataset(), FeatureDataset()
+        a.append(_row(), 1.0)
+        b.append(_row(), 2.0)
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_merge(self):
+        parts = []
+        for i in range(3):
+            d = FeatureDataset(name=f"part{i}")
+            d.append(_row(i), float(i))
+            parts.append(d)
+        merged = FeatureDataset.merge(parts)
+        assert len(merged) == 3
+
+    def test_save_load_round_trip(self, tmp_path):
+        dataset = FeatureDataset(name="rt")
+        dataset.append(_row(3.5), 7.0)
+        dataset.append(_row(1.5), 2.0)
+        path = tmp_path / "data.npz"
+        dataset.save(path)
+        loaded = FeatureDataset.load(path)
+        X0, y0 = dataset.arrays()
+        X1, y1 = loaded.arrays()
+        assert np.array_equal(X0, X1)
+        assert np.array_equal(y0, y1)

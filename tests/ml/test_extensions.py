@@ -1,0 +1,170 @@
+"""Tests for repro.ml.extensions — the future-work predictor zoo."""
+
+import numpy as np
+import pytest
+
+from repro.ml.extensions import (
+    INJECTED_FEATURE_INDEX,
+    EwmaPredictor,
+    LastValuePredictor,
+    PolynomialRidge,
+    SgdRidge,
+)
+from repro.ml.features import NUM_FEATURES
+from repro.ml.metrics import nrmse
+from repro.ml.ridge import RidgeRegression
+
+
+def _windows(n=300, seed=0):
+    """Synthetic window data: injections follow an AR(1) process."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, NUM_FEATURES)) * 5
+    injections = np.zeros(n)
+    level = 20.0
+    for i in range(n):
+        level = 0.8 * level + 0.2 * rng.uniform(0, 40)
+        injections[i] = level
+    X[:, INJECTED_FEATURE_INDEX] = injections
+    # Next-window label: persistent process + noise.
+    t = 0.9 * injections + rng.normal(0, 1.0, n)
+    return X, t
+
+
+class TestLastValue:
+    def test_predicts_feature_nine(self):
+        X, t = _windows()
+        model = LastValuePredictor().fit(X, t)
+        assert np.array_equal(
+            model.predict(X), X[:, INJECTED_FEATURE_INDEX]
+        )
+
+    def test_single_row(self):
+        X, t = _windows()
+        model = LastValuePredictor().fit(X, t)
+        assert model.predict(X[0]) == X[0, INJECTED_FEATURE_INDEX]
+
+    def test_fitted_flag(self):
+        model = LastValuePredictor()
+        assert not model.is_fitted
+        model.fit(*_windows(n=10))
+        assert model.is_fitted
+
+    def test_decent_on_persistent_process(self):
+        X, t = _windows()
+        model = LastValuePredictor().fit(X, t)
+        assert nrmse(t, model.predict(X)) > 0.3
+
+
+class TestEwma:
+    def test_alpha_one_equals_last_value(self):
+        X, t = _windows()
+        ewma = EwmaPredictor(alpha=1.0).fit(X, t)
+        assert np.allclose(ewma.predict(X), X[:, INJECTED_FEATURE_INDEX])
+
+    def test_smoothing_reduces_variance(self):
+        X, t = _windows()
+        smooth = EwmaPredictor(alpha=0.2).fit(X, t).predict(X)
+        raw = X[:, INJECTED_FEATURE_INDEX]
+        assert np.var(np.diff(smooth)) < np.var(np.diff(raw))
+
+    def test_reset_clears_state(self):
+        X, t = _windows(n=10)
+        ewma = EwmaPredictor(alpha=0.3).fit(X, t)
+        first = ewma.predict(X[0])
+        ewma.reset()
+        assert ewma.predict(X[0]) == first
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=1.5)
+
+
+class TestPolynomialRidge:
+    def test_expansion_width(self):
+        X, t = _windows()
+        model = PolynomialRidge(lam=1.0)
+        expanded = model._expand(X)
+        k = len(model.interaction_columns)
+        assert expanded.shape[1] == NUM_FEATURES + k * (k + 1) // 2
+
+    def test_fits_and_predicts(self):
+        X, t = _windows()
+        model = PolynomialRidge(lam=1.0).fit(X, t)
+        assert model.is_fitted
+        assert model.predict(X).shape == t.shape
+
+    def test_single_row_prediction(self):
+        X, t = _windows()
+        model = PolynomialRidge(lam=1.0).fit(X, t)
+        assert np.isscalar(float(model.predict(X[0])))
+
+    def test_captures_interaction_linear_ridge_cannot(self):
+        """A pure product target: polynomial ridge wins decisively."""
+        rng = np.random.default_rng(1)
+        X = rng.random((600, NUM_FEATURES))
+        t = 10.0 * X[:, 1] * X[:, 29]
+        linear = RidgeRegression(lam=1e-6).fit(X, t)
+        poly = PolynomialRidge(lam=1e-6).fit(X, t)
+        assert nrmse(t, poly.predict(X)) > nrmse(t, linear.predict(X)) + 0.1
+
+    def test_empty_interaction_columns_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialRidge(interaction_columns=())
+
+
+class TestSgdRidge:
+    def test_approaches_closed_form(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(500, 8))
+        w = np.arange(8, dtype=float)
+        t = X @ w + 2.0
+        closed = RidgeRegression(lam=1.0).fit(X, t)
+        sgd = SgdRidge(lam=1.0, learning_rate=0.1, epochs=200).fit(X, t)
+        closed_pred = closed.predict(X)
+        sgd_pred = sgd.predict(X)
+        assert np.corrcoef(closed_pred, sgd_pred)[0, 1] > 0.99
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SgdRidge().predict(np.zeros(8))
+
+    def test_validates_hyper_parameters(self):
+        with pytest.raises(ValueError):
+            SgdRidge(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SgdRidge(lam=-1.0)
+        with pytest.raises(ValueError):
+            SgdRidge(epochs=0)
+
+    def test_deterministic_given_seed(self):
+        X, t = _windows()
+        a = SgdRidge(seed=7, epochs=5).fit(X, t).predict(X)
+        b = SgdRidge(seed=7, epochs=5).fit(X, t).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SgdRidge().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestScalerCompatibility:
+    def test_extensions_drop_into_ml_scaler(self):
+        """Every predictor satisfies the MLPowerScaler interface."""
+        from repro.config import MLConfig, PhotonicConfig
+        from repro.core.ml_scaling import MLPowerScaler, StateSelector
+
+        X, t = _windows()
+        selector = StateSelector(PhotonicConfig(), reservation_window=500)
+        for model in (
+            LastValuePredictor().fit(X, t),
+            EwmaPredictor().fit(X, t),
+            PolynomialRidge(lam=1.0).fit(X, t),
+            SgdRidge(epochs=5).fit(X, t),
+        ):
+            scaler = MLPowerScaler(
+                model=model, selector=selector, config=MLConfig()
+            )
+            state = scaler.decide(X[0])
+            assert state in (8, 16, 32, 48, 64)

@@ -1,0 +1,114 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    nrmse,
+    rmse,
+    state_selection_accuracy,
+    top_state_accuracy,
+)
+
+
+class TestRmse:
+    def test_zero_on_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(0), np.zeros(0))
+
+
+class TestNrmse:
+    def test_perfect_fit_is_one(self):
+        y = np.array([1.0, 5.0, 2.0, 8.0])
+        assert nrmse(y, y) == pytest.approx(1.0)
+
+    def test_mean_predictor_is_zero(self):
+        """Predicting the mean scores exactly 0 (the paper's scale)."""
+        y = np.array([1.0, 5.0, 2.0, 8.0])
+        pred = np.full_like(y, y.mean())
+        assert nrmse(y, pred) == pytest.approx(0.0)
+
+    def test_bad_fit_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.array([100.0, -50.0, 7.0])
+        assert nrmse(y, pred) < 0.0
+
+    def test_constant_targets_perfect(self):
+        y = np.full(5, 3.0)
+        assert nrmse(y, y) == 1.0
+
+    def test_constant_targets_with_error(self):
+        y = np.full(5, 3.0)
+        assert nrmse(y, y + 1) == float("-inf")
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=3,
+            max_size=50,
+        ),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_one(self, targets, seed):
+        targets = np.asarray(targets)
+        rng = np.random.default_rng(seed)
+        predictions = targets + rng.normal(size=targets.shape)
+        assert nrmse(targets, predictions) <= 1.0 + 1e-12
+
+
+def _to_state(x):
+    """A toy threshold mapping for accuracy tests."""
+    if x > 20:
+        return 64
+    if x > 10:
+        return 32
+    return 8
+
+
+class TestStateAccuracy:
+    def test_perfect_accuracy(self):
+        values = [5.0, 15.0, 25.0]
+        assert state_selection_accuracy(values, values, _to_state) == 1.0
+
+    def test_partial_accuracy(self):
+        targets = [5.0, 15.0, 25.0, 25.0]
+        predictions = [5.0, 15.0, 5.0, 5.0]
+        assert state_selection_accuracy(targets, predictions, _to_state) == 0.5
+
+    def test_tolerates_numeric_error_within_band(self):
+        assert state_selection_accuracy([25.0], [24.0], _to_state) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            state_selection_accuracy([], [], _to_state)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            state_selection_accuracy([1.0], [1.0, 2.0], _to_state)
+
+
+class TestTopStateAccuracy:
+    def test_only_top_windows_scored(self):
+        targets = [25.0, 25.0, 5.0]
+        predictions = [30.0, 5.0, 30.0]  # third row irrelevant (not top)
+        assert top_state_accuracy(targets, predictions, _to_state, 64) == 0.5
+
+    def test_no_top_samples_rejected(self):
+        with pytest.raises(ValueError):
+            top_state_accuracy([1.0], [1.0], _to_state, 64)

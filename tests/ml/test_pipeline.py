@@ -1,0 +1,142 @@
+"""Tests for repro.ml.pipeline — the two-phase training pipeline.
+
+These run the real simulator at tiny scales, so they are the slowest
+unit tests in the suite; the session-scoped ``tiny_trained_model``
+fixture amortises most of the cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MLConfig, PearlConfig, PowerScalingConfig, SimulationConfig
+from repro.ml.pipeline import (
+    PowerModelTrainer,
+    collect_datasets,
+    collect_pair_dataset,
+)
+from repro.traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS
+
+
+def _small_config():
+    return PearlConfig(
+        simulation=SimulationConfig(warmup_cycles=100, measure_cycles=1_200),
+        power_scaling=PowerScalingConfig(reservation_window=200),
+        ml=MLConfig(reservation_window=200),
+    )
+
+
+PAIR = (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"])
+
+
+class TestCollection:
+    def test_random_phase_collects_samples(self):
+        dataset = collect_pair_dataset(PAIR, _small_config(), seed=1)
+        assert len(dataset) > 17  # several windows x 17 routers
+        X, y = dataset.arrays()
+        assert X.shape[1] == 30
+        assert np.all(y >= 0)
+
+    def test_collection_is_deterministic(self):
+        a = collect_pair_dataset(PAIR, _small_config(), seed=1)
+        b = collect_pair_dataset(PAIR, _small_config(), seed=1)
+        Xa, ya = a.arrays()
+        Xb, yb = b.arrays()
+        assert np.array_equal(Xa, Xb)
+        assert np.array_equal(ya, yb)
+
+    def test_model_driven_phase(self, tiny_trained_model):
+        dataset = collect_pair_dataset(
+            PAIR,
+            _small_config(),
+            seed=2,
+            driving_model=tiny_trained_model.model,
+        )
+        assert len(dataset) > 0
+
+    def test_collect_datasets_merges(self):
+        pairs = [PAIR, (CPU_BENCHMARKS["barnes"], GPU_BENCHMARKS["histogram"])]
+        merged = collect_datasets(pairs, _small_config(), seed=1)
+        single = collect_pair_dataset(PAIR, _small_config(), seed=1)
+        assert len(merged) > len(single)
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            collect_datasets([], _small_config())
+
+
+class TestTraining:
+    def test_pipeline_produces_fitted_model(self, tiny_trained_model):
+        assert tiny_trained_model.model.is_fitted
+        assert tiny_trained_model.phase1_model.is_fitted
+        assert tiny_trained_model.lam > 0
+
+    def test_history_records_phases(self, tiny_trained_model):
+        text = "\n".join(tiny_trained_model.history)
+        assert "phase1" in text
+        assert "phase2" in text
+
+    def test_sample_counts_positive(self, tiny_trained_model):
+        assert tiny_trained_model.phase1_samples > 0
+        assert tiny_trained_model.phase2_samples > 0
+
+    def test_validation_nrmse_reasonable(self, tiny_trained_model):
+        """On tiny data the fit is rough but must beat noise (> -1)."""
+        assert tiny_trained_model.validation_nrmse > -1.0
+        assert tiny_trained_model.validation_nrmse <= 1.0
+
+    def test_model_predicts_nonnegative_scale(self, tiny_trained_model):
+        """Typical-feature predictions land near label magnitudes."""
+        prediction = tiny_trained_model.model.predict(np.zeros(30))
+        assert np.isfinite(prediction)
+
+    def test_quick_mode_shrinks_pairs(self):
+        trainer = PowerModelTrainer(quick=True)
+        assert len(trainer.train_pairs) == 6
+        assert len(trainer.val_pairs) == 2
+
+    def test_full_mode_uses_all_pairs(self):
+        trainer = PowerModelTrainer(quick=False)
+        assert len(trainer.train_pairs) == 36
+        assert len(trainer.val_pairs) == 4
+
+
+class TestDiskCache:
+    def test_disk_cache_round_trip(self, tmp_path, monkeypatch):
+        """A second process-equivalent call loads the persisted model."""
+        import numpy as np
+
+        from repro.ml import pipeline as pl
+
+        monkeypatch.setenv("PEARL_CACHE_DIR", str(tmp_path))
+        # Shrink the training drastically: patch the quick config pairs.
+        trainer_pairs = [
+            (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"])
+        ]
+        val_pairs = [(CPU_BENCHMARKS["raytrace"], GPU_BENCHMARKS["prefix_sum"])]
+
+        original_init = pl.PowerModelTrainer.__init__
+
+        def tiny_init(self, config=None, train_pairs=None, val_pairs_=None,
+                      seed=2018, quick=False, **kwargs):
+            original_init(
+                self,
+                config=_small_config(),
+                train_pairs=trainer_pairs,
+                val_pairs=val_pairs,
+                seed=seed,
+                quick=False,
+            )
+
+        monkeypatch.setattr(pl.PowerModelTrainer, "__init__", tiny_init)
+        pl._MODEL_CACHE.clear()
+        first = pl.train_default_model(200, quick=True, seed=99)
+        assert (tmp_path / "model_w200_q1_s99.npz").exists()
+
+        pl._MODEL_CACHE.clear()
+        second = pl.train_default_model(200, quick=True, seed=99)
+        assert np.allclose(second.model.weights, first.model.weights)
+        assert second.lam == first.lam
+        assert second.validation_nrmse == pytest.approx(
+            first.validation_nrmse
+        )
+        pl._MODEL_CACHE.clear()

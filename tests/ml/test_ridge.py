@@ -1,0 +1,174 @@
+"""Tests for repro.ml.ridge — closed-form ridge regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.ridge import RidgeRegression, Standardizer, select_lambda
+
+
+def _linear_data(n=200, d=5, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    w = np.arange(1, d + 1, dtype=float)
+    y = X @ w + 3.0 + noise * rng.normal(size=n)
+    return X, y, w
+
+
+class TestFit:
+    def test_recovers_linear_relation(self):
+        X, y, w = _linear_data()
+        model = RidgeRegression(lam=1e-8, standardize=False).fit(X, y)
+        assert np.allclose(model.weights, w, atol=1e-6)
+        assert model.intercept == pytest.approx(3.0, abs=1e-6)
+
+    def test_recovers_with_standardization(self):
+        X, y, _ = _linear_data()
+        model = RidgeRegression(lam=1e-8, standardize=True).fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-6)
+
+    def test_regularization_shrinks_weights(self):
+        X, y, _ = _linear_data(noise=0.1)
+        small = RidgeRegression(lam=0.01).fit(X, y)
+        large = RidgeRegression(lam=1e6).fit(X, y)
+        assert np.linalg.norm(large.weights) < np.linalg.norm(small.weights)
+
+    def test_huge_lambda_predicts_mean(self):
+        X, y, _ = _linear_data()
+        model = RidgeRegression(lam=1e12).fit(X, y)
+        assert np.allclose(model.predict(X), y.mean(), atol=1e-3)
+
+    def test_handles_constant_column(self):
+        """A constant feature must not break standardization or solving."""
+        X, y, _ = _linear_data()
+        X = np.hstack([X, np.ones((X.shape[0], 1))])
+        model = RidgeRegression(lam=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_collinear_columns_solvable(self):
+        """Ridge handles perfectly collinear features (lambda > 0)."""
+        X, y, _ = _linear_data()
+        X = np.hstack([X, X[:, :1]])
+        model = RidgeRegression(lam=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.weights))
+
+    def test_predict_single_row(self):
+        X, y, _ = _linear_data()
+        model = RidgeRegression(lam=0.1).fit(X, y)
+        single = model.predict(X[0])
+        assert np.isscalar(single) or single.ndim == 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros(3))
+
+    def test_cost_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().cost(np.zeros((2, 3)), np.zeros(2))
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(lam=-1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros((5, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_is_fitted_flag(self):
+        model = RidgeRegression()
+        assert not model.is_fitted
+        X, y, _ = _linear_data(n=20)
+        model.fit(X, y)
+        assert model.is_fitted
+
+    def test_cost_increases_with_perturbation(self):
+        """The closed-form solution is the cost minimiser (Eq. 5)."""
+        X, y, _ = _linear_data(noise=0.5)
+        model = RidgeRegression(lam=1.0, standardize=False).fit(X, y)
+        optimum = model.cost(X, y)
+        model.weights = model.weights + 0.1
+        assert model.cost(X, y) > optimum
+
+    @given(st.integers(min_value=10, max_value=50), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_finite_on_random_data(self, n, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 4)) * rng.uniform(0.1, 100)
+        y = rng.normal(size=n)
+        model = RidgeRegression(lam=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(loc=5.0, scale=3.0, size=(500, 4))
+        scaler = Standardizer.fit(X)
+        Z = scaler.transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_unit_scale(self):
+        X = np.ones((10, 2))
+        scaler = Standardizer.fit(X)
+        assert np.allclose(scaler.scale, 1.0)
+        assert np.allclose(scaler.transform(X), 0.0)
+
+
+class TestSelectLambda:
+    def test_returns_validation_mse_minimizer(self):
+        """The chosen lambda beats every other candidate on validation."""
+        X, y, _ = _linear_data(n=30, d=20, noise=5.0, seed=3)
+        Xv, yv, _ = _linear_data(n=200, d=20, noise=5.0, seed=4)
+        grid = (1e-6, 1.0, 100.0)
+        best, _ = select_lambda(X, y, Xv, yv, grid)
+        best_mse = np.mean((best.predict(Xv) - yv) ** 2)
+        for lam in grid:
+            candidate = RidgeRegression(lam=lam).fit(X, y)
+            mse = np.mean((candidate.predict(Xv) - yv) ** 2)
+            assert best_mse <= mse + 1e-12
+
+    def test_returns_fitted_model(self):
+        X, y, _ = _linear_data()
+        model, _ = select_lambda(X, y, X, y, (0.1, 1.0))
+        assert model.is_fitted
+
+    def test_picks_best_on_validation(self):
+        """With noiseless validation = training, tiny lambda wins."""
+        X, y, _ = _linear_data()
+        _, lam = select_lambda(X, y, X, y, (1e-8, 1e4))
+        assert lam == pytest.approx(1e-8)
+
+    def test_empty_grid_rejected(self):
+        X, y, _ = _linear_data(n=20)
+        with pytest.raises(ValueError):
+            select_lambda(X, y, X, y, ())
+
+
+class TestSaveLoad:
+    def test_round_trip_predictions(self, tmp_path):
+        X, y, _ = _linear_data(noise=0.1)
+        model = RidgeRegression(lam=1.0).fit(X, y)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = RidgeRegression.load(path)
+        assert np.allclose(loaded.predict(X), model.predict(X))
+        assert loaded.lam == model.lam
+
+    def test_round_trip_without_standardization(self, tmp_path):
+        X, y, _ = _linear_data()
+        model = RidgeRegression(lam=0.5, standardize=False).fit(X, y)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = RidgeRegression.load(path)
+        assert not loaded.standardize
+        assert np.allclose(loaded.predict(X), model.predict(X))
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().save(tmp_path / "model.npz")

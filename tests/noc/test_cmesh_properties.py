@@ -1,0 +1,105 @@
+"""Property-based invariants of the CMESH wormhole mesh."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CMeshConfig, SimulationConfig
+from repro.noc.cmesh import CMeshNetwork, CMeshRouter, LOCAL
+from repro.noc.packet import CacheLevel, CoreType, PacketClass
+from repro.traffic.trace import InjectionEvent, Trace
+
+
+@st.composite
+def mesh_traces(draw):
+    """Small random traces over the 16-node mesh plus the L3 alias."""
+    n = draw(st.integers(min_value=0, max_value=40))
+    events = []
+    for _ in range(n):
+        source = draw(st.integers(min_value=0, max_value=15))
+        destination = draw(st.integers(min_value=0, max_value=16))
+        core = draw(st.sampled_from([CoreType.CPU, CoreType.GPU]))
+        if source == destination:
+            level = (
+                CacheLevel.CPU_L1_DATA
+                if core is CoreType.CPU
+                else CacheLevel.GPU_L1
+            )
+        else:
+            level = (
+                CacheLevel.CPU_L2_DOWN
+                if core is CoreType.CPU
+                else CacheLevel.GPU_L2_DOWN
+            )
+        events.append(
+            InjectionEvent(
+                cycle=draw(st.integers(min_value=0, max_value=200)),
+                source=source,
+                destination=destination,
+                core_type=core,
+                packet_class=PacketClass.REQUEST,
+                cache_level=level,
+            )
+        )
+    return Trace(events, name="random-mesh")
+
+
+class TestRoutingProperties:
+    @given(
+        start=st.integers(min_value=0, max_value=15),
+        destination=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_xy_routing_always_reaches_destination(self, start, destination):
+        """Following route() hop by hop terminates at the destination."""
+        config = CMeshConfig()
+        current = start
+        for _ in range(8):  # diameter of a 4x4 mesh is 6
+            router = CMeshRouter(current, config)
+            port = router.route(destination)
+            if port == LOCAL:
+                break
+            current = router.neighbor(port)
+            assert current is not None
+        assert current == destination
+
+    @given(
+        start=st.integers(min_value=0, max_value=15),
+        destination=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_xy_path_length_is_manhattan(self, start, destination):
+        config = CMeshConfig()
+        hops = 0
+        current = start
+        while current != destination:
+            router = CMeshRouter(current, config)
+            current = router.neighbor(router.route(destination))
+            hops += 1
+        expected = abs(start % 4 - destination % 4) + abs(
+            start // 4 - destination // 4
+        )
+        assert hops == expected
+
+
+class TestMeshInvariants:
+    @given(trace=mesh_traces())
+    @settings(max_examples=10, deadline=None)
+    def test_drains_completely_given_time(self, trace):
+        """Every offered packet (and its response) is delivered."""
+        network = CMeshNetwork(
+            simulation=SimulationConfig(warmup_cycles=0, measure_cycles=5_000)
+        )
+        stats = network.run(trace)
+        injected = sum(c.packets_injected for c in stats.counters.values())
+        assert stats.packets_delivered == injected
+
+    @given(trace=mesh_traces(), divisor=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_no_overdelivery(self, trace, divisor):
+        network = CMeshNetwork(
+            simulation=SimulationConfig(warmup_cycles=0, measure_cycles=800),
+            bandwidth_divisor=divisor,
+        )
+        stats = network.run(trace)
+        injected = sum(c.packets_injected for c in stats.counters.values())
+        assert stats.packets_delivered <= injected

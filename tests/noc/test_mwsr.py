@@ -1,0 +1,113 @@
+"""Tests for repro.noc.mwsr — the token-MWSR crossbar baseline."""
+
+import pytest
+
+from repro.config import PearlConfig, SimulationConfig
+from repro.noc.mwsr import MwsrNetwork, TokenChannel
+from repro.noc.network import PearlNetwork
+from repro.traffic.synthetic import uniform_random_trace
+from repro.traffic.trace import Trace
+
+
+def _config(measure=1_500, warmup=100):
+    return PearlConfig(
+        simulation=SimulationConfig(warmup_cycles=warmup, measure_cycles=measure)
+    )
+
+
+class TestTokenChannel:
+    def test_token_rotates_while_idle(self):
+        channel = TokenChannel(destination=0, num_sources=4)
+        for cycle in range(3):
+            channel.advance(cycle)
+        assert channel.token_at == 3
+
+    def test_acquire_requires_token_position(self):
+        channel = TokenChannel(destination=0, num_sources=4)
+        assert not channel.try_acquire(source=2, cycle=0)
+        assert channel.try_acquire(source=0, cycle=0)
+
+    def test_held_channel_blocks_others(self):
+        channel = TokenChannel(destination=0, num_sources=4)
+        assert channel.try_acquire(0, 0)
+        assert not channel.try_acquire(0, 0)
+
+    def test_release_passes_token(self):
+        channel = TokenChannel(destination=0, num_sources=4)
+        channel.try_acquire(0, 0)
+        channel.release(cycle=0, busy_cycles=5)
+        assert channel.token_at == 1
+        assert channel.busy_until == 5
+        # Channel busy: even the token holder cannot start.
+        assert not channel.try_acquire(1, 3)
+        assert channel.try_acquire(1, 5)
+
+    def test_token_frozen_while_busy(self):
+        channel = TokenChannel(destination=0, num_sources=4)
+        channel.try_acquire(0, 0)
+        channel.release(0, busy_cycles=10)
+        position = channel.token_at
+        channel.advance(5)
+        assert channel.token_at == position
+
+    def test_wait_counter(self):
+        channel = TokenChannel(destination=0, num_sources=4)
+        channel.try_acquire(3, 0)
+        channel.try_acquire(2, 0)
+        assert channel.token_waits == 2
+
+
+class TestMwsrNetwork:
+    def test_delivers_traffic(self):
+        trace = uniform_random_trace(rate=0.02, duration=1_600, seed=1)
+        network = MwsrNetwork(_config())
+        stats = network.run(trace)
+        assert stats.packets_delivered > 0
+        assert stats.flits_delivered > stats.packets_delivered  # responses
+
+    def test_deterministic(self):
+        trace = uniform_random_trace(rate=0.02, duration=1_600, seed=2)
+        a = MwsrNetwork(_config(), seed=4).run(trace)
+        b = MwsrNetwork(_config(), seed=4).run(trace)
+        assert a.throughput_flits_per_cycle() == b.throughput_flits_per_cycle()
+
+    def test_token_waits_accumulate(self):
+        trace = uniform_random_trace(rate=0.1, duration=1_600, seed=3)
+        network = MwsrNetwork(_config())
+        network.run(trace)
+        assert network.total_token_waits() > 0
+
+    def test_laser_energy_constant_state(self):
+        trace = uniform_random_trace(rate=0.01, duration=1_600, seed=1)
+        network = MwsrNetwork(_config(), static_state=64)
+        stats = network.run(trace)
+        # 16 cluster channels + 8 L3 channels at 1.16 W.
+        assert stats.mean_laser_power_w(2.0) == pytest.approx(
+            24 * 1.16, rel=0.01
+        )
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            MwsrNetwork(_config(), static_state=24)
+
+    def test_rswmr_latency_beats_token_mwsr(self):
+        """PEARL's reservation assist avoids token-rotation latency, so
+        mean latency is lower on the same moderate-load trace."""
+        trace = uniform_random_trace(rate=0.03, duration=2_100, seed=5)
+        config = _config(measure=2_000)
+        pearl = PearlNetwork(config, seed=7).run(trace)
+        mwsr = MwsrNetwork(config, seed=7).run(trace)
+        assert pearl.stats.mean_latency() < mwsr.mean_latency()
+
+    def test_drains_given_quiet_tail(self):
+        trace = uniform_random_trace(rate=0.01, duration=500, seed=6)
+        network = MwsrNetwork(
+            PearlConfig(
+                simulation=SimulationConfig(
+                    warmup_cycles=0, measure_cycles=6_000
+                )
+            )
+        )
+        stats = network.run(trace)
+        injected = sum(c.packets_injected for c in stats.counters.values())
+        assert stats.packets_delivered == injected

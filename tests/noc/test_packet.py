@@ -1,0 +1,117 @@
+"""Tests for repro.noc.packet."""
+
+import pytest
+
+from repro.noc.packet import (
+    CPU_CACHE_LEVELS,
+    CacheLevel,
+    CoreType,
+    GPU_CACHE_LEVELS,
+    Packet,
+    PacketClass,
+    make_request,
+    make_response,
+)
+
+
+class TestCoreType:
+    def test_other_is_involution(self):
+        assert CoreType.CPU.other is CoreType.GPU
+        assert CoreType.GPU.other is CoreType.CPU
+        assert CoreType.CPU.other.other is CoreType.CPU
+
+
+class TestCacheLevel:
+    def test_cpu_levels_report_cpu(self):
+        for level in CPU_CACHE_LEVELS:
+            assert level.core_type is CoreType.CPU
+
+    def test_gpu_levels_report_gpu(self):
+        for level in GPU_CACHE_LEVELS:
+            assert level.core_type is CoreType.GPU
+
+    def test_l3_is_shared(self):
+        assert CacheLevel.L3.core_type is None
+
+    def test_eight_levels_total(self):
+        assert len(CacheLevel) == 8
+
+
+class TestPacket:
+    def test_request_constructor(self):
+        packet = make_request(0, 16, CoreType.CPU, CacheLevel.CPU_L2_DOWN, cycle=5)
+        assert packet.is_request
+        assert not packet.is_response
+        assert packet.size_flits == 1
+        assert packet.created_cycle == 5
+
+    def test_response_constructor_default_five_flits(self):
+        packet = make_response(16, 0, CoreType.GPU, CacheLevel.L3)
+        assert packet.is_response
+        assert packet.size_flits == 5
+        assert packet.size_bits == 640
+
+    def test_local_packet_allowed(self):
+        packet = make_request(3, 3, CoreType.CPU, CacheLevel.CPU_L1_DATA)
+        assert packet.is_local
+
+    def test_remote_packet_not_local(self):
+        packet = make_request(3, 4, CoreType.CPU, CacheLevel.CPU_L2_DOWN)
+        assert not packet.is_local
+
+    def test_mismatched_core_type_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(0, 1, CoreType.CPU, CacheLevel.GPU_L1)
+
+    def test_l3_level_accepts_both_core_types(self):
+        make_response(16, 0, CoreType.CPU, CacheLevel.L3)
+        make_response(16, 0, CoreType.GPU, CacheLevel.L3)
+
+    def test_zero_flits_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(
+                source=0,
+                destination=1,
+                core_type=CoreType.CPU,
+                packet_class=PacketClass.REQUEST,
+                cache_level=CacheLevel.CPU_L1_DATA,
+                size_flits=0,
+            )
+
+    def test_negative_created_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(0, 1, CoreType.CPU, CacheLevel.CPU_L1_DATA, cycle=-1)
+
+    def test_packet_ids_unique(self):
+        a = make_request(0, 1, CoreType.CPU, CacheLevel.CPU_L1_DATA)
+        b = make_request(0, 1, CoreType.CPU, CacheLevel.CPU_L1_DATA)
+        assert a.packet_id != b.packet_id
+
+    def test_latency_none_until_received(self):
+        packet = make_request(0, 1, CoreType.CPU, CacheLevel.CPU_L1_DATA, cycle=10)
+        assert packet.latency is None
+        packet.received_cycle = 42
+        assert packet.latency == 32
+
+
+class TestFlits:
+    def test_flit_decomposition(self):
+        packet = make_response(16, 0, CoreType.CPU, CacheLevel.L3, size_flits=5)
+        flits = list(packet.flits())
+        assert len(flits) == 5
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+
+    def test_single_flit_is_head_and_tail(self):
+        packet = make_request(0, 1, CoreType.CPU, CacheLevel.CPU_L2_DOWN)
+        (flit,) = packet.flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_flit_indexes_sequential(self):
+        packet = make_response(16, 0, CoreType.GPU, CacheLevel.L3)
+        assert [f.index for f in packet.flits()] == [0, 1, 2, 3, 4]
+
+    def test_flits_reference_parent(self):
+        packet = make_response(16, 0, CoreType.GPU, CacheLevel.L3)
+        assert all(f.packet is packet for f in packet.flits())

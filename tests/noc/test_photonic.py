@@ -1,0 +1,79 @@
+"""Tests for repro.noc.photonic — the link power model."""
+
+import pytest
+
+from repro.config import OpticalConfig, PhotonicConfig
+from repro.noc.photonic import (
+    LinkBudget,
+    PhotonicLinkModel,
+    dbm_to_mw,
+    mw_to_dbm,
+)
+
+
+class TestUnitConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_round_trip(self):
+        for mw in (0.01, 1.0, 37.5):
+            assert dbm_to_mw(mw_to_dbm(mw)) == pytest.approx(mw)
+
+    def test_ten_db_is_factor_ten(self):
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+
+
+class TestLinkBudget:
+    def test_required_output_covers_loss(self):
+        budget = LinkBudget(loss_db=8.0, receiver_sensitivity_dbm=-15.0)
+        assert budget.required_output_dbm == pytest.approx(-15.0 + 8.0 + 3.0)
+
+    def test_output_mw_positive(self):
+        budget = LinkBudget(loss_db=10.0, receiver_sensitivity_dbm=-15.0)
+        assert budget.required_output_mw > 0
+
+
+class TestPhotonicLinkModel:
+    @pytest.fixture
+    def model(self):
+        return PhotonicLinkModel(OpticalConfig(), PhotonicConfig())
+
+    def test_laser_power_scales_linearly(self, model):
+        p16 = model.laser_electrical_power_w(16)
+        p64 = model.laser_electrical_power_w(64)
+        assert p64 == pytest.approx(4 * p16)
+
+    def test_laser_power_order_of_magnitude(self, model):
+        """The budget-derived 64 WL power lands near the paper's 1.16 W."""
+        p64 = model.laser_electrical_power_w(64)
+        assert 0.1 < p64 < 10.0
+
+    def test_trimming_scales_with_state(self, model):
+        assert model.trimming_power_w(64) == pytest.approx(
+            4 * model.trimming_power_w(16)
+        )
+
+    def test_trimming_heats_both_ring_banks(self, model):
+        assert model.trimming_power_w(64) == pytest.approx(128 * 26e-6)
+
+    def test_modulation_energy_per_flit(self, model):
+        expected = 500e-6 / 16e9 * 128
+        assert model.modulation_energy_j_per_flit() == pytest.approx(expected)
+
+    def test_receiver_energy_per_flit(self, model):
+        assert model.receiver_energy_j_per_flit() == pytest.approx(
+            0.1e-12 * 128
+        )
+
+    def test_static_power_combines(self, model):
+        assert model.static_power_w(32) == pytest.approx(
+            model.laser_electrical_power_w(32) + model.trimming_power_w(32)
+        )
+
+    def test_zero_wavelengths_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.laser_electrical_power_w(0)

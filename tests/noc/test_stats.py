@@ -1,0 +1,170 @@
+"""Tests for repro.noc.stats."""
+
+import pytest
+
+from repro.noc.packet import CacheLevel, CoreType, make_request, make_response
+from repro.noc.stats import NetworkStats
+
+
+def _delivered_request(stats, cycle=10):
+    packet = make_request(0, 16, CoreType.CPU, CacheLevel.CPU_L2_DOWN, cycle=0)
+    stats.on_injected(packet)
+    stats.on_delivered(packet, cycle)
+    return packet
+
+
+class TestCounters:
+    def test_injection_and_delivery(self):
+        stats = NetworkStats()
+        _delivered_request(stats)
+        cpu = stats.counters[CoreType.CPU]
+        assert cpu.packets_injected == 1
+        assert cpu.packets_delivered == 1
+        assert cpu.mean_latency == 10.0
+
+    def test_flit_accounting(self):
+        stats = NetworkStats()
+        packet = make_response(16, 0, CoreType.GPU, CacheLevel.L3, cycle=0)
+        stats.on_injected(packet)
+        stats.on_delivered(packet, 5)
+        gpu = stats.counters[CoreType.GPU]
+        assert gpu.flits_delivered == 5
+        assert stats.bits_delivered == 5 * 128
+
+    def test_local_packets_tracked_separately(self):
+        stats = NetworkStats()
+        local = make_request(2, 2, CoreType.CPU, CacheLevel.CPU_L1_DATA, cycle=0)
+        stats.on_injected(local)
+        stats.on_delivered(local, 2)
+        assert stats.local_packets_delivered == 1
+        assert stats.network_flits_delivered == 0
+
+    def test_network_flits_counted(self):
+        stats = NetworkStats()
+        _delivered_request(stats)
+        assert stats.network_flits_delivered == 1
+
+
+class TestMeasurementWindow:
+    def test_begin_measurement_resets(self):
+        stats = NetworkStats()
+        _delivered_request(stats)
+        stats.begin_measurement(100)
+        assert stats.packets_delivered == 0
+        assert stats.measure_start_cycle == 100
+
+    def test_measured_cycles(self):
+        stats = NetworkStats()
+        stats.begin_measurement(100)
+        stats.finish(600)
+        assert stats.measured_cycles == 500
+
+    def test_throughput_uses_network_flits(self):
+        stats = NetworkStats()
+        stats.begin_measurement(0)
+        _delivered_request(stats)
+        local = make_request(1, 1, CoreType.CPU, CacheLevel.CPU_L1_DATA, cycle=0)
+        stats.on_injected(local)
+        stats.on_delivered(local, 1)
+        stats.finish(100)
+        assert stats.throughput_flits_per_cycle() == pytest.approx(1 / 100)
+
+    def test_throughput_gbps(self):
+        stats = NetworkStats()
+        stats.begin_measurement(0)
+        _delivered_request(stats)
+        stats.finish(1)
+        assert stats.throughput_gbps(2.0) == pytest.approx(128 * 2.0)
+
+
+class TestDerivedMetrics:
+    def test_link_utilization(self):
+        stats = NetworkStats()
+        for busy in (True, False, True, True):
+            stats.on_link_sample(busy)
+        assert stats.link_utilization() == pytest.approx(0.75)
+
+    def test_link_utilization_empty(self):
+        assert NetworkStats().link_utilization() == 0.0
+
+    def test_mean_latency_empty(self):
+        assert NetworkStats().mean_latency() == 0.0
+
+    def test_energy_per_bit(self):
+        stats = NetworkStats()
+        stats.begin_measurement(0)
+        _delivered_request(stats)
+        stats.finish(10)
+        stats.laser_energy_j = 1e-9
+        # 128 network bits delivered.
+        assert stats.energy_per_bit_pj() == pytest.approx(1e3 / 128)
+
+    def test_energy_per_bit_no_traffic(self):
+        assert NetworkStats().energy_per_bit_pj() == 0.0
+
+    def test_mean_laser_power(self):
+        stats = NetworkStats()
+        stats.begin_measurement(0)
+        stats.finish(2_000)  # 1 us at 2 GHz
+        stats.laser_energy_j = 1e-6
+        assert stats.mean_laser_power_w(2.0) == pytest.approx(1.0)
+
+    def test_total_energy_sums_components(self):
+        stats = NetworkStats()
+        stats.laser_energy_j = 1.0
+        stats.trimming_energy_j = 2.0
+        stats.ml_energy_j = 3.0
+        stats.electrical_energy_j = 4.0
+        assert stats.total_energy_j() == pytest.approx(10.0)
+
+    def test_summary_keys(self):
+        summary = NetworkStats().summary()
+        for key in (
+            "throughput_flits_per_cycle",
+            "mean_latency_cycles",
+            "energy_per_bit_pj",
+            "laser_power_w",
+        ):
+            assert key in summary
+
+
+class TestLatencyPercentiles:
+    def _populated(self):
+        stats = NetworkStats()
+        for latency in range(1, 101):  # latencies 1..100
+            packet = make_request(
+                0, 16, CoreType.CPU, CacheLevel.CPU_L2_DOWN, cycle=0
+            )
+            stats.on_injected(packet)
+            stats.on_delivered(packet, latency)
+        return stats
+
+    def test_median(self):
+        stats = self._populated()
+        assert stats.latency_percentile(50) == pytest.approx(50, abs=1)
+
+    def test_p99_near_max(self):
+        stats = self._populated()
+        assert stats.latency_percentile(99) == pytest.approx(99, abs=1)
+        assert stats.latency_percentile(100) == 100
+
+    def test_percentiles_monotone(self):
+        stats = self._populated()
+        values = [stats.latency_percentile(q) for q in (0, 25, 50, 75, 95, 100)]
+        assert values == sorted(values)
+
+    def test_summary_keys(self):
+        summary = self._populated().latency_summary()
+        assert set(summary) == {"p50", "p95", "p99", "max"}
+
+    def test_empty_is_zero(self):
+        assert NetworkStats().latency_percentile(99) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkStats().latency_percentile(101)
+
+    def test_reset_by_begin_measurement(self):
+        stats = self._populated()
+        stats.begin_measurement(0)
+        assert stats.latency_percentile(50) == 0.0

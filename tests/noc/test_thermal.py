@@ -1,0 +1,142 @@
+"""Tests for repro.noc.thermal — ring thermal drift and heater control."""
+
+import pytest
+
+from repro.noc.thermal import (
+    HeaterController,
+    RingThermalModel,
+    ThermalParams,
+    ThermalTrimmingModel,
+)
+
+
+class TestThermalParams:
+    def test_defaults_valid(self):
+        params = ThermalParams()
+        assert params.drift_nm_per_k == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalParams(time_constant_cycles=0)
+        with pytest.raises(ValueError):
+            ThermalParams(heater_range_k=0)
+
+
+class TestRingThermalModel:
+    def test_starts_at_ambient(self):
+        ring = RingThermalModel(ambient_k=350.0)
+        assert ring.temperature_k == 350.0
+
+    def test_relaxes_toward_steady_state(self):
+        ring = RingThermalModel()
+        target = ring.steady_state_k(activity=1.0, heater_fraction=0.0)
+        for _ in range(20):
+            ring.step(activity=1.0, heater_fraction=0.0, cycles=2_000)
+        assert ring.temperature_k == pytest.approx(target, abs=0.1)
+
+    def test_monotone_approach(self):
+        ring = RingThermalModel()
+        temperatures = [
+            ring.step(1.0, 0.5, cycles=500) for _ in range(10)
+        ]
+        assert temperatures == sorted(temperatures)
+
+    def test_heater_raises_temperature(self):
+        cold = RingThermalModel()
+        hot = RingThermalModel()
+        cold.step(0.0, 0.0, cycles=10_000)
+        hot.step(0.0, 1.0, cycles=10_000)
+        assert hot.temperature_k > cold.temperature_k
+
+    def test_drift_sign(self):
+        ring = RingThermalModel()
+        ring.step(1.0, 1.0, cycles=50_000)
+        assert ring.drift_nm(locked_temperature_k=350.0) > 0
+
+    def test_alignment_threshold(self):
+        """Drift beyond half a channel spacing loses the channel."""
+        ring = RingThermalModel()
+        locked = ring.temperature_k
+        assert ring.is_aligned(locked)
+        # 0.8 nm spacing at 0.1 nm/K -> 4 K drift breaks alignment.
+        ring.temperature_k = locked + 5.0
+        assert not ring.is_aligned(locked)
+
+    def test_input_validation(self):
+        ring = RingThermalModel()
+        with pytest.raises(ValueError):
+            ring.step(1.5, 0.0)
+        with pytest.raises(ValueError):
+            ring.step(0.0, -0.1)
+        with pytest.raises(ValueError):
+            ring.step(0.0, 0.0, cycles=0)
+
+
+class TestHeaterController:
+    def test_holds_lock_through_activity_swings(self):
+        """The loop keeps the ring aligned as activity comes and goes."""
+        controller = HeaterController(RingThermalModel())
+        for activity in (0.0, 1.0, 0.0, 1.0, 0.3):
+            for _ in range(30):
+                controller.step(activity, cycles=500)
+            assert controller.is_locked()
+
+    def test_heater_backs_off_under_self_heating(self):
+        """Free heat from modulation reduces trimming power."""
+        controller = HeaterController(RingThermalModel())
+        for _ in range(50):
+            controller.step(0.0, cycles=1_000)
+        idle_power = controller.heater_power_w()
+        for _ in range(50):
+            controller.step(1.0, cycles=1_000)
+        busy_power = controller.heater_power_w()
+        assert busy_power < idle_power
+
+    def test_energy_accumulates(self):
+        controller = HeaterController(RingThermalModel())
+        controller.step(0.0, cycles=1_000)
+        assert controller.energy_j > 0
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            HeaterController(RingThermalModel(), gain=0)
+
+
+class TestThermalTrimmingModel:
+    def test_banks_powered_mapping(self):
+        model = ThermalTrimmingModel()
+        assert model.banks_powered(64) == 4
+        assert model.banks_powered(48) == 3
+        assert model.banks_powered(32) == 2
+        assert model.banks_powered(16) == 1
+        assert model.banks_powered(8) == 1
+        assert model.banks_powered(0) == 0
+
+    def test_trimming_scales_with_state(self):
+        model = ThermalTrimmingModel()
+        full = model.step(64, activity=0.2, cycles=1_000)
+        model2 = ThermalTrimmingModel()
+        low = model2.step(16, activity=0.2, cycles=1_000)
+        assert full > low > 0
+
+    def test_total_power_order_of_magnitude(self):
+        """~128 rings at tens of uW each -> milliwatt-scale trimming."""
+        model = ThermalTrimmingModel()
+        power = model.step(64, activity=0.0, cycles=50_000)
+        assert 1e-4 < power < 1e-2
+
+    def test_all_locked_through_scaling(self):
+        model = ThermalTrimmingModel()
+        for state in (64, 16, 64, 8, 48):
+            for _ in range(20):
+                model.step(state, activity=0.5, cycles=500)
+        assert model.all_locked()
+
+    def test_energy_integrates(self):
+        model = ThermalTrimmingModel()
+        model.step(64, 0.5, cycles=1_000)
+        assert model.total_energy_j() > 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ThermalTrimmingModel(num_banks=0)

@@ -1,0 +1,89 @@
+"""Tests for repro.noc.topology — the chip floorplan and link geometry."""
+
+import pytest
+
+from repro.config import ArchitectureConfig, OpticalConfig
+from repro.noc.topology import ChipFloorplan, Placement, per_router_link_budget
+
+
+@pytest.fixture
+def floorplan():
+    return ChipFloorplan()
+
+
+class TestPlacement:
+    def test_manhattan_distance(self):
+        a = Placement(0, 0.0, 0.0)
+        b = Placement(1, 3.0, 4.0)
+        assert a.manhattan_mm(b) == pytest.approx(7.0)
+
+    def test_symmetric(self):
+        a = Placement(0, 1.0, 2.0)
+        b = Placement(1, 5.0, 0.0)
+        assert a.manhattan_mm(b) == b.manhattan_mm(a)
+
+
+class TestFloorplan:
+    def test_seventeen_placements(self, floorplan):
+        for router_id in range(17):
+            assert floorplan.placement(router_id).router_id == router_id
+
+    def test_tile_pitch_from_table2(self, floorplan):
+        """25 + 2.1 mm^2 tile -> ~5.2 mm pitch."""
+        assert floorplan.tile_pitch_mm == pytest.approx(5.206, abs=0.01)
+
+    def test_die_dimensions(self, floorplan):
+        assert floorplan.die_width_mm == pytest.approx(
+            4 * floorplan.tile_pitch_mm
+        )
+        assert floorplan.die_width_mm == floorplan.die_height_mm
+
+    def test_l3_at_die_centre(self, floorplan):
+        l3 = floorplan.placement(16)
+        assert l3.x_mm == pytest.approx(floorplan.die_width_mm / 2)
+        assert l3.y_mm == pytest.approx(floorplan.die_height_mm / 2)
+
+    def test_corner_to_corner_longest(self, floorplan):
+        lengths = floorplan.all_link_lengths()
+        assert max(lengths.values()) == pytest.approx(
+            lengths[(0, 15)]
+        )
+
+    def test_link_lengths_symmetric(self, floorplan):
+        lengths = floorplan.all_link_lengths()
+        for (a, b), length in lengths.items():
+            assert lengths[(b, a)] == pytest.approx(length)
+
+    def test_worst_case_from_corner(self, floorplan):
+        """Router 0's farthest reader is the opposite corner."""
+        assert floorplan.worst_case_link_mm(0) == pytest.approx(
+            floorplan.link_length_mm(0, 15)
+        )
+
+    def test_centre_router_has_short_worst_case(self, floorplan):
+        assert floorplan.worst_case_link_mm(5) < floorplan.worst_case_link_mm(0)
+
+    def test_propagation_within_one_cycle(self, floorplan):
+        """10.45 ps/mm on a ~21 mm die stays under one 500 ps cycle."""
+        for destination in range(1, 17):
+            assert floorplan.propagation_cycles(0, destination) == 1
+
+    def test_uneven_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ChipFloorplan(ArchitectureConfig(num_clusters=10), grid_width=4)
+
+
+class TestPerRouterBudget:
+    def test_corner_needs_more_power_than_centre(self, floorplan):
+        corner = per_router_link_budget(floorplan, source=0)
+        centre = per_router_link_budget(floorplan, source=5)
+        assert corner.required_output_mw > centre.required_output_mw
+
+    def test_budget_close_to_table5_default(self, floorplan):
+        """The flat 6 cm Table V assumption brackets the floorplan."""
+        from repro.noc.photonic import PhotonicLinkModel
+        from repro.config import PhotonicConfig
+
+        flat = PhotonicLinkModel(OpticalConfig(), PhotonicConfig()).budget
+        derived = per_router_link_budget(floorplan, source=0)
+        assert derived.loss_db == pytest.approx(flat.loss_db, rel=0.6)

@@ -1,0 +1,31 @@
+"""Tests for repro.power.area — Table II accounting."""
+
+import pytest
+
+from repro.config import AreaConfig, ArchitectureConfig
+from repro.power.area import area_table, chip_area_mm2, control_overhead_fraction
+
+
+class TestAreaTable:
+    def test_table2_entries_present(self):
+        table = area_table()
+        assert table["Router"] == 0.342
+        assert table["Machine Learning"] == 0.018
+        assert table["Dynamic Allocation"] == 0.576
+        assert len(table) == 10
+
+    def test_chip_area_positive(self):
+        assert chip_area_mm2() > 400.0  # 16 clusters at ~27.7 mm^2 each
+
+    def test_control_overhead_under_one_percent(self):
+        """The paper's point: DBA + ML control is almost free."""
+        assert control_overhead_fraction() < 0.01
+
+    def test_overhead_scales_inverse_with_clusters(self):
+        small = control_overhead_fraction(
+            architecture=ArchitectureConfig(num_clusters=4)
+        )
+        large = control_overhead_fraction(
+            architecture=ArchitectureConfig(num_clusters=16)
+        )
+        assert large < small

@@ -1,0 +1,68 @@
+"""Tests for repro.power.electrical — the derived CMESH energy model."""
+
+import pytest
+
+from repro.config import ElectricalPowerConfig
+from repro.power.electrical import (
+    ElectricalParams,
+    derive_config,
+    link_energy_pj_per_flit,
+    router_energy_pj_per_flit,
+    static_power_w_per_router,
+)
+
+
+class TestDerivations:
+    def test_link_energy_formula(self):
+        """alpha=0.5, 0.2 pF/mm x 5.2 mm, 1 V, 128 bits."""
+        expected = 0.5 * 0.05 * 5.2 * 1.0 * 128
+        assert link_energy_pj_per_flit() == pytest.approx(expected)
+
+    def test_link_energy_scales_with_voltage_squared(self):
+        low = link_energy_pj_per_flit(ElectricalParams(supply_v=0.8))
+        high = link_energy_pj_per_flit(ElectricalParams(supply_v=1.0))
+        assert high / low == pytest.approx(1.0 / 0.8**2)
+
+    def test_router_energy_reasonable(self):
+        energy = router_energy_pj_per_flit()
+        assert 10.0 < energy < 50.0
+
+    def test_static_power_reasonable(self):
+        power = static_power_w_per_router()
+        assert 0.1 < power < 2.0
+
+    def test_defaults_match_shipped_config(self):
+        """The derived constants land within ~40% of the shipped ones
+        (ElectricalPowerConfig defaults were rounded)."""
+        derived = derive_config()
+        shipped = ElectricalPowerConfig()
+        assert derived.router_energy_pj_per_flit == pytest.approx(
+            shipped.router_energy_pj_per_flit, rel=0.4
+        )
+        assert derived.link_energy_pj_per_flit_per_hop == pytest.approx(
+            shipped.link_energy_pj_per_flit_per_hop, rel=0.4
+        )
+        assert derived.static_power_w_per_router == pytest.approx(
+            shipped.static_power_w_per_router, rel=0.6
+        )
+
+    def test_derived_config_usable_by_cmesh(self):
+        from repro.config import SimulationConfig
+        from repro.noc.cmesh import CMeshNetwork
+        from repro.traffic.synthetic import uniform_random_trace
+
+        network = CMeshNetwork(
+            power=derive_config(),
+            simulation=SimulationConfig(warmup_cycles=0, measure_cycles=600),
+        )
+        trace = uniform_random_trace(rate=0.02, duration=600, seed=1)
+        stats = network.run(trace)
+        assert stats.electrical_energy_j > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElectricalParams(supply_v=0)
+        with pytest.raises(ValueError):
+            ElectricalParams(switching_activity=0)
+        with pytest.raises(ValueError):
+            ElectricalParams(flit_bits=0)

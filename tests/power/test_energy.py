@@ -1,0 +1,55 @@
+"""Tests for repro.power.energy — energy-per-bit bookkeeping."""
+
+import pytest
+
+from repro.noc.packet import CacheLevel, CoreType, make_request
+from repro.noc.stats import NetworkStats
+from repro.power.energy import EnergyBreakdown, energy_per_bit_pj
+
+
+class TestEnergyBreakdown:
+    def test_total_sums_all_components(self):
+        breakdown = EnergyBreakdown(
+            laser_j=1.0,
+            trimming_j=2.0,
+            modulation_j=3.0,
+            receiver_j=4.0,
+            ml_j=5.0,
+            electrical_j=6.0,
+        )
+        assert breakdown.total_j == pytest.approx(21.0)
+
+    def test_per_bit(self):
+        breakdown = EnergyBreakdown(laser_j=1e-9)
+        assert breakdown.per_bit_pj(1000) == pytest.approx(1.0)
+
+    def test_per_bit_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown().per_bit_pj(0)
+
+    def test_as_dict_round_trip(self):
+        breakdown = EnergyBreakdown(laser_j=1.5, ml_j=0.5)
+        d = breakdown.as_dict()
+        assert d["laser_j"] == 1.5
+        assert d["total_j"] == pytest.approx(2.0)
+
+    def test_from_stats(self):
+        stats = NetworkStats()
+        stats.laser_energy_j = 7.0
+        stats.electrical_energy_j = 3.0
+        breakdown = EnergyBreakdown.from_stats(stats)
+        assert breakdown.laser_j == 7.0
+        assert breakdown.electrical_j == 3.0
+
+
+class TestEnergyPerBit:
+    def test_counts_network_bits_only(self):
+        stats = NetworkStats()
+        packet = make_request(0, 16, CoreType.CPU, CacheLevel.CPU_L2_DOWN)
+        stats.on_injected(packet)
+        stats.on_delivered(packet, 10)
+        stats.laser_energy_j = 128e-12
+        assert energy_per_bit_pj(stats) == pytest.approx(1.0)
+
+    def test_zero_traffic_is_zero(self):
+        assert energy_per_bit_pj(NetworkStats()) == 0.0

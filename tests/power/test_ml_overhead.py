@@ -1,0 +1,39 @@
+"""Tests for repro.power.ml_overhead — the inference hardware model."""
+
+import pytest
+
+from repro.power.ml_overhead import MLHardwareModel
+
+
+class TestMLHardwareModel:
+    def test_operation_counts_match_paper(self):
+        model = MLHardwareModel()
+        assert model.num_multiplies == 30
+        assert model.num_additions == 29
+
+    def test_inference_energy_near_paper_value(self):
+        """The paper estimates 44.6 pJ per prediction."""
+        energy = MLHardwareModel().inference_energy_pj()
+        assert energy == pytest.approx(44.6, rel=0.2)
+
+    def test_mean_power_near_paper_value(self):
+        """The paper estimates 178.4 uW at RW500 / 2 GHz."""
+        power = MLHardwareModel().mean_power_uw(500, 2.0)
+        assert power == pytest.approx(178.4, rel=0.2)
+
+    def test_longer_window_lower_power(self):
+        model = MLHardwareModel()
+        assert model.mean_power_uw(2000) < model.mean_power_uw(500)
+
+    def test_scaled_feature_count(self):
+        smaller = MLHardwareModel().scaled(15)
+        assert smaller.num_multiplies == 15
+        assert smaller.inference_energy_pj() < MLHardwareModel().inference_energy_pj()
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MLHardwareModel().scaled(0)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            MLHardwareModel().mean_power_uw(0)

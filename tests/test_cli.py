@@ -1,0 +1,84 @@
+"""Tests for the pearl-sim CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig5", "fig9", "table1", "ml_quality", "headline"):
+            assert name in out
+
+
+class TestExperiment:
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_table_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU cores" in out
+
+
+class TestSimulate:
+    def test_static_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--cpu",
+                "fluidanimate",
+                "--gpu",
+                "dct",
+                "--cycles",
+                "1000",
+                "--warmup",
+                "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput_flits_per_cycle" in out
+        assert "residency" in out
+
+    def test_reactive_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "reactive",
+                "--cycles",
+                "1000",
+                "--warmup",
+                "100",
+                "--window",
+                "200",
+            ]
+        )
+        assert code == 0
+
+    def test_fcfs_flag(self, capsys):
+        code = main(
+            ["simulate", "--fcfs", "--cycles", "800", "--warmup", "100"]
+        )
+        assert code == 0
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--cpu", "unknown"])
+
+
+class TestChart:
+    def test_chart_flag_renders(self, capsys):
+        # fig4 is trace-only, so this stays fast.
+        assert main(["experiment", "fig4", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.4" in out
+        assert "│" in out
+
+    def test_chart_flag_without_renderer(self, capsys):
+        assert main(["experiment", "table1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "no chart renderer" in out

@@ -1,0 +1,257 @@
+"""Tests for repro.config — paper constants and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ArchitectureConfig,
+    AreaConfig,
+    CMeshConfig,
+    DBAConfig,
+    MLConfig,
+    OpticalConfig,
+    PearlConfig,
+    PhotonicConfig,
+    PowerScalingConfig,
+    SimulationConfig,
+)
+
+
+class TestArchitectureConfig:
+    def test_table1_core_counts(self):
+        arch = ArchitectureConfig()
+        assert arch.num_cpus == 32
+        assert arch.num_gpus == 64
+
+    def test_table1_frequencies(self):
+        arch = ArchitectureConfig()
+        assert arch.cpu_frequency_ghz == 4.0
+        assert arch.gpu_frequency_ghz == 2.0
+        assert arch.network_frequency_ghz == 2.0
+
+    def test_table1_caches(self):
+        arch = ArchitectureConfig()
+        assert arch.cpu_l1i_kb == 32
+        assert arch.cpu_l1d_kb == 64
+        assert arch.cpu_l2_kb == 256
+        assert arch.gpu_l1_kb == 64
+        assert arch.gpu_l2_kb == 512
+        assert arch.l3_mb == 8
+        assert arch.main_memory_gb == 16
+
+    def test_router_count_includes_l3(self):
+        arch = ArchitectureConfig()
+        assert arch.num_routers == 17
+        assert arch.l3_router_id == 16
+
+    def test_network_cycle_duration(self):
+        assert ArchitectureConfig().network_cycle_ns == pytest.approx(0.5)
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(num_clusters=0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(network_frequency_ghz=0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(cpus_per_cluster=0)
+
+    def test_custom_cluster_count(self):
+        arch = ArchitectureConfig(num_clusters=4)
+        assert arch.num_routers == 5
+        assert arch.l3_router_id == 4
+
+
+class TestAreaConfig:
+    def test_table2_values(self):
+        area = AreaConfig()
+        assert area.cluster_mm2 == 25.0
+        assert area.router_mm2 == 0.342
+        assert area.laser_per_router_mm2 == 0.312
+        assert area.dynamic_allocation_mm2 == 0.576
+        assert area.machine_learning_mm2 == 0.018
+
+    def test_total_scales_with_clusters(self):
+        area = AreaConfig()
+        assert area.total_mm2(16) > area.total_mm2(8)
+
+    def test_total_includes_shared_components(self):
+        area = AreaConfig()
+        shared_only = area.total_mm2(0)
+        assert shared_only == pytest.approx(
+            area.optical_components_mm2
+            + area.l3_cache_mm2
+            + area.dynamic_allocation_mm2
+            + area.machine_learning_mm2
+        )
+
+
+class TestOpticalConfig:
+    def test_table5_losses(self):
+        opt = OpticalConfig()
+        assert opt.modulator_insertion_db == 1.0
+        assert opt.coupler_db == 1.0
+        assert opt.splitter_db == 0.2
+        assert opt.filter_drop_db == 1.5
+        assert opt.photodetector_db == 0.1
+        assert opt.receiver_sensitivity_dbm == -15.0
+
+    def test_table5_ring_powers(self):
+        opt = OpticalConfig()
+        assert opt.ring_heating_w == pytest.approx(26e-6)
+        assert opt.ring_modulating_w == pytest.approx(500e-6)
+
+    def test_link_loss_is_sum_of_components(self):
+        opt = OpticalConfig()
+        loss = opt.link_loss_db()
+        assert loss > opt.waveguide_db_per_cm * opt.waveguide_length_cm
+        assert loss == pytest.approx(
+            1.0 + 6.0 + 1.0 + 0.2 + 0.001 * 64 + 1.5 + 0.1
+        )
+
+
+class TestPhotonicConfig:
+    def test_paper_laser_powers(self):
+        ph = PhotonicConfig()
+        assert ph.state_power(64) == pytest.approx(1.16)
+        assert ph.state_power(48) == pytest.approx(0.871)
+        assert ph.state_power(32) == pytest.approx(0.581)
+        assert ph.state_power(16) == pytest.approx(0.29)
+        assert ph.state_power(8) == pytest.approx(0.145)
+
+    def test_serialization_cycles_match_section_3c(self):
+        ph = PhotonicConfig()
+        assert ph.state_serialization_cycles(64) == 2
+        assert ph.state_serialization_cycles(48) == 4
+        assert ph.state_serialization_cycles(32) == 4
+        assert ph.state_serialization_cycles(16) == 8
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicConfig().state_power(24)
+
+    def test_turn_on_cycles_2ns_at_2ghz(self):
+        assert PhotonicConfig().turn_on_cycles(2.0) == 4
+
+    def test_turn_on_cycles_rounds_up(self):
+        assert PhotonicConfig(laser_turn_on_ns=2.1).turn_on_cycles(2.0) == 5
+
+    def test_states_must_descend(self):
+        with pytest.raises(ValueError):
+            PhotonicConfig(
+                wavelength_states=(8, 16, 32, 48, 64),
+                laser_power_w=(0.1, 0.2, 0.3, 0.4, 0.5),
+                serialization_cycles=(16, 8, 4, 4, 2),
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicConfig(wavelength_states=(64, 32), laser_power_w=(1.0,))
+
+    def test_negative_turn_on_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicConfig(laser_turn_on_ns=-1.0)
+
+
+class TestDBAConfig:
+    def test_paper_upper_bounds(self):
+        dba = DBAConfig()
+        assert dba.cpu_upper_bound == pytest.approx(0.16)
+        assert dba.gpu_upper_bound == pytest.approx(0.06)
+
+    def test_paper_step_granularity(self):
+        assert DBAConfig().bandwidth_step == 0.25
+
+    @pytest.mark.parametrize("step", [0.0625, 0.125, 0.25])
+    def test_paper_evaluated_steps_accepted(self, step):
+        assert DBAConfig(bandwidth_step=step).bandwidth_step == step
+
+    def test_arbitrary_step_rejected(self):
+        with pytest.raises(ValueError):
+            DBAConfig(bandwidth_step=0.3)
+
+    @pytest.mark.parametrize("bound", [0.0, 1.0, -0.1, 1.5])
+    def test_out_of_range_bounds_rejected(self, bound):
+        with pytest.raises(ValueError):
+            DBAConfig(cpu_upper_bound=bound)
+
+
+class TestPowerScalingConfig:
+    def test_thresholds_descending(self):
+        thr = PowerScalingConfig().thresholds()
+        assert list(thr) == sorted(thr, reverse=True)
+
+    def test_non_descending_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            PowerScalingConfig(threshold_upper=0.01, threshold_lower=0.5)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            PowerScalingConfig(reservation_window=0)
+
+
+class TestMLConfig:
+    def test_paper_feature_count(self):
+        assert MLConfig().num_features == 30
+
+    def test_empty_lambda_grid_rejected(self):
+        with pytest.raises(ValueError):
+            MLConfig(lambda_grid=())
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            MLConfig(lambda_grid=(-1.0,))
+
+
+class TestCMeshConfig:
+    def test_paper_router_microarchitecture(self):
+        cmesh = CMeshConfig()
+        assert cmesh.num_routers == 16
+        assert cmesh.virtual_channels == 4
+        assert cmesh.buffers_per_vc == 4
+        assert cmesh.flit_bits == 128
+
+    def test_rejects_degenerate_mesh(self):
+        with pytest.raises(ValueError):
+            CMeshConfig(mesh_width=0)
+
+
+class TestSimulationConfig:
+    def test_total_cycles(self):
+        sim = SimulationConfig(warmup_cycles=100, measure_cycles=400)
+        assert sim.total_cycles == 500
+
+    def test_rejects_zero_measurement(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(measure_cycles=0)
+
+
+class TestPearlConfig:
+    def test_with_reservation_window_updates_both_controllers(self):
+        config = PearlConfig().with_reservation_window(1234)
+        assert config.power_scaling.reservation_window == 1234
+        assert config.ml.reservation_window == 1234
+
+    def test_with_turn_on_ns(self):
+        config = PearlConfig().with_turn_on_ns(16.0)
+        assert config.photonic.laser_turn_on_ns == 16.0
+
+    def test_replace_preserves_other_sections(self):
+        base = PearlConfig()
+        changed = base.replace(
+            simulation=SimulationConfig(warmup_cycles=1, measure_cycles=2)
+        )
+        assert changed.architecture == base.architecture
+        assert changed.simulation.total_cycles == 3
+
+    def test_as_dict_round_trips_architecture(self):
+        dump = PearlConfig().as_dict()
+        assert dump["architecture"]["num_clusters"] == 16
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PearlConfig().architecture = None

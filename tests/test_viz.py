@@ -1,0 +1,181 @@
+"""Tests for repro.viz — terminal charts and figure renderers."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentResult
+from repro.viz import (
+    RENDERERS,
+    bar_chart,
+    grouped_bar_chart,
+    residency_chart,
+    series_table,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart({"alpha": 10.0, "beta": 5.0}, title="demo")
+        assert "demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "10" in text
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_empty_data(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_pinned_scale(self):
+        half = bar_chart({"a": 50.0}, width=10, max_value=100.0)
+        assert half.count("█") == 5
+
+    def test_zero_values_render(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in text
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        text = grouped_bar_chart(
+            {"g1": {"x": 1.0}, "g2": {"x": 2.0}}, title="t"
+        )
+        assert "g1:" in text and "g2:" in text
+
+    def test_shared_scale(self):
+        text = grouped_bar_chart(
+            {"g1": {"x": 10.0}, "g2": {"x": 5.0}}, width=10
+        )
+        lines = [l for l in text.splitlines() if "│" in l]
+        assert lines[0].count("█") > lines[1].count("█")
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_levels(self):
+        line = sparkline(list(range(8)))
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestResidencyChart:
+    def test_legend_percentages(self):
+        text = residency_chart({64: 0.25, 32: 0.75}, title="r")
+        assert "64WL 25%" in text
+        assert "32WL 75%" in text
+
+    def test_idle_residency(self):
+        assert "(idle)" in residency_chart({64: 0.0}, title="")
+
+    def test_width_respected(self):
+        text = residency_chart({64: 1.0}, width=20)
+        bar_line = text.splitlines()[0]
+        assert len(bar_line) <= 20
+
+
+class TestSeriesTable:
+    def test_rows_and_sparkline(self):
+        text = series_table(
+            [1, 2, 3], {"s": [10.0, 20.0, 30.0]}, title="t", x_label="x"
+        )
+        assert "t" in text
+        assert "trend" in text
+        assert "30" in text
+
+
+class TestFigureRenderers:
+    def test_all_paper_figures_have_renderers(self):
+        assert set(RENDERERS) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"
+        }
+
+    def test_fig4_renderer(self):
+        result = ExperimentResult(name="fig4")
+        result.add_row(pair="FA+DCT", cpu_percent=60.0, gpu_percent=40.0)
+        text = RENDERERS["fig4"](result)
+        assert "FA+DCT" in text
+
+    def test_fig5_renderer(self):
+        result = ExperimentResult(name="fig5")
+        result.add_row(
+            wavelengths=64,
+            pearl_dyn_epb_pj=10.0,
+            pearl_fcfs_epb_pj=11.0,
+            cmesh_epb_pj=20.0,
+        )
+        text = RENDERERS["fig5"](result)
+        assert "64 WL" in text and "CMESH" in text
+
+    def test_fig8_renderer(self):
+        result = ExperimentResult(name="fig8")
+        result.add_row(
+            config="ML RW500",
+            wl64_pct=10.0, wl48_pct=0.0, wl32_pct=60.0,
+            wl16_pct=30.0, wl8_pct=0.0,
+        )
+        text = RENDERERS["fig8"](result)
+        assert "ML RW500" in text
+        assert "32WL" in text
+
+    def test_fig11_renderer(self):
+        result = ExperimentResult(name="fig11")
+        for turn_on in (2.0, 4.0):
+            result.add_row(
+                config="Dyn RW500", turn_on_ns=turn_on, laser_power_w=15.0,
+                throughput_flits_per_cycle=5.0,
+                throughput_loss_vs_2ns_pct=0.0, stall_cycles=0,
+            )
+        text = RENDERERS["fig11"](result)
+        assert "turn-on ns" in text
+
+
+class TestRemainingRenderers:
+    def test_fig6_renderer(self):
+        result = ExperimentResult(name="fig6")
+        result.add_row(
+            config="64WL", throughput_flits_per_cycle=5.0,
+            throughput_loss_pct=0.0,
+        )
+        result.add_row(
+            config="Dyn RW500", throughput_flits_per_cycle=4.9,
+            throughput_loss_pct=2.0,
+        )
+        text = RENDERERS["fig6"](result)
+        assert "Dyn RW500" in text and "Fig.6" in text
+
+    def test_fig7_renderer(self):
+        result = ExperimentResult(name="fig7")
+        result.add_row(config="64WL", laser_power_w=27.8, power_savings_pct=0.0)
+        text = RENDERERS["fig7"](result)
+        assert "27.8" in text
+
+    def test_fig9_renderer(self):
+        result = ExperimentResult(name="fig9")
+        result.add_row(
+            config="CMESH", throughput_flits_per_cycle=3.5,
+            gain_vs_cmesh_pct=0.0,
+        )
+        text = RENDERERS["fig9"](result)
+        assert "CMESH" in text
+
+    def test_fig10_renderer(self):
+        result = ExperimentResult(name="fig10")
+        result.add_row(
+            window="ML RW500", throughput_flits_per_cycle=5.0,
+            loss_vs_static_pct=1.0,
+        )
+        text = RENDERERS["fig10"](result)
+        assert "ML RW500" in text

@@ -1,0 +1,133 @@
+"""Tests for repro.traffic.cache_traffic — cache-driven trace generation."""
+
+import pytest
+
+from repro.config import ArchitectureConfig
+from repro.noc.packet import CacheLevel, CoreType, PacketClass
+from repro.traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS
+from repro.traffic.cache_traffic import AddressStream, CacheTraceGenerator
+
+import numpy as np
+
+ARCH = ArchitectureConfig(num_clusters=4)
+
+
+class TestAddressStream:
+    def test_sequential_walk(self):
+        stream = AddressStream(
+            working_set_kb=4,
+            base_address=0,
+            rng=np.random.default_rng(0),
+            sequential_prob=1.0,
+        )
+        a, b = stream.next_address(), stream.next_address()
+        assert b - a == 64
+
+    def test_wraps_working_set(self):
+        stream = AddressStream(
+            working_set_kb=1,
+            base_address=0,
+            rng=np.random.default_rng(0),
+            sequential_prob=1.0,
+        )
+        addresses = [stream.next_address() for _ in range(64)]
+        assert max(addresses) < 1024
+
+    def test_random_jumps_stay_in_set(self):
+        stream = AddressStream(
+            working_set_kb=4,
+            base_address=1 << 32,
+            rng=np.random.default_rng(1),
+            sequential_prob=0.0,
+        )
+        # Cold jumps (5%) leave the set; all others stay inside.
+        inside = [
+            (1 << 32) <= stream.next_address() < (1 << 32) + 4096 + (1 << 29)
+            for _ in range(100)
+        ]
+        assert all(inside)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            AddressStream(0, 0, rng)
+        with pytest.raises(ValueError):
+            AddressStream(4, 0, rng, sequential_prob=2.0)
+
+
+class TestCacheTraceGenerator:
+    @pytest.fixture(scope="class")
+    def cpu_trace(self):
+        generator = CacheTraceGenerator(ARCH)
+        return generator.generate(
+            CPU_BENCHMARKS["canneal"], duration=4_000, seed=3
+        )
+
+    @pytest.fixture(scope="class")
+    def gpu_trace(self):
+        generator = CacheTraceGenerator(ARCH)
+        return generator.generate(
+            GPU_BENCHMARKS["matrix_mult"], duration=4_000, seed=3
+        )
+
+    def test_produces_events(self, cpu_trace):
+        assert len(cpu_trace) > 0
+
+    def test_valid_destinations(self, cpu_trace):
+        assert all(
+            0 <= e.destination <= ARCH.l3_router_id for e in cpu_trace
+        )
+
+    def test_local_and_network_traffic_present(self, cpu_trace):
+        local = [e for e in cpu_trace if e.source == e.destination]
+        network = [e for e in cpu_trace if e.source != e.destination]
+        assert local and network
+
+    def test_l3_requests_labelled_l2_down(self, cpu_trace):
+        for event in cpu_trace:
+            if (
+                event.destination == ARCH.l3_router_id
+                and event.packet_class is PacketClass.REQUEST
+            ):
+                assert event.cache_level is CacheLevel.CPU_L2_DOWN
+
+    def test_writebacks_are_responses(self, cpu_trace, gpu_trace):
+        writebacks = [
+            e
+            for e in list(cpu_trace) + list(gpu_trace)
+            if e.packet_class is PacketClass.RESPONSE
+        ]
+        assert all(e.size_flits == 5 for e in writebacks)
+
+    def test_gpu_core_type(self, gpu_trace):
+        assert all(e.core_type is CoreType.GPU for e in gpu_trace)
+
+    def test_deterministic(self):
+        generator = CacheTraceGenerator(ARCH)
+        a = generator.generate(CPU_BENCHMARKS["barnes"], duration=2_000, seed=9)
+        b = CacheTraceGenerator(ARCH).generate(
+            CPU_BENCHMARKS["barnes"], duration=2_000, seed=9
+        )
+        assert a.events == b.events
+
+    def test_shared_data_produces_peer_traffic(self):
+        generator = CacheTraceGenerator(ARCH, shared_data_fraction=0.5)
+        trace = generator.generate(
+            CPU_BENCHMARKS["ocean"], duration=6_000, seed=5
+        )
+        peers = [
+            e
+            for e in trace
+            if e.destination not in (e.source, ARCH.l3_router_id)
+        ]
+        assert peers, "coherence forwards should reach peer clusters"
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            CacheTraceGenerator(ARCH).generate(
+                CPU_BENCHMARKS["barnes"], duration=0
+            )
+
+    def test_invalid_shared_fraction(self):
+        with pytest.raises(ValueError):
+            CacheTraceGenerator(ARCH, shared_data_fraction=1.5)

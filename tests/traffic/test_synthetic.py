@@ -1,0 +1,133 @@
+"""Tests for repro.traffic.synthetic — deterministic trace generation."""
+
+import pytest
+
+from repro.config import ArchitectureConfig
+from repro.noc.packet import CacheLevel, CoreType, PacketClass
+from repro.traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS
+from repro.traffic.synthetic import (
+    generate_pair_trace,
+    generate_trace,
+    hotspot_trace,
+    uniform_random_trace,
+)
+
+FA = CPU_BENCHMARKS["fluidanimate"]
+DCT = GPU_BENCHMARKS["dct"]
+ARCH = ArchitectureConfig()
+
+
+class TestGenerateTrace:
+    def test_deterministic_for_same_seed(self):
+        a = generate_trace(FA, ARCH, duration=2_000, seed=5)
+        b = generate_trace(FA, ARCH, duration=2_000, seed=5)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(FA, ARCH, duration=2_000, seed=5)
+        b = generate_trace(FA, ARCH, duration=2_000, seed=6)
+        assert a.events != b.events
+
+    def test_events_within_duration(self):
+        trace = generate_trace(FA, ARCH, duration=1_000, seed=1)
+        assert all(0 <= e.cycle < 1_000 for e in trace)
+
+    def test_all_clusters_inject(self):
+        trace = generate_trace(FA, ARCH, duration=5_000, seed=1)
+        sources = {e.source for e in trace}
+        assert sources == set(range(16))
+
+    def test_only_requests_generated(self):
+        """Responses are closed-loop; traces carry requests only."""
+        trace = generate_trace(FA, ARCH, duration=2_000, seed=1)
+        assert all(e.packet_class is PacketClass.REQUEST for e in trace)
+
+    def test_core_type_matches_profile(self):
+        trace = generate_trace(DCT, ARCH, duration=2_000, seed=1)
+        assert all(e.core_type is CoreType.GPU for e in trace)
+
+    def test_mean_rate_approximates_profile(self):
+        """The time-average injection rate tracks injection_rate."""
+        duration = 40_000
+        trace = generate_trace(FA, ARCH, duration=duration, seed=2)
+        per_cluster = len(trace) / (duration * ARCH.num_clusters)
+        assert per_cluster == pytest.approx(FA.injection_rate, rel=0.15)
+
+    def test_bursty_rate_normalised(self):
+        """Burst modulation must not inflate the mean rate."""
+        duration = 40_000
+        trace = generate_trace(DCT, ARCH, duration=duration, seed=2)
+        per_cluster = len(trace) / (duration * ARCH.num_clusters)
+        assert per_cluster == pytest.approx(DCT.injection_rate, rel=0.25)
+
+    def test_local_events_use_l1_levels(self):
+        trace = generate_trace(FA, ARCH, duration=5_000, seed=1)
+        for event in trace:
+            if event.source == event.destination:
+                assert event.cache_level in (
+                    CacheLevel.CPU_L1_INSTR,
+                    CacheLevel.CPU_L1_DATA,
+                )
+            else:
+                assert event.cache_level is CacheLevel.CPU_L2_DOWN
+
+    def test_network_events_target_l3_or_peers(self):
+        trace = generate_trace(DCT, ARCH, duration=5_000, seed=1)
+        for event in trace:
+            assert 0 <= event.destination <= ARCH.l3_router_id
+
+    def test_l3_fraction_respected(self):
+        trace = generate_trace(FA, ARCH, duration=40_000, seed=3)
+        network = [e for e in trace if e.source != e.destination]
+        to_l3 = sum(1 for e in network if e.destination == ARCH.l3_router_id)
+        assert to_l3 / len(network) == pytest.approx(FA.l3_fraction, abs=0.05)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(FA, ARCH, duration=0)
+
+
+class TestPairTrace:
+    def test_merges_both_types(self):
+        trace = generate_pair_trace(FA, DCT, ARCH, duration=3_000, seed=1)
+        counts = trace.packets_by_core_type()
+        assert counts[CoreType.CPU] > 0
+        assert counts[CoreType.GPU] > 0
+
+    def test_rejects_swapped_arguments(self):
+        with pytest.raises(ValueError):
+            generate_pair_trace(DCT, FA, ARCH, duration=1_000)
+
+    def test_name_uses_abbreviations(self):
+        trace = generate_pair_trace(FA, DCT, ARCH, duration=1_000, seed=1)
+        assert trace.name == "FA+DCT"
+
+
+class TestUniformRandom:
+    def test_rate_zero_is_empty(self):
+        assert len(uniform_random_trace(rate=0.0, duration=1_000)) == 0
+
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            uniform_random_trace(rate=1.5)
+
+    def test_no_self_destinations(self):
+        trace = uniform_random_trace(rate=0.1, duration=2_000, seed=4)
+        assert all(e.source != e.destination for e in trace)
+
+
+class TestHotspot:
+    def test_hotspot_receives_majority(self):
+        trace = hotspot_trace(
+            hotspot_router=0, rate=0.1, hotspot_fraction=0.8, duration=5_000
+        )
+        to_hotspot = sum(1 for e in trace if e.destination == 0)
+        assert to_hotspot / len(trace) == pytest.approx(0.8, abs=0.05)
+
+    def test_hotspot_never_injects(self):
+        trace = hotspot_trace(hotspot_router=3, rate=0.1, duration=2_000)
+        assert all(e.source != 3 for e in trace)
+
+    def test_invalid_hotspot_rejected(self):
+        with pytest.raises(ValueError):
+            hotspot_trace(hotspot_router=99)

@@ -1,0 +1,111 @@
+"""Tests for repro.traffic.trace."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.packet import CacheLevel, CoreType, PacketClass
+from repro.traffic.trace import InjectionEvent, Trace, TraceCursor
+
+
+def _event(cycle=0, source=0, destination=16, core=CoreType.CPU, flits=1):
+    level = (
+        CacheLevel.CPU_L2_DOWN if core is CoreType.CPU else CacheLevel.GPU_L2_DOWN
+    )
+    return InjectionEvent(
+        cycle=cycle,
+        source=source,
+        destination=destination,
+        core_type=core,
+        packet_class=PacketClass.REQUEST,
+        cache_level=level,
+        size_flits=flits,
+    )
+
+
+class TestInjectionEvent:
+    def test_to_packet_copies_fields(self):
+        event = _event(cycle=7, source=3, destination=16, flits=2)
+        packet = event.to_packet()
+        assert packet.source == 3
+        assert packet.destination == 16
+        assert packet.created_cycle == 7
+        assert packet.size_flits == 2
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            _event(cycle=-1)
+
+    def test_zero_flits_rejected(self):
+        with pytest.raises(ValueError):
+            _event(flits=0)
+
+
+class TestTrace:
+    def test_sorts_by_cycle(self):
+        trace = Trace([_event(cycle=5), _event(cycle=1), _event(cycle=3)])
+        assert [e.cycle for e in trace] == [1, 3, 5]
+
+    def test_duration(self):
+        trace = Trace([_event(cycle=5), _event(cycle=9)])
+        assert trace.duration == 9
+
+    def test_empty_duration(self):
+        assert Trace([]).duration == 0
+
+    def test_packets_by_core_type(self):
+        trace = Trace(
+            [_event(core=CoreType.CPU), _event(core=CoreType.GPU), _event()]
+        )
+        counts = trace.packets_by_core_type()
+        assert counts[CoreType.CPU] == 2
+        assert counts[CoreType.GPU] == 1
+
+    def test_merge_interleaves(self):
+        a = Trace([_event(cycle=0), _event(cycle=10)])
+        b = Trace([_event(cycle=5, core=CoreType.GPU)])
+        merged = Trace.merge([a, b])
+        assert [e.cycle for e in merged] == [0, 5, 10]
+        assert len(merged) == 3
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = Trace(
+            [_event(cycle=1), _event(cycle=2, core=CoreType.GPU, flits=5)],
+            name="round-trip",
+        )
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "round-trip"
+        assert len(loaded) == 2
+        assert loaded.events == trace.events
+
+    @given(
+        cycles=st.lists(
+            st.integers(min_value=0, max_value=10_000), min_size=0, max_size=50
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_trace_always_sorted(self, cycles):
+        trace = Trace([_event(cycle=c) for c in cycles])
+        ordered = [e.cycle for e in trace]
+        assert ordered == sorted(ordered)
+
+
+class TestTraceCursor:
+    def test_pops_in_order_exactly_once(self):
+        trace = Trace([_event(cycle=c) for c in (0, 0, 3, 5)])
+        cursor = TraceCursor(trace)
+        assert len(cursor.pop_ready(0)) == 2
+        assert cursor.pop_ready(2) == []
+        assert len(cursor.pop_ready(4)) == 1
+        assert len(cursor.pop_ready(100)) == 1
+        assert cursor.exhausted
+
+    def test_large_jump_pops_everything(self):
+        trace = Trace([_event(cycle=c) for c in range(10)])
+        cursor = TraceCursor(trace)
+        assert len(cursor.pop_ready(9)) == 10
+
+    def test_empty_trace_exhausted_immediately(self):
+        assert TraceCursor(Trace([])).exhausted
