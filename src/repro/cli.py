@@ -39,11 +39,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the figure as a terminal chart too",
     )
+    _add_engine_args(exp)
 
     allp = sub.add_parser("all", help="run every experiment")
     allp.add_argument("--full", action="store_true")
     allp.add_argument("--seed", type=int, default=1)
     allp.add_argument("--output", default=None, help="write report to a file")
+    _add_engine_args(allp)
 
     simp = sub.add_parser("simulate", help="run one benchmark pair")
     simp.add_argument("--cpu", default="fluidanimate", choices=sorted(CPU_BENCHMARKS))
@@ -63,6 +65,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulation fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (.pearl_result_cache/)",
+    )
+
+
+def _engine_scope(args: argparse.Namespace):
+    from .experiments.parallel import engine_scope
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    return engine_scope(jobs=args.jobs, use_cache=not args.no_cache)
+
+
 def _cmd_list() -> int:
     from .experiments import REGISTRY
 
@@ -77,7 +102,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.id not in REGISTRY:
         print(f"unknown experiment {args.id!r}; try `pearl-sim list`")
         return 2
-    result = REGISTRY[args.id](quick=not args.full, seed=args.seed)
+    with _engine_scope(args):
+        result = REGISTRY[args.id](quick=not args.full, seed=args.seed)
     print(result.format_table())
     if getattr(args, "chart", False):
         from .viz import RENDERERS
@@ -94,7 +120,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
-    results = run_all(quick=not args.full, seed=args.seed)
+    with _engine_scope(args):
+        results = run_all(quick=not args.full, seed=args.seed)
     report = "\n\n".join(result.format_table() for result in results)
     if args.output:
         with open(args.output, "w") as fh:

@@ -26,6 +26,18 @@ from . import (
     ml_quality,
     tables,
 )
+from .cache import ResultCache
+from .parallel import (
+    ExperimentEngine,
+    JobResult,
+    JobSpec,
+    TraceSpec,
+    configure,
+    current_engine,
+    engine_scope,
+    execute_job,
+    run_jobs,
+)
 from .runner import ExperimentResult, clear_cache
 
 REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
@@ -54,4 +66,19 @@ def run_all(quick: bool = True, seed: int = 1) -> List[ExperimentResult]:
     return [run(quick=quick, seed=seed) for run in REGISTRY.values()]
 
 
-__all__ = ["REGISTRY", "ExperimentResult", "clear_cache", "run_all"]
+__all__ = [
+    "REGISTRY",
+    "ExperimentEngine",
+    "ExperimentResult",
+    "JobResult",
+    "JobSpec",
+    "ResultCache",
+    "TraceSpec",
+    "clear_cache",
+    "configure",
+    "current_engine",
+    "engine_scope",
+    "execute_job",
+    "run_all",
+    "run_jobs",
+]

@@ -10,8 +10,6 @@
 
 from __future__ import annotations
 
-from typing import List
-
 import numpy as np
 
 from ..config import DBAConfig, PearlConfig
@@ -19,13 +17,12 @@ from ..ml.metrics import nrmse
 from ..ml.pipeline import PowerModelTrainer, collect_datasets
 from ..ml.ridge import select_lambda
 from ..power.energy import energy_per_bit_pj
+from .parallel import pair_spec, pearl_job, run_jobs
 from .power_scaling_suite import run_suite
 from .runner import (
     ExperimentResult,
     cached,
     experiment_pairs,
-    pair_trace,
-    run_pearl,
     simulation_config,
 )
 
@@ -47,22 +44,31 @@ def dba_granularity(quick: bool = True, seed: int = 1) -> ExperimentResult:
     def compute() -> ExperimentResult:
         result = ExperimentResult(name="ablation: DBA step granularity")
         pairs = experiment_pairs(quick)
-        for step in (0.25, 0.125, 0.0625):
-            config = PearlConfig(
-                simulation=simulation_config(quick, seed),
-                dba=DBAConfig(bandwidth_step=step),
+        steps = (0.25, 0.125, 0.0625)
+        specs = [
+            pearl_job(
+                PearlConfig(
+                    simulation=simulation_config(quick, seed),
+                    dba=DBAConfig(bandwidth_step=step),
+                ),
+                pair_spec(pair, seed + i),
+                seed=seed + i,
+                static_state=16,
             )
-            throughputs: List[float] = []
-            epbs: List[float] = []
-            for i, pair in enumerate(pairs):
-                trace = pair_trace(pair, config, seed=seed + i)
-                run = run_pearl(config, trace, static_state=16, seed=seed + i)
-                throughputs.append(run.throughput())
-                epbs.append(energy_per_bit_pj(run.stats))
+            for step in steps
+            for i, pair in enumerate(pairs)
+        ]
+        jobs = run_jobs(specs)
+        for index, step in enumerate(steps):
+            chunk = jobs[index * len(pairs) : (index + 1) * len(pairs)]
             result.add_row(
                 step_pct=100.0 * step,
-                throughput_flits_per_cycle=float(np.mean(throughputs)),
-                energy_per_bit_pj=float(np.mean(epbs)),
+                throughput_flits_per_cycle=float(
+                    np.mean([job.throughput() for job in chunk])
+                ),
+                energy_per_bit_pj=float(
+                    np.mean([energy_per_bit_pj(job.stats) for job in chunk])
+                ),
             )
         result.notes.append("paper: 25% steps performed best")
         return result
@@ -76,28 +82,37 @@ def upper_bounds(quick: bool = True, seed: int = 1) -> ExperimentResult:
     def compute() -> ExperimentResult:
         result = ExperimentResult(name="ablation: DBA upper bounds")
         pairs = experiment_pairs(quick)
-        for cpu_bound, gpu_bound in (
+        bounds = (
             (0.08, 0.03),
             (0.16, 0.06),  # the paper's brute-force optimum
             (0.32, 0.12),
             (0.16, 0.12),
             (0.32, 0.06),
-        ):
-            config = PearlConfig(
-                simulation=simulation_config(quick, seed),
-                dba=DBAConfig(
-                    cpu_upper_bound=cpu_bound, gpu_upper_bound=gpu_bound
+        )
+        specs = [
+            pearl_job(
+                PearlConfig(
+                    simulation=simulation_config(quick, seed),
+                    dba=DBAConfig(
+                        cpu_upper_bound=cpu_bound, gpu_upper_bound=gpu_bound
+                    ),
                 ),
+                pair_spec(pair, seed + i),
+                seed=seed + i,
+                static_state=16,
             )
-            throughputs: List[float] = []
-            for i, pair in enumerate(pairs):
-                trace = pair_trace(pair, config, seed=seed + i)
-                run = run_pearl(config, trace, static_state=16, seed=seed + i)
-                throughputs.append(run.throughput())
+            for cpu_bound, gpu_bound in bounds
+            for i, pair in enumerate(pairs)
+        ]
+        jobs = run_jobs(specs)
+        for index, (cpu_bound, gpu_bound) in enumerate(bounds):
+            chunk = jobs[index * len(pairs) : (index + 1) * len(pairs)]
             result.add_row(
                 cpu_upper_pct=100.0 * cpu_bound,
                 gpu_upper_pct=100.0 * gpu_bound,
-                throughput_flits_per_cycle=float(np.mean(throughputs)),
+                throughput_flits_per_cycle=float(
+                    np.mean([job.throughput() for job in chunk])
+                ),
             )
         return result
 
@@ -172,24 +187,32 @@ def adaptive_thresholds(quick: bool = True, seed: int = 1) -> ExperimentResult:
         config = PearlConfig(
             simulation=simulation_config(quick, seed)
         ).with_reservation_window(500)
-        for policy, label in (
+        policies = (
             (PowerPolicyKind.STATIC, "64WL static"),
             (PowerPolicyKind.REACTIVE, "reactive (fixed thresholds)"),
             (PowerPolicyKind.ADAPTIVE, "adaptive (self-tuning)"),
-        ):
-            throughputs: List[float] = []
-            powers: List[float] = []
-            for i, pair in enumerate(pairs):
-                trace = pair_trace(pair, config, seed=seed + i)
-                run = run_pearl(
-                    config, trace, power_policy=policy, seed=seed + i
-                )
-                throughputs.append(run.throughput())
-                powers.append(run.mean_laser_power_w)
+        )
+        specs = [
+            pearl_job(
+                config,
+                pair_spec(pair, seed + i),
+                seed=seed + i,
+                power_policy=policy,
+            )
+            for policy, _ in policies
+            for i, pair in enumerate(pairs)
+        ]
+        jobs = run_jobs(specs)
+        for index, (_, label) in enumerate(policies):
+            chunk = jobs[index * len(pairs) : (index + 1) * len(pairs)]
             result.add_row(
                 policy=label,
-                throughput_flits_per_cycle=float(np.mean(throughputs)),
-                laser_power_w=float(np.mean(powers)),
+                throughput_flits_per_cycle=float(
+                    np.mean([job.throughput() for job in chunk])
+                ),
+                laser_power_w=float(
+                    np.mean([job.mean_laser_power_w for job in chunk])
+                ),
             )
         return result
 

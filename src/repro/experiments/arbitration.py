@@ -14,14 +14,12 @@ from typing import List
 import numpy as np
 
 from ..config import PearlConfig
-from ..noc.mwsr import MwsrNetwork
+from .parallel import mwsr_job, pair_spec, pearl_job, run_jobs
 from .runner import (
     ExperimentResult,
     cached,
     describe_pair,
     experiment_pairs,
-    pair_trace,
-    run_pearl,
     simulation_config,
 )
 
@@ -32,29 +30,33 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
     def compute() -> ExperimentResult:
         result = ExperimentResult(name="extension: R-SWMR vs token-MWSR")
         config = PearlConfig(simulation=simulation_config(quick, seed))
+        pairs = experiment_pairs(quick)
+        specs = []
+        for i, pair in enumerate(pairs):
+            trace = pair_spec(pair, seed + i)
+            specs.append(pearl_job(config, trace, seed=seed + i))
+            specs.append(mwsr_job(config, trace, seed=seed + i))
+        jobs = iter(run_jobs(specs))
         swmr_thr: List[float] = []
         mwsr_thr: List[float] = []
         swmr_lat: List[float] = []
         mwsr_lat: List[float] = []
         waits = 0
-        for i, pair in enumerate(experiment_pairs(quick)):
-            trace = pair_trace(pair, config, seed=seed + i)
-            swmr = run_pearl(config, trace, seed=seed + i)
-            trace2 = pair_trace(pair, config, seed=seed + i)
-            mwsr_net = MwsrNetwork(config, seed=seed + i)
-            mwsr = mwsr_net.run(trace2)
+        for pair in pairs:
+            swmr, mwsr = next(jobs), next(jobs)
+            pair_waits = int(mwsr.extras["token_wait_events"])
             swmr_thr.append(swmr.throughput())
-            mwsr_thr.append(mwsr.throughput_flits_per_cycle())
+            mwsr_thr.append(mwsr.throughput())
             swmr_lat.append(swmr.stats.mean_latency())
-            mwsr_lat.append(mwsr.mean_latency())
-            waits += mwsr_net.total_token_waits()
+            mwsr_lat.append(mwsr.stats.mean_latency())
+            waits += pair_waits
             result.add_row(
                 pair=describe_pair(pair),
                 rswmr_throughput=swmr.throughput(),
-                mwsr_throughput=mwsr.throughput_flits_per_cycle(),
+                mwsr_throughput=mwsr.throughput(),
                 rswmr_latency=swmr.stats.mean_latency(),
-                mwsr_latency=mwsr.mean_latency(),
-                token_wait_events=mwsr_net.total_token_waits(),
+                mwsr_latency=mwsr.stats.mean_latency(),
+                token_wait_events=pair_waits,
             )
         result.add_row(
             pair="MEAN",

@@ -1,0 +1,228 @@
+"""Persistent, content-keyed experiment result cache.
+
+Completed simulation jobs are memoised to disk so re-running a figure
+or resuming an interrupted sweep is near-free.  The key is a stable
+SHA-256 over the *content* of the job — the full serialized
+:class:`~repro.config.PearlConfig`, the trace parameters, every variant
+knob and a code-version salt — so any change to the inputs (or a salt
+bump after a simulator change) misses cleanly instead of returning
+stale numbers.
+
+Each entry is a pair of files alongside the existing
+``.pearl_model_cache/`` convention:
+
+* ``<key>.npz``  — the array payloads (latency samples, ML history);
+* ``<key>.json`` — every scalar field plus provenance; written last
+  (atomically, via ``os.replace``) so it doubles as the commit record.
+
+Corrupted or truncated entries — a killed run, a partial copy — are
+detected on read, dropped and recomputed rather than crashed on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from ..noc.stats import NetworkStats
+
+#: Bump when a simulator change invalidates previously cached results.
+CODE_VERSION = "pearl-experiments-1"
+
+#: On-disk schema version of one cache entry.
+ENTRY_FORMAT = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text for hashing (sorted keys, no whitespace)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def job_key(payload: Dict[str, Any], salt: str = CODE_VERSION) -> str:
+    """Stable content hash of a job payload under a code-version salt."""
+    digest = hashlib.sha256()
+    digest.update(salt.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def file_digest(path: Union[str, Path]) -> str:
+    """SHA-256 of a file's bytes (keys ML model artifacts by content)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Cache directory (override: ``PEARL_RESULT_CACHE_DIR``)."""
+    return Path(
+        os.environ.get("PEARL_RESULT_CACHE_DIR", ".pearl_result_cache")
+    )
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write via a temp file + rename so readers never see partials."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Disk-backed memoisation of :class:`~.parallel.JobResult` objects.
+
+    ``get``/``put`` take the job spec itself; keys are derived from its
+    content payload.  All floats round-trip through JSON ``repr`` and
+    all arrays through binary ``.npz``, so a cache hit is bit-identical
+    to the original computation.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path, None] = None,
+        salt: str = CODE_VERSION,
+    ) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+
+    # -- keys and paths -------------------------------------------------------
+
+    def key_for(self, spec) -> str:
+        """Content key of one job spec under this cache's salt."""
+        return job_key(spec.payload(), salt=self.salt)
+
+    def _paths(self, key: str) -> "tuple[Path, Path]":
+        return (
+            self.directory / f"{key}.json",
+            self.directory / f"{key}.npz",
+        )
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, spec):
+        """The cached :class:`JobResult` for ``spec``, or ``None``.
+
+        Any unreadable entry (bad JSON, truncated npz, schema drift)
+        counts as a miss: the stale files are removed and the caller
+        recomputes.
+        """
+        json_path, npz_path = self._paths(self.key_for(spec))
+        if not json_path.exists():
+            self.misses += 1
+            return None
+        try:
+            doc = json.loads(json_path.read_text())
+            if doc.get("format") != ENTRY_FORMAT:
+                raise ValueError(f"unknown cache entry format: {doc.get('format')!r}")
+            arrays: Dict[str, np.ndarray] = {}
+            with np.load(npz_path, allow_pickle=False) as archive:
+                for name in archive.files:
+                    arrays[name] = archive[name]
+            result = _decode_result(doc, arrays)
+        except Exception:
+            self.errors += 1
+            self.misses += 1
+            self._evict(json_path, npz_path)
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec, result) -> None:
+        """Persist one completed job result."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        json_path, npz_path = self._paths(self.key_for(spec))
+        doc, arrays = _encode_result(result)
+        doc["format"] = ENTRY_FORMAT
+        doc["spec"] = spec.payload()
+        import io
+
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        # npz first, JSON second: the JSON file is the commit record.
+        _atomic_write_bytes(npz_path, buffer.getvalue())
+        _atomic_write_bytes(
+            json_path, (json.dumps(doc, sort_keys=True) + "\n").encode()
+        )
+
+    @staticmethod
+    def _evict(*paths: Path) -> None:
+        for path in paths:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+def _encode_result(result) -> "tuple[Dict[str, Any], Dict[str, np.ndarray]]":
+    """Split a JobResult into a JSON document and binary arrays."""
+    doc: Dict[str, Any] = {
+        "kind": result.kind,
+        "state_residency": {
+            str(state): fraction
+            for state, fraction in result.state_residency.items()
+        },
+        "mean_laser_power_w": result.mean_laser_power_w,
+        "laser_stall_cycles": result.laser_stall_cycles,
+        "extras": result.extras,
+        "stats": (
+            result.stats.to_dict(include_latencies=False)
+            if result.stats is not None
+            else None
+        ),
+    }
+    arrays = {
+        "latencies": np.asarray(
+            result.stats._latencies if result.stats is not None else [],
+            dtype=np.int64,
+        ),
+        "ml_predictions": np.asarray(result.ml_predictions, dtype=np.float64),
+        "ml_labels": np.asarray(result.ml_labels, dtype=np.float64),
+    }
+    return doc, arrays
+
+
+def _decode_result(doc: Dict[str, Any], arrays: Dict[str, np.ndarray]):
+    """Rebuild a JobResult from :func:`_encode_result` output."""
+    from .parallel import JobResult
+
+    stats: Optional[NetworkStats] = None
+    if doc["stats"] is not None:
+        stats = NetworkStats.from_dict(
+            doc["stats"], latencies=arrays["latencies"].tolist()
+        )
+    return JobResult(
+        kind=doc["kind"],
+        stats=stats,
+        state_residency={
+            int(state): float(fraction)
+            for state, fraction in doc["state_residency"].items()
+        },
+        mean_laser_power_w=float(doc["mean_laser_power_w"]),
+        laser_stall_cycles=int(doc["laser_stall_cycles"]),
+        ml_predictions=[float(v) for v in arrays["ml_predictions"]],
+        ml_labels=[float(v) for v in arrays["ml_labels"]],
+        extras=dict(doc["extras"]),
+    )

@@ -12,14 +12,13 @@ from typing import List
 import numpy as np
 
 from ..config import PearlConfig
-from ..ml.pipeline import train_default_model
+from ..ml.pipeline import ensure_model_file
 from ..noc.router import PowerPolicyKind
+from .parallel import pair_spec, pearl_job, run_jobs
 from .runner import (
     ExperimentResult,
     cached,
     experiment_pairs,
-    pair_trace,
-    run_pearl,
     simulation_config,
 )
 
@@ -34,34 +33,36 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
         result = ExperimentResult(name="fig10: ML window-size sweep")
         pairs = experiment_pairs(quick)
         base = PearlConfig(simulation=simulation_config(quick, seed))
-        baseline_values: List[float] = []
-        for i, pair in enumerate(pairs):
-            trace = pair_trace(pair, base, seed=seed + i)
-            baseline_values.append(
-                run_pearl(base, trace, seed=seed + i).throughput()
+        specs = [
+            pearl_job(base, pair_spec(pair, seed + i), seed=seed + i)
+            for i, pair in enumerate(pairs)
+        ]
+        for window in WINDOWS:
+            config = base.with_reservation_window(window)
+            model_path = ensure_model_file(window, quick=quick)
+            specs.extend(
+                pearl_job(
+                    config,
+                    pair_spec(pair, seed + i),
+                    seed=seed + i,
+                    power_policy=PowerPolicyKind.ML,
+                    ml_model_path=model_path,
+                )
+                for i, pair in enumerate(pairs)
             )
+        jobs = run_jobs(specs)
+        baseline_values: List[float] = [
+            job.throughput() for job in jobs[: len(pairs)]
+        ]
         baseline = float(np.mean(baseline_values))
         result.add_row(
             window="64WL static",
             throughput_flits_per_cycle=baseline,
             loss_vs_static_pct=0.0,
         )
-        for window in WINDOWS:
-            config = base.with_reservation_window(window)
-            model = train_default_model(window, quick=quick).model
-            values: List[float] = []
-            for i, pair in enumerate(pairs):
-                trace = pair_trace(pair, config, seed=seed + i)
-                values.append(
-                    run_pearl(
-                        config,
-                        trace,
-                        power_policy=PowerPolicyKind.ML,
-                        ml_model=model,
-                        seed=seed + i,
-                    ).throughput()
-                )
-            mean = float(np.mean(values))
+        for index, window in enumerate(WINDOWS):
+            chunk = jobs[(index + 1) * len(pairs) : (index + 2) * len(pairs)]
+            mean = float(np.mean([job.throughput() for job in chunk]))
             result.add_row(
                 window=f"ML RW{window}",
                 throughput_flits_per_cycle=mean,

@@ -15,12 +15,11 @@ import numpy as np
 
 from ..config import PearlConfig
 from ..noc.router import PowerPolicyKind
+from .parallel import pair_spec, pearl_job, run_jobs
 from .runner import (
     ExperimentResult,
     cached,
     experiment_pairs,
-    pair_trace,
-    run_pearl,
     simulation_config,
 )
 
@@ -37,25 +36,32 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
     def compute() -> ExperimentResult:
         result = ExperimentResult(name="fig11: laser turn-on sensitivity")
         pairs = experiment_pairs(quick)
+        specs = []
         for window in WINDOWS:
-            reference_throughput = None
             for turn_on in TURN_ON_NS:
                 config = (
                     PearlConfig(simulation=simulation_config(quick, seed))
                     .with_reservation_window(window)
                     .with_turn_on_ns(turn_on)
                 )
+                specs.extend(
+                    pearl_job(
+                        config,
+                        pair_spec(pair, seed + i),
+                        seed=seed + i,
+                        power_policy=PowerPolicyKind.REACTIVE,
+                    )
+                    for i, pair in enumerate(pairs)
+                )
+        jobs = iter(run_jobs(specs))
+        for window in WINDOWS:
+            reference_throughput = None
+            for turn_on in TURN_ON_NS:
                 powers: List[float] = []
                 throughputs: List[float] = []
                 stalls = 0
-                for i, pair in enumerate(pairs):
-                    trace = pair_trace(pair, config, seed=seed + i)
-                    run = run_pearl(
-                        config,
-                        trace,
-                        power_policy=PowerPolicyKind.REACTIVE,
-                        seed=seed + i,
-                    )
+                for _ in pairs:
+                    run = next(jobs)
                     powers.append(run.mean_laser_power_w)
                     throughputs.append(run.throughput())
                     stalls += run.laser_stall_cycles

@@ -12,13 +12,11 @@ from __future__ import annotations
 
 from ..config import PearlConfig
 from ..power.energy import energy_per_bit_pj
+from .parallel import cmesh_job, pair_spec, pearl_job, run_jobs
 from .runner import (
     ExperimentResult,
     cached,
     experiment_pairs,
-    pair_trace,
-    run_cmesh,
-    run_pearl,
     simulation_config,
 )
 
@@ -33,32 +31,47 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
         result = ExperimentResult(name="fig5: energy per bit")
         config = PearlConfig(simulation=simulation_config(quick, seed))
         pairs = experiment_pairs(quick)
+        specs = []
+        for wavelengths, divisor in WL_CONFIGS:
+            for i, pair in enumerate(pairs):
+                trace = pair_spec(pair, seed + i)
+                specs.append(
+                    pearl_job(
+                        config,
+                        trace,
+                        seed=seed + i,
+                        static_state=wavelengths,
+                    )
+                )
+                specs.append(
+                    pearl_job(
+                        config,
+                        trace,
+                        seed=seed + i,
+                        static_state=wavelengths,
+                        use_dynamic_bandwidth=False,
+                    )
+                )
+                specs.append(
+                    cmesh_job(
+                        config,
+                        trace,
+                        seed=seed + i,
+                        bandwidth_divisor=divisor,
+                    )
+                )
+        jobs = iter(run_jobs(specs))
         for wavelengths, divisor in WL_CONFIGS:
             dyn_epb, fcfs_epb, cmesh_epb = [], [], []
             dyn_thr, fcfs_thr, cmesh_thr = [], [], []
-            for i, pair in enumerate(pairs):
-                trace = pair_trace(pair, config, seed=seed + i)
-                dyn = run_pearl(
-                    config, trace, static_state=wavelengths, seed=seed + i
-                )
-                trace2 = pair_trace(pair, config, seed=seed + i)
-                fcfs = run_pearl(
-                    config,
-                    trace2,
-                    static_state=wavelengths,
-                    use_dynamic_bandwidth=False,
-                    seed=seed + i,
-                )
-                trace3 = pair_trace(pair, config, seed=seed + i)
-                cmesh = run_cmesh(
-                    config, trace3, bandwidth_divisor=divisor, seed=seed + i
-                )
+            for _ in pairs:
+                dyn, fcfs, cmesh = next(jobs), next(jobs), next(jobs)
                 dyn_epb.append(energy_per_bit_pj(dyn.stats))
                 fcfs_epb.append(energy_per_bit_pj(fcfs.stats))
-                cmesh_epb.append(energy_per_bit_pj(cmesh))
+                cmesh_epb.append(energy_per_bit_pj(cmesh.stats))
                 dyn_thr.append(dyn.throughput())
                 fcfs_thr.append(fcfs.throughput())
-                cmesh_thr.append(cmesh.throughput_flits_per_cycle())
+                cmesh_thr.append(cmesh.throughput())
             n = len(pairs)
             result.add_row(
                 wavelengths=wavelengths,

@@ -13,15 +13,13 @@ from typing import Dict, List
 import numpy as np
 
 from ..config import PearlConfig
-from ..ml.pipeline import train_default_model
+from ..ml.pipeline import ensure_model_file
 from ..noc.router import PowerPolicyKind
+from .parallel import cmesh_job, pair_spec, pearl_job, run_jobs
 from .runner import (
     ExperimentResult,
     cached,
     experiment_pairs,
-    pair_trace,
-    run_cmesh,
-    run_pearl,
     simulation_config,
 )
 
@@ -33,7 +31,7 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
         config = PearlConfig(
             simulation=simulation_config(quick, seed)
         ).with_reservation_window(500)
-        ml_model = train_default_model(500, quick=quick).model
+        model_path = ensure_model_file(500, quick=quick)
         pairs = experiment_pairs(quick)
         throughputs: Dict[str, List[float]] = {
             "PEARL-Dyn (64WL)": [],
@@ -42,41 +40,40 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "ML RW500": [],
             "CMESH": [],
         }
+        specs = []
         for i, pair in enumerate(pairs):
-            trace = lambda: pair_trace(pair, config, seed=seed + i)
-            throughputs["PEARL-Dyn (64WL)"].append(
-                run_pearl(config, trace(), seed=seed + i).throughput()
-            )
-            throughputs["PEARL-FCFS (64WL)"].append(
-                run_pearl(
+            trace = pair_spec(pair, seed + i)
+            specs.append(pearl_job(config, trace, seed=seed + i))
+            specs.append(
+                pearl_job(
                     config,
-                    trace(),
+                    trace,
+                    seed=seed + i,
                     use_dynamic_bandwidth=False,
-                    seed=seed + i,
-                ).throughput()
+                )
             )
-            throughputs["Dyn RW500"].append(
-                run_pearl(
+            specs.append(
+                pearl_job(
                     config,
-                    trace(),
+                    trace,
+                    seed=seed + i,
                     power_policy=PowerPolicyKind.REACTIVE,
-                    seed=seed + i,
-                ).throughput()
+                )
             )
-            throughputs["ML RW500"].append(
-                run_pearl(
+            specs.append(
+                pearl_job(
                     config,
-                    trace(),
-                    power_policy=PowerPolicyKind.ML,
-                    ml_model=ml_model,
-                    allow_8wl=False,
+                    trace,
                     seed=seed + i,
-                ).throughput()
+                    power_policy=PowerPolicyKind.ML,
+                    allow_8wl=False,
+                    ml_model_path=model_path,
+                )
             )
-            throughputs["CMESH"].append(
-                run_cmesh(config, trace(), seed=seed + i)
-                .throughput_flits_per_cycle()
-            )
+            specs.append(cmesh_job(config, trace, seed=seed + i))
+        labels = list(throughputs)
+        for index, job in enumerate(run_jobs(specs)):
+            throughputs[labels[index % len(labels)]].append(job.throughput())
         result = ExperimentResult(name="fig9: RW500 throughput comparison")
         cmesh_mean = float(np.mean(throughputs["CMESH"]))
         for label, values in throughputs.items():

@@ -1,0 +1,494 @@
+"""Parallel experiment engine.
+
+Every figure/table sweep is expressed as a list of picklable
+:class:`JobSpec` values — one per (benchmark pair × network config ×
+seed) simulation — and submitted through :func:`run_jobs`.  The engine
+fans jobs out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(``jobs > 1``) or runs them inline (``jobs = 1``); both paths execute
+the identical :func:`execute_job` worker, so a serial run and a
+parallel run of the same specs are bit-for-bit identical:
+
+* every job derives its RNG streams only from the seeds in its spec —
+  no RNG state is shared across workers;
+* ML jobs load their fitted model from an ``.npz`` file written by the
+  parent (see :func:`repro.ml.pipeline.ensure_model_file`), a lossless
+  binary round trip;
+* results come back in submission order regardless of completion
+  order.
+
+A :class:`~.cache.ResultCache` can back the engine, in which case
+completed jobs are persisted and a re-run (or a resumed interrupted
+sweep) only simulates the jobs it has not seen before.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..config import PearlConfig
+from ..config_io import config_to_dict
+from ..noc.packet import CoreType
+from ..noc.stats import NetworkStats
+from ..noc.router import PowerPolicyKind
+from ..traffic.benchmarks import BenchmarkProfile, get_benchmark
+from ..traffic.synthetic import generate_pair_trace, uniform_random_trace
+from ..traffic.trace import Trace
+from .cache import ResultCache, file_digest
+
+Pair = Tuple[BenchmarkProfile, BenchmarkProfile]
+
+
+# ---------------------------------------------------------------------------
+# Job specification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """How a worker regenerates its injection trace.
+
+    Traces are rebuilt inside the worker from (benchmark names, rate,
+    seed) instead of being pickled across: generation is deterministic
+    and cheap relative to simulation, and the spec stays hashable for
+    the result cache.
+    """
+
+    kind: str = "pair"  # "pair" | "uniform"
+    cpu: Optional[str] = None
+    gpu: Optional[str] = None
+    rate: float = 0.0
+    seed: int = 1
+
+    def build(self, config: PearlConfig) -> Trace:
+        """Regenerate the trace for ``config``'s run length."""
+        duration = config.simulation.total_cycles
+        if self.kind == "pair":
+            return generate_pair_trace(
+                get_benchmark(self.cpu),
+                get_benchmark(self.gpu),
+                config.architecture,
+                duration,
+                self.seed,
+            )
+        if self.kind == "uniform":
+            cpu = uniform_random_trace(
+                CoreType.CPU,
+                rate=self.rate,
+                duration=duration,
+                seed=self.seed,
+            )
+            gpu = uniform_random_trace(
+                CoreType.GPU,
+                rate=self.rate,
+                duration=duration,
+                seed=self.seed + 1,
+            )
+            return Trace.merge([cpu, gpu], name=f"uniform-{self.rate}")
+        raise ValueError(f"unknown trace kind {self.kind!r}")
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-able form for content hashing."""
+        return {
+            "kind": self.kind,
+            "cpu": self.cpu,
+            "gpu": self.gpu,
+            "rate": self.rate,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One picklable simulation job.
+
+    ``kind`` selects the worker path: ``"pearl"`` (the PEARL network in
+    any variant), ``"cmesh"`` (electrical baseline), ``"mwsr"``
+    (token-arbitrated crossbar), ``"trace"`` (trace-level statistics,
+    no simulation) or ``"thermal"`` (heater-feedback trimming model).
+    """
+
+    kind: str
+    config: PearlConfig
+    trace: Optional[TraceSpec] = None
+    seed: int = 1
+    # -- pearl variant knobs --
+    power_policy: str = "static"
+    use_dynamic_bandwidth: bool = True
+    static_state: Optional[int] = None
+    allow_8wl: Optional[bool] = None
+    ml_model_path: Optional[str] = None
+    # -- cmesh --
+    bandwidth_divisor: Optional[int] = None
+    # -- thermal --
+    wavelength_state: int = 64
+    activity: float = 0.0
+    settle_cycles: int = 0
+    settle_steps: int = 1
+
+    def payload(self) -> Dict[str, object]:
+        """Content payload the result cache hashes.
+
+        Includes the full serialized config, the trace parameters and —
+        for ML jobs — a digest of the model file's bytes, so a retrained
+        model invalidates its entries even at the same path.
+        """
+        data: Dict[str, object] = {
+            "kind": self.kind,
+            "config": config_to_dict(self.config),
+            "trace": self.trace.payload() if self.trace else None,
+            "seed": self.seed,
+            "power_policy": self.power_policy,
+            "use_dynamic_bandwidth": self.use_dynamic_bandwidth,
+            "static_state": self.static_state,
+            "allow_8wl": self.allow_8wl,
+            "ml_model": (
+                file_digest(self.ml_model_path) if self.ml_model_path else None
+            ),
+            "bandwidth_divisor": self.bandwidth_divisor,
+        }
+        if self.kind == "thermal":
+            data["thermal"] = {
+                "state": self.wavelength_state,
+                "activity": self.activity,
+                "settle_cycles": self.settle_cycles,
+                "settle_steps": self.settle_steps,
+            }
+        return data
+
+
+@dataclass
+class JobResult:
+    """What one job sends back to the parent (picklable, cacheable)."""
+
+    kind: str
+    stats: Optional[NetworkStats] = None
+    state_residency: Dict[int, float] = field(default_factory=dict)
+    mean_laser_power_w: float = 0.0
+    laser_stall_cycles: int = 0
+    ml_predictions: List[float] = field(default_factory=list)
+    ml_labels: List[float] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def throughput(self) -> float:
+        """Network throughput in flits/cycle."""
+        if self.stats is None:
+            return 0.0
+        return self.stats.throughput_flits_per_cycle()
+
+
+# -- convenience constructors ------------------------------------------------
+
+
+def pair_spec(pair: Pair, seed: int) -> TraceSpec:
+    """Trace spec for one benchmark pair."""
+    cpu, gpu = pair
+    return TraceSpec(kind="pair", cpu=cpu.name, gpu=gpu.name, seed=seed)
+
+
+def uniform_spec(rate: float, seed: int) -> TraceSpec:
+    """Trace spec for a uniform-random CPU+GPU load point."""
+    return TraceSpec(kind="uniform", rate=rate, seed=seed)
+
+
+def pearl_job(
+    config: PearlConfig,
+    trace: TraceSpec,
+    seed: int = 1,
+    power_policy: PowerPolicyKind = PowerPolicyKind.STATIC,
+    use_dynamic_bandwidth: bool = True,
+    static_state: Optional[int] = None,
+    allow_8wl: Optional[bool] = None,
+    ml_model_path: Union[str, "os.PathLike[str]", None] = None,
+) -> JobSpec:
+    """A PEARL-variant simulation job."""
+    return JobSpec(
+        kind="pearl",
+        config=config,
+        trace=trace,
+        seed=seed,
+        power_policy=power_policy.value,
+        use_dynamic_bandwidth=use_dynamic_bandwidth,
+        static_state=static_state,
+        allow_8wl=allow_8wl,
+        ml_model_path=str(ml_model_path) if ml_model_path else None,
+    )
+
+
+def cmesh_job(
+    config: PearlConfig,
+    trace: TraceSpec,
+    seed: int = 1,
+    bandwidth_divisor: Optional[int] = None,
+) -> JobSpec:
+    """An electrical CMESH baseline job."""
+    return JobSpec(
+        kind="cmesh",
+        config=config,
+        trace=trace,
+        seed=seed,
+        bandwidth_divisor=bandwidth_divisor,
+    )
+
+
+def mwsr_job(config: PearlConfig, trace: TraceSpec, seed: int = 1) -> JobSpec:
+    """A token-arbitrated MWSR crossbar job."""
+    return JobSpec(kind="mwsr", config=config, trace=trace, seed=seed)
+
+
+def trace_job(config: PearlConfig, trace: TraceSpec, seed: int = 1) -> JobSpec:
+    """A trace-statistics job (no network simulation)."""
+    return JobSpec(kind="trace", config=config, trace=trace, seed=seed)
+
+
+def thermal_job(
+    config: PearlConfig,
+    wavelength_state: int,
+    activity: float,
+    settle_cycles: int,
+    settle_steps: int,
+) -> JobSpec:
+    """A thermal trimming-model settling job."""
+    return JobSpec(
+        kind="thermal",
+        config=config,
+        wavelength_state=wavelength_state,
+        activity=activity,
+        settle_cycles=settle_cycles,
+        settle_steps=settle_steps,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+
+def execute_job(spec: JobSpec) -> JobResult:
+    """Run one job to completion (top-level so executors can pickle it).
+
+    This single function is the code path for *both* serial and
+    parallel execution; determinism follows from every RNG being
+    seeded from the spec alone.
+    """
+    if spec.kind == "pearl":
+        return _run_pearl_job(spec)
+    if spec.kind == "cmesh":
+        return _run_cmesh_job(spec)
+    if spec.kind == "mwsr":
+        return _run_mwsr_job(spec)
+    if spec.kind == "trace":
+        return _run_trace_job(spec)
+    if spec.kind == "thermal":
+        return _run_thermal_job(spec)
+    raise ValueError(f"unknown job kind {spec.kind!r}")
+
+
+def _run_pearl_job(spec: JobSpec) -> JobResult:
+    from ..ml.ridge import RidgeRegression
+    from ..noc.network import PearlNetwork
+
+    ml_model = None
+    if spec.ml_model_path is not None:
+        ml_model = RidgeRegression.load(spec.ml_model_path)
+    network = PearlNetwork(
+        spec.config,
+        power_policy=PowerPolicyKind(spec.power_policy),
+        use_dynamic_bandwidth=spec.use_dynamic_bandwidth,
+        static_state=spec.static_state,
+        ml_model=ml_model,
+        allow_8wl=spec.allow_8wl,
+        seed=spec.seed,
+    )
+    run = network.run(spec.trace.build(spec.config))
+    return JobResult(
+        kind=spec.kind,
+        stats=run.stats,
+        state_residency=dict(run.state_residency),
+        mean_laser_power_w=run.mean_laser_power_w,
+        laser_stall_cycles=run.laser_stall_cycles,
+        ml_predictions=list(run.ml_predictions),
+        ml_labels=list(run.ml_labels),
+    )
+
+
+def _run_cmesh_job(spec: JobSpec) -> JobResult:
+    from ..noc.cmesh import CMeshNetwork
+
+    kwargs = {}
+    if spec.bandwidth_divisor is not None:
+        kwargs["bandwidth_divisor"] = spec.bandwidth_divisor
+    network = CMeshNetwork(
+        simulation=spec.config.simulation, seed=spec.seed, **kwargs
+    )
+    stats = network.run(spec.trace.build(spec.config))
+    return JobResult(kind=spec.kind, stats=stats)
+
+
+def _run_mwsr_job(spec: JobSpec) -> JobResult:
+    from ..noc.mwsr import MwsrNetwork
+
+    network = MwsrNetwork(spec.config, seed=spec.seed)
+    stats = network.run(spec.trace.build(spec.config))
+    return JobResult(
+        kind=spec.kind,
+        stats=stats,
+        extras={"token_wait_events": int(network.total_token_waits())},
+    )
+
+
+def _run_trace_job(spec: JobSpec) -> JobResult:
+    counts = spec.trace.build(spec.config).packets_by_core_type()
+    return JobResult(
+        kind=spec.kind,
+        extras={
+            "cpu_packets": int(counts[CoreType.CPU]),
+            "gpu_packets": int(counts[CoreType.GPU]),
+        },
+    )
+
+
+def _run_thermal_job(spec: JobSpec) -> JobResult:
+    from ..noc.thermal import ThermalTrimmingModel
+
+    model = ThermalTrimmingModel(optical=spec.config.optical)
+    power = 0.0
+    step_cycles = max(spec.settle_cycles // max(spec.settle_steps, 1), 1)
+    for _ in range(spec.settle_steps):
+        power = model.step(
+            spec.wavelength_state, spec.activity, cycles=step_cycles
+        )
+    return JobResult(
+        kind=spec.kind,
+        extras={"trimming_w": float(power), "locked": model.all_locked()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class ExperimentEngine:
+    """Fans job specs out over processes, backed by the result cache.
+
+    ``jobs=1`` executes inline through the identical worker function;
+    ``jobs=N`` uses a process pool of N workers.  With a cache attached,
+    hits skip execution entirely and fresh results are persisted.
+    """
+
+    def __init__(
+        self, jobs: int = 1, cache: Optional[ResultCache] = None
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = cache
+
+    def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Execute all specs, returning results in submission order."""
+        specs = list(specs)
+        results: List[Optional[JobResult]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append(index)
+
+        if self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                computed = list(
+                    executor.map(
+                        execute_job, [specs[i] for i in pending]
+                    )
+                )
+            for index, result in zip(pending, computed):
+                results[index] = result
+        else:
+            for index in pending:
+                results[index] = execute_job(specs[index])
+
+        if self.cache is not None:
+            for index in pending:
+                self.cache.put(specs[index], results[index])
+        return results  # type: ignore[return-value]
+
+
+# -- process-wide default engine ---------------------------------------------
+
+_ENGINE: Optional[ExperimentEngine] = None
+
+
+def _engine_from_env() -> ExperimentEngine:
+    jobs = max(int(os.environ.get("PEARL_JOBS", "1") or "1"), 1)
+    cache = None
+    if os.environ.get("PEARL_RESULT_CACHE", "") == "1":
+        cache = ResultCache()
+    return ExperimentEngine(jobs=jobs, cache=cache)
+
+
+def current_engine() -> ExperimentEngine:
+    """The engine experiment modules submit through.
+
+    Defaults to serial/uncached (overridable via ``PEARL_JOBS`` and
+    ``PEARL_RESULT_CACHE=1``) until :func:`configure` is called.
+    """
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = _engine_from_env()
+    return _ENGINE
+
+
+def configure(
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Union[str, "os.PathLike[str]", None] = None,
+    salt: Optional[str] = None,
+) -> ExperimentEngine:
+    """Replace the default engine (the CLI's ``--jobs``/``--no-cache``).
+
+    Unspecified fields keep the current engine's values.
+    """
+    global _ENGINE
+    current = current_engine()
+    new_jobs = current.jobs if jobs is None else jobs
+    if use_cache is None:
+        new_cache = current.cache
+    elif use_cache:
+        kwargs = {}
+        if salt is not None:
+            kwargs["salt"] = salt
+        new_cache = ResultCache(directory=cache_dir, **kwargs)
+    else:
+        new_cache = None
+    _ENGINE = ExperimentEngine(jobs=new_jobs, cache=new_cache)
+    return _ENGINE
+
+
+@contextmanager
+def engine_scope(
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Union[str, "os.PathLike[str]", None] = None,
+    salt: Optional[str] = None,
+):
+    """Temporarily swap the default engine, restoring it on exit."""
+    global _ENGINE
+    previous = _ENGINE
+    try:
+        yield configure(
+            jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, salt=salt
+        )
+    finally:
+        _ENGINE = previous
+
+
+def run_jobs(specs: Sequence[JobSpec]) -> List[JobResult]:
+    """Submit specs through the process-wide default engine."""
+    return current_engine().run(specs)

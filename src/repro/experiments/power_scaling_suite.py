@@ -16,15 +16,14 @@ import numpy as np
 
 from ..config import PearlConfig
 from ..ml.metrics import nrmse
-from ..ml.pipeline import train_default_model
+from ..ml.pipeline import ensure_model_file
 from ..noc.router import PowerPolicyKind
+from .parallel import JobResult, pair_spec, pearl_job, run_jobs
 from .runner import (
     Pair,
     cached,
     describe_pair,
     experiment_pairs,
-    pair_trace,
-    run_pearl,
     simulation_config,
 )
 
@@ -83,36 +82,38 @@ def parse_suite_label(label: str):
     raise ValueError(f"unknown suite label {label!r}")
 
 
-def _run_config(
-    label: str,
-    pairs: List[Pair],
-    quick: bool,
-    seed: int = 1,
+def _suite_jobs(label: str, pairs: List[Pair], quick: bool, seed: int):
+    """The per-pair job specs of one suite configuration."""
+    base = PearlConfig(simulation=simulation_config(quick, seed))
+    window, policy, allow_8wl = parse_suite_label(label)
+    config = base.with_reservation_window(window)
+    model_path = None
+    if policy is PowerPolicyKind.ML:
+        model_path = ensure_model_file(window, quick=quick)
+    return [
+        pearl_job(
+            config,
+            pair_spec(pair, seed + i),
+            seed=seed + i,
+            power_policy=policy,
+            allow_8wl=allow_8wl,
+            ml_model_path=model_path,
+        )
+        for i, pair in enumerate(pairs)
+    ]
+
+
+def _aggregate_config(
+    label: str, pairs: List[Pair], results: List[JobResult]
 ) -> ConfigOutcome:
+    """Fold one configuration's per-pair job results into an outcome."""
     outcome = ConfigOutcome(label=label)
     residency_acc: Dict[int, float] = {}
     labels_all: List[float] = []
     preds_all: List[float] = []
-    base = PearlConfig(simulation=simulation_config(quick, seed))
-
-    window, policy, allow_8wl = parse_suite_label(label)
-    config = base.with_reservation_window(window)
-    ml_model = None
-    if policy is PowerPolicyKind.ML:
-        ml_model = train_default_model(window, quick=quick).model
-
     throughputs: List[float] = []
     powers: List[float] = []
-    for i, pair in enumerate(pairs):
-        trace = pair_trace(pair, config, seed=seed + i)
-        result = run_pearl(
-            config,
-            trace,
-            power_policy=policy,
-            ml_model=ml_model,
-            allow_8wl=allow_8wl,
-            seed=seed + i,
-        )
+    for pair, result in zip(pairs, results):
         name = describe_pair(pair)
         throughput = result.throughput()
         power = result.mean_laser_power_w
@@ -140,13 +141,22 @@ def _run_config(
 
 
 def run_suite(quick: bool = True, seed: int = 1) -> Dict[str, ConfigOutcome]:
-    """Run (or fetch the memoised) full power-scaling sweep."""
+    """Run (or fetch the memoised) full power-scaling sweep.
+
+    All 6 configurations x N pairs go to the engine as one submission,
+    so a parallel run overlaps across configurations, not just pairs.
+    """
 
     def compute() -> Dict[str, ConfigOutcome]:
         pairs = experiment_pairs(quick)
-        return {
-            label: _run_config(label, pairs, quick, seed)
-            for label in SUITE_LABELS
-        }
+        specs = []
+        for label in SUITE_LABELS:
+            specs.extend(_suite_jobs(label, pairs, quick, seed))
+        results = run_jobs(specs)
+        outcomes: Dict[str, ConfigOutcome] = {}
+        for index, label in enumerate(SUITE_LABELS):
+            chunk = results[index * len(pairs) : (index + 1) * len(pairs)]
+            outcomes[label] = _aggregate_config(label, pairs, chunk)
+        return outcomes
 
     return cached(("power_scaling_suite", quick, seed), compute)

@@ -41,13 +41,40 @@ class ExperimentResult:
         """Append one result row."""
         self.rows.append(values)
 
-    def column(self, key: str) -> List[object]:
-        """All values of one column, row order preserved."""
-        return [row[key] for row in self.rows if key in row]
+    def column(
+        self, key: str, missing: str = "raise", fill: object = None
+    ) -> List[object]:
+        """All values of one column, row order preserved.
 
-    def mean(self, key: str) -> float:
-        """Mean of a numeric column."""
-        values = [float(v) for v in self.column(key)]
+        Partial columns are an explicit choice, not a silent drop:
+
+        * ``missing="raise"`` (default) — raise :class:`KeyError` naming
+          the rows that lack ``key``;
+        * ``missing="drop"`` — skip rows without the key;
+        * ``missing="fill"`` — substitute ``fill`` for absent values.
+        """
+        if missing not in ("raise", "drop", "fill"):
+            raise ValueError(
+                f"missing must be 'raise', 'drop' or 'fill', not {missing!r}"
+            )
+        if missing == "raise":
+            absent = [i for i, row in enumerate(self.rows) if key not in row]
+            if absent:
+                raise KeyError(
+                    f"column {key!r} missing from rows {absent} of "
+                    f"{self.name!r}; pass missing='drop' or 'fill' to "
+                    "aggregate a partial column"
+                )
+            return [row[key] for row in self.rows]
+        if missing == "drop":
+            return [row[key] for row in self.rows if key in row]
+        return [row.get(key, fill) for row in self.rows]
+
+    def mean(self, key: str, missing: str = "raise") -> float:
+        """Mean of a numeric column (``missing`` as in :meth:`column`)."""
+        values = [
+            float(v) for v in self.column(key, missing=missing) if v is not None
+        ]
         if not values:
             raise KeyError(f"no values for column {key!r}")
         return sum(values) / len(values)

@@ -10,25 +10,11 @@ and flatter than the mesh.
 from __future__ import annotations
 
 from ..config import PearlConfig
-from ..noc.cmesh import CMeshNetwork
-from ..noc.network import PearlNetwork
-from ..noc.packet import CoreType
-from ..traffic.synthetic import uniform_random_trace
-from ..traffic.trace import Trace
+from .parallel import cmesh_job, pearl_job, run_jobs, uniform_spec
 from .runner import ExperimentResult, cached, simulation_config
 
 #: Offered per-cluster injection rates swept (packets/cycle/core type).
 LOADS = (0.02, 0.05, 0.1, 0.2, 0.4)
-
-
-def _offered_trace(rate: float, duration: int, seed: int) -> Trace:
-    cpu = uniform_random_trace(
-        CoreType.CPU, rate=rate, duration=duration, seed=seed
-    )
-    gpu = uniform_random_trace(
-        CoreType.GPU, rate=rate, duration=duration, seed=seed + 1
-    )
-    return Trace.merge([cpu, gpu], name=f"uniform-{rate}")
 
 
 def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
@@ -37,23 +23,26 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
     def compute() -> ExperimentResult:
         result = ExperimentResult(name="extension: saturation sweep")
         config = PearlConfig(simulation=simulation_config(quick, seed))
-        duration = config.simulation.total_cycles
+        specs = []
         for rate in LOADS:
-            trace = _offered_trace(rate, duration, seed)
-            dyn = PearlNetwork(config, seed=seed).run(trace)
-            fcfs = PearlNetwork(
-                config, use_dynamic_bandwidth=False, seed=seed
-            ).run(trace)
-            cmesh = CMeshNetwork(simulation=config.simulation, seed=seed).run(
-                trace
+            trace = uniform_spec(rate, seed)
+            specs.append(pearl_job(config, trace, seed=seed))
+            specs.append(
+                pearl_job(
+                    config, trace, seed=seed, use_dynamic_bandwidth=False
+                )
             )
+            specs.append(cmesh_job(config, trace, seed=seed))
+        jobs = iter(run_jobs(specs))
+        for rate in LOADS:
+            dyn, fcfs, cmesh = next(jobs), next(jobs), next(jobs)
             result.add_row(
                 offered_rate=rate,
                 pearl_dyn_throughput=dyn.throughput(),
                 pearl_fcfs_throughput=fcfs.throughput(),
-                cmesh_throughput=cmesh.throughput_flits_per_cycle(),
+                cmesh_throughput=cmesh.throughput(),
                 pearl_dyn_latency=dyn.stats.mean_latency(),
-                cmesh_latency=cmesh.mean_latency(),
+                cmesh_latency=cmesh.stats.mean_latency(),
             )
         result.notes.append(
             "extension: the photonic crossbar saturates later than the mesh"

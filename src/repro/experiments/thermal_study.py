@@ -10,8 +10,8 @@ self-heating backing the heaters off.
 
 from __future__ import annotations
 
-from ..config import OpticalConfig
-from ..noc.thermal import ThermalTrimmingModel
+from ..config import PearlConfig
+from .parallel import run_jobs, thermal_job
 from .runner import ExperimentResult, cached
 
 #: Wavelength states studied.
@@ -20,28 +20,40 @@ STATES = (64, 48, 32, 16, 8)
 #: Cycles the model is settled for before reading power.
 SETTLE_CYCLES = 40_000
 
+#: Activity levels probed per state.
+ACTIVITIES = (("idle", 0.0), ("busy", 0.9))
+
 
 def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
     """Trimming power per state and activity level."""
 
     def compute() -> ExperimentResult:
         result = ExperimentResult(name="extension: thermal trimming study")
-        optical = OpticalConfig()
+        config = PearlConfig()
+        optical = config.optical
         flat_w_per_state = {
             state: 2 * state * optical.ring_heating_w for state in STATES
         }
+        # Let the heater loops settle at each operating point.
+        specs = [
+            thermal_job(
+                config,
+                wavelength_state=state,
+                activity=activity,
+                settle_cycles=SETTLE_CYCLES,
+                settle_steps=40,
+            )
+            for state in STATES
+            for _, activity in ACTIVITIES
+        ]
+        jobs = iter(run_jobs(specs))
         for state in STATES:
             row = {"wavelengths": state,
                    "flat_model_w": flat_w_per_state[state]}
-            for label, activity in (("idle", 0.0), ("busy", 0.9)):
-                model = ThermalTrimmingModel(optical=optical)
-                # Let the heater loops settle at this operating point.
-                for _ in range(40):
-                    power = model.step(
-                        state, activity, cycles=SETTLE_CYCLES // 40
-                    )
-                row[f"trimming_{label}_w"] = power
-                row[f"locked_{label}"] = model.all_locked()
+            for label, _ in ACTIVITIES:
+                job = next(jobs)
+                row[f"trimming_{label}_w"] = job.extras["trimming_w"]
+                row[f"locked_{label}"] = job.extras["locked"]
             result.add_row(**row)
         result.notes.append(
             "paper Sec. III-C: bank gating scales trimming with the laser; "

@@ -232,17 +232,24 @@ def train_default_model(
     model_path = cache_dir / f"{stem}.npz"
     meta_path = cache_dir / f"{stem}.json"
     if use_disk_cache and model_path.exists() and meta_path.exists():
-        meta = json.loads(meta_path.read_text())
-        result = TrainingResult(
-            model=RidgeRegression.load(model_path),
-            lam=meta["lam"],
-            validation_nrmse=meta["validation_nrmse"],
-            phase1_samples=meta["phase1_samples"],
-            phase2_samples=meta["phase2_samples"],
-            history=meta["history"],
-        )
-        _MODEL_CACHE[key] = result
-        return result
+        try:
+            meta = json.loads(meta_path.read_text())
+            result = TrainingResult(
+                model=RidgeRegression.load(model_path),
+                lam=meta["lam"],
+                validation_nrmse=meta["validation_nrmse"],
+                phase1_samples=meta["phase1_samples"],
+                phase2_samples=meta["phase2_samples"],
+                history=meta["history"],
+            )
+        except Exception:
+            # Corrupted/truncated cache entry: retrain and overwrite
+            # rather than crash (training is deterministic, so the
+            # rewritten entry is identical to an uncorrupted one).
+            pass
+        else:
+            _MODEL_CACHE[key] = result
+            return result
 
     config = PearlConfig().with_reservation_window(reservation_window)
     trainer = PowerModelTrainer(config=config, seed=seed, quick=quick)
@@ -263,3 +270,30 @@ def train_default_model(
             )
         )
     return result
+
+
+def ensure_model_file(
+    reservation_window: int = 500, quick: bool = True, seed: int = 2018
+):
+    """Train (or fetch) the default model and return its ``.npz`` path.
+
+    The parallel experiment engine ships models to worker processes by
+    file path instead of pickling them, so the expensive training runs
+    exactly once in the parent; :meth:`RidgeRegression.save`/``load``
+    round-trips the float64 arrays bit-for-bit, making worker
+    predictions identical to the parent's.
+    """
+    result = train_default_model(reservation_window, quick=quick, seed=seed)
+    stem = f"model_w{reservation_window}_q{int(quick)}_s{seed}"
+    cache_dir = _disk_cache_dir()
+    model_path = cache_dir / f"{stem}.npz"
+    if model_path.exists():
+        try:
+            RidgeRegression.load(model_path)
+        except Exception:
+            model_path.unlink()  # corrupt on disk — rewrite below
+        else:
+            return model_path
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    result.model.save(model_path)
+    return model_path

@@ -11,7 +11,7 @@ plots.  Warm-up cycles can be excluded by calling
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from .packet import CoreType, Packet
 
@@ -211,6 +211,105 @@ class NetworkStats:
         if seconds <= 0:
             return 0.0
         return self.laser_energy_j / seconds
+
+    # -- (de)serialization and merging ----------------------------------------
+
+    _ENERGY_FIELDS = (
+        "laser_energy_j",
+        "trimming_energy_j",
+        "modulation_energy_j",
+        "receiver_energy_j",
+        "ml_energy_j",
+        "electrical_energy_j",
+    )
+
+    def to_dict(self, include_latencies: bool = True) -> Dict[str, object]:
+        """Lossless plain-dict form (the result cache persists this).
+
+        Every field is a JSON-compatible int/float, so a round trip
+        through :meth:`from_dict` reproduces the instance bit-for-bit.
+        ``include_latencies=False`` leaves the (potentially large)
+        per-packet latency list out; callers storing it separately pass
+        it back to :meth:`from_dict` via ``latencies``.
+        """
+        data: Dict[str, object] = {
+            "counters": {
+                core.name: {
+                    "packets_injected": c.packets_injected,
+                    "flits_injected": c.flits_injected,
+                    "packets_delivered": c.packets_delivered,
+                    "flits_delivered": c.flits_delivered,
+                    "total_latency": c.total_latency,
+                }
+                for core, c in self.counters.items()
+            },
+            "local_packets_delivered": self.local_packets_delivered,
+            "network_flits_delivered": self.network_flits_delivered,
+            "link_busy_cycles": self.link_busy_cycles,
+            "link_total_cycles": self.link_total_cycles,
+            "measure_start_cycle": self.measure_start_cycle,
+            "final_cycle": self.final_cycle,
+        }
+        for name in self._ENERGY_FIELDS:
+            data[name] = getattr(self, name)
+        if include_latencies:
+            data["latencies"] = list(self._latencies)
+        return data
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, object], latencies: Sequence[int] = ()
+    ) -> "NetworkStats":
+        """Rebuild an instance written by :meth:`to_dict`."""
+        stats = cls()
+        for core_name, values in data["counters"].items():
+            counter = stats.counters[CoreType[core_name]]
+            counter.packets_injected = int(values["packets_injected"])
+            counter.flits_injected = int(values["flits_injected"])
+            counter.packets_delivered = int(values["packets_delivered"])
+            counter.flits_delivered = int(values["flits_delivered"])
+            counter.total_latency = int(values["total_latency"])
+        stats.local_packets_delivered = int(data["local_packets_delivered"])
+        stats.network_flits_delivered = int(data["network_flits_delivered"])
+        stats.link_busy_cycles = int(data["link_busy_cycles"])
+        stats.link_total_cycles = int(data["link_total_cycles"])
+        stats.measure_start_cycle = int(data["measure_start_cycle"])
+        stats.final_cycle = int(data["final_cycle"])
+        for name in cls._ENERGY_FIELDS:
+            setattr(stats, name, float(data[name]))
+        stored = data.get("latencies", latencies)
+        stats._latencies = [int(v) for v in stored]
+        return stats
+
+    @classmethod
+    def merge(cls, parts: Sequence["NetworkStats"]) -> "NetworkStats":
+        """Combine several runs into one aggregate.
+
+        Counters, energies and latency samples add; the merged
+        measurement window is the concatenation of the parts, so
+        throughput is total flits over total measured cycles.  Used to
+        aggregate the per-job stats a parallel sweep returns.
+        """
+        merged = cls()
+        for part in parts:
+            for core, counter in part.counters.items():
+                target = merged.counters[core]
+                target.packets_injected += counter.packets_injected
+                target.flits_injected += counter.flits_injected
+                target.packets_delivered += counter.packets_delivered
+                target.flits_delivered += counter.flits_delivered
+                target.total_latency += counter.total_latency
+            merged.local_packets_delivered += part.local_packets_delivered
+            merged.network_flits_delivered += part.network_flits_delivered
+            merged.link_busy_cycles += part.link_busy_cycles
+            merged.link_total_cycles += part.link_total_cycles
+            merged.final_cycle += part.measured_cycles
+            merged._latencies.extend(part._latencies)
+            for name in cls._ENERGY_FIELDS:
+                setattr(
+                    merged, name, getattr(merged, name) + getattr(part, name)
+                )
+        return merged
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of headline metrics (for reports and tests)."""

@@ -1,0 +1,176 @@
+"""Property-based invariants of the DBA and power-scaling algorithms.
+
+Three families of properties the paper's algorithms must satisfy on
+*every* input, not just the hand-picked examples of the unit tests:
+
+* Algorithm 1's bandwidth splits always come from the configured step
+  ladder and always hand out exactly the whole link;
+* the reactive scaler's state choice is monotone in the window-mean
+  occupancy;
+* Eq. 7 never selects an infeasible wavelength state while a feasible
+  one exists, and always selects the cheapest feasible one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DBAConfig, PhotonicConfig, PowerScalingConfig
+from repro.core.dba import DynamicBandwidthAllocator, OccupancySample
+from repro.core.ml_scaling import StateSelector
+from repro.core.power_scaling import ReactivePowerScaler
+from repro.core.wavelength import WavelengthLadder, wavelengths_for_share
+
+occupancies = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestDbaSplitProperties:
+    @given(cpu=occupancies, gpu=occupancies)
+    @settings(max_examples=200, deadline=None)
+    def test_fractions_on_quarter_ladder(self, cpu, gpu):
+        """Default 25% steps only ever produce {0, 25, 50, 75, 100}%."""
+        allocator = DynamicBandwidthAllocator(DBAConfig())
+        allocation = allocator.allocate(OccupancySample(cpu=cpu, gpu=gpu))
+        ladder = {0.0, 0.25, 0.5, 0.75, 1.0}
+        assert allocation.cpu_fraction in ladder
+        assert allocation.gpu_fraction in ladder
+
+    @given(cpu=occupancies, gpu=occupancies)
+    @settings(max_examples=200, deadline=None)
+    def test_fractions_always_sum_to_whole_link(self, cpu, gpu):
+        allocator = DynamicBandwidthAllocator(DBAConfig())
+        allocation = allocator.allocate(OccupancySample(cpu=cpu, gpu=gpu))
+        assert allocation.cpu_fraction + allocation.gpu_fraction == 1.0
+
+    @given(
+        cpu=occupancies,
+        gpu=occupancies,
+        step=st.sampled_from([0.25, 0.125, 0.0625]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_step_granularity_respected(self, cpu, gpu, step):
+        """Non-default steps keep the {0, step, 1/2, 1-step, 1} ladder."""
+        allocator = DynamicBandwidthAllocator(DBAConfig(bandwidth_step=step))
+        allocation = allocator.allocate(OccupancySample(cpu=cpu, gpu=gpu))
+        ladder = {0.0, step, 0.5, 1.0 - step, 1.0}
+        assert allocation.cpu_fraction in ladder
+        assert allocation.gpu_fraction in ladder
+        assert allocation.cpu_fraction + allocation.gpu_fraction == 1.0
+
+    @given(
+        cpu=occupancies,
+        gpu=occupancies,
+        state=st.sampled_from(PhotonicConfig().wavelength_states),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_wavelength_shares_sum_to_link_width(self, cpu, gpu, state):
+        """The CPU and GPU wavelength shares cover the state exactly."""
+        allocator = DynamicBandwidthAllocator(DBAConfig())
+        allocation = allocator.allocate(OccupancySample(cpu=cpu, gpu=gpu))
+        cpu_wl = wavelengths_for_share(state, allocation.cpu_fraction)
+        gpu_wl = wavelengths_for_share(state, allocation.gpu_fraction)
+        assert cpu_wl + gpu_wl == state
+
+    @given(occ=occupancies)
+    @settings(max_examples=100, deadline=None)
+    def test_idle_side_gets_nothing(self, occ):
+        """Steps 3a/3b: an idle side never receives bandwidth."""
+        allocator = DynamicBandwidthAllocator(DBAConfig())
+        if occ > 0.0:
+            only_cpu = allocator.allocate(OccupancySample(cpu=occ, gpu=0.0))
+            assert only_cpu.cpu_fraction == 1.0
+            only_gpu = allocator.allocate(OccupancySample(cpu=0.0, gpu=occ))
+            assert only_gpu.gpu_fraction == 1.0
+
+
+class TestReactiveMonotonicity:
+    def _scaler(self, use_8wl: bool = True) -> ReactivePowerScaler:
+        config = PowerScalingConfig(use_8wl=use_8wl)
+        return ReactivePowerScaler(
+            config, WavelengthLadder(PhotonicConfig())
+        )
+
+    @given(first=occupancies, second=occupancies)
+    @settings(max_examples=200, deadline=None)
+    def test_state_monotone_in_occupancy(self, first, second):
+        """More occupancy never selects a lower wavelength state."""
+        scaler = self._scaler()
+        low, high = sorted((first, second))
+        assert scaler.select_state(low) <= scaler.select_state(high)
+
+    @given(occ=occupancies, use_8wl=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_state_is_on_the_ladder(self, occ, use_8wl):
+        scaler = self._scaler(use_8wl=use_8wl)
+        state = scaler.select_state(occ)
+        assert state in scaler.ladder.states
+        if not use_8wl:
+            assert state != scaler.ladder.min_state
+
+
+class TestEq7Feasibility:
+    def _selector(self, allow_8wl: bool) -> StateSelector:
+        return StateSelector(
+            PhotonicConfig(), reservation_window=500, allow_8wl=allow_8wl
+        )
+
+    @given(
+        packets=st.floats(
+            min_value=0.0,
+            max_value=5_000.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        allow_8wl=st.booleans(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_never_infeasible_when_feasible_exists(self, packets, allow_8wl):
+        """Eq. 7 picks a state covering the demand whenever one can."""
+        selector = self._selector(allow_8wl)
+        demand = max(packets, 0.0) * selector.headroom
+        chosen = selector.state_for_packets(packets)
+        feasible = [
+            state
+            for state in selector.candidate_states()
+            if demand <= selector.window_capacity_packets(state)
+        ]
+        if feasible:
+            assert demand <= selector.window_capacity_packets(chosen)
+        else:
+            # Saturated: fall back to the full-power state.
+            assert chosen == selector.ladder.max_state
+
+    @given(
+        packets=st.floats(
+            min_value=0.0,
+            max_value=5_000.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        allow_8wl=st.booleans(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_picks_cheapest_feasible_state(self, packets, allow_8wl):
+        """Among the feasible states Eq. 7 takes the lowest-power one."""
+        selector = self._selector(allow_8wl)
+        demand = max(packets, 0.0) * selector.headroom
+        chosen = selector.state_for_packets(packets)
+        feasible = [
+            state
+            for state in selector.candidate_states()
+            if demand <= selector.window_capacity_packets(state)
+        ]
+        if feasible:
+            assert chosen == min(feasible)
+
+    @given(allow_8wl=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_negative_predictions_clamp_to_cheapest(self, allow_8wl):
+        """A negative prediction behaves exactly like zero demand."""
+        selector = self._selector(allow_8wl)
+        assert selector.state_for_packets(-100.0) == (
+            selector.state_for_packets(0.0)
+        )

@@ -1,0 +1,219 @@
+"""The persistent result cache: hits, invalidation and corruption.
+
+Covers the three behaviours the cache promises:
+
+* a hit reproduces the computed result bit-for-bit;
+* changing any content input — a config field, the trace seed, the
+  code-version salt — misses instead of returning stale numbers;
+* corrupted or truncated entries are evicted and recomputed, never
+  crashed on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.config import (
+    PearlConfig,
+    PowerScalingConfig,
+    SimulationConfig,
+)
+from repro.experiments.cache import (
+    CODE_VERSION,
+    ResultCache,
+    canonical_json,
+    job_key,
+)
+from repro.experiments.parallel import (
+    ExperimentEngine,
+    execute_job,
+    pair_spec,
+    pearl_job,
+    trace_job,
+)
+from repro.experiments.runner import experiment_pairs
+
+
+@pytest.fixture
+def tiny_sim_config() -> PearlConfig:
+    return PearlConfig(
+        simulation=SimulationConfig(warmup_cycles=100, measure_cycles=1_000),
+        power_scaling=PowerScalingConfig(reservation_window=200),
+    )
+
+
+@pytest.fixture
+def spec(tiny_sim_config):
+    pair = experiment_pairs(quick=True)[0]
+    return pearl_job(tiny_sim_config, pair_spec(pair, 3), seed=3)
+
+
+def _fingerprint(result):
+    return (
+        result.kind,
+        result.stats.to_dict() if result.stats is not None else None,
+        dict(result.state_residency),
+        result.mean_laser_power_w,
+        result.laser_stall_cycles,
+        list(result.ml_predictions),
+        list(result.ml_labels),
+        dict(result.extras),
+    )
+
+
+class TestHits:
+    def test_roundtrip_is_bit_identical(self, tmp_path, spec):
+        cache = ResultCache(directory=tmp_path)
+        computed = execute_job(spec)
+        cache.put(spec, computed)
+        hit = cache.get(spec)
+        assert hit is not None
+        assert _fingerprint(hit) == _fingerprint(computed)
+        assert cache.hits == 1 and cache.errors == 0
+
+    def test_trace_job_roundtrip(self, tmp_path, tiny_sim_config):
+        """Stats-free results (trace jobs) also round-trip."""
+        pair = experiment_pairs(quick=True)[0]
+        spec = trace_job(tiny_sim_config, pair_spec(pair, 3))
+        cache = ResultCache(directory=tmp_path)
+        computed = execute_job(spec)
+        cache.put(spec, computed)
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit.stats is None
+        assert hit.extras == computed.extras
+
+    def test_empty_cache_misses(self, tmp_path, spec):
+        cache = ResultCache(directory=tmp_path)
+        assert cache.get(spec) is None
+        assert cache.misses == 1
+
+
+class TestInvalidation:
+    def test_config_field_change_misses(self, tmp_path, spec, tiny_sim_config):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(spec, execute_job(spec))
+        changed_config = dataclasses.replace(
+            tiny_sim_config,
+            power_scaling=PowerScalingConfig(reservation_window=400),
+        )
+        changed = dataclasses.replace(spec, config=changed_config)
+        assert cache.get(changed) is None
+
+    def test_trace_seed_change_misses(self, tmp_path, spec):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(spec, execute_job(spec))
+        changed = dataclasses.replace(
+            spec, trace=dataclasses.replace(spec.trace, seed=99)
+        )
+        assert cache.get(changed) is None
+
+    def test_salt_change_misses(self, tmp_path, spec):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(spec, execute_job(spec))
+        bumped = ResultCache(directory=tmp_path, salt=CODE_VERSION + "-next")
+        assert bumped.get(spec) is None
+
+    def test_key_is_stable_across_processes(self, spec):
+        """Keys depend only on content, not object identity."""
+        assert job_key(spec.payload()) == job_key(spec.payload())
+        assert ResultCache().key_for(spec) == ResultCache().key_for(spec)
+
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestCorruption:
+    def _primed(self, tmp_path, spec):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(spec, execute_job(spec))
+        json_path = tmp_path / f"{cache.key_for(spec)}.json"
+        npz_path = tmp_path / f"{cache.key_for(spec)}.npz"
+        assert json_path.exists() and npz_path.exists()
+        return cache, json_path, npz_path
+
+    def test_corrupted_json_recomputed(self, tmp_path, spec):
+        cache, json_path, npz_path = self._primed(tmp_path, spec)
+        json_path.write_text("{ not json at all")
+        assert cache.get(spec) is None
+        assert cache.errors == 1
+        # The bad entry was evicted, so the slot is clean for a re-put.
+        assert not json_path.exists()
+        cache.put(spec, execute_job(spec))
+        assert cache.get(spec) is not None
+
+    def test_truncated_npz_recomputed(self, tmp_path, spec):
+        cache, json_path, npz_path = self._primed(tmp_path, spec)
+        npz_path.write_bytes(npz_path.read_bytes()[:10])
+        assert cache.get(spec) is None
+        assert cache.errors == 1
+
+    def test_missing_npz_recomputed(self, tmp_path, spec):
+        cache, json_path, npz_path = self._primed(tmp_path, spec)
+        npz_path.unlink()
+        assert cache.get(spec) is None
+
+    def test_unknown_entry_format_recomputed(self, tmp_path, spec):
+        cache, json_path, npz_path = self._primed(tmp_path, spec)
+        json_path.write_text('{"format": 999}\n')
+        assert cache.get(spec) is None
+        assert cache.errors == 1
+
+
+class TestEngineIntegration:
+    def test_warm_rerun_identical_and_10x_faster(
+        self, tmp_path, tiny_sim_config
+    ):
+        """Acceptance: a warm-cache rerun is >= 10x faster than cold."""
+        pairs = experiment_pairs(quick=True)
+        specs = [
+            pearl_job(tiny_sim_config, pair_spec(pair, 1 + i), seed=1 + i)
+            for i, pair in enumerate(pairs)
+        ]
+
+        cold_engine = ExperimentEngine(
+            jobs=1, cache=ResultCache(directory=tmp_path)
+        )
+        start = time.perf_counter()
+        cold = cold_engine.run(specs)
+        cold_seconds = time.perf_counter() - start
+        assert cold_engine.cache.hits == 0
+
+        warm_engine = ExperimentEngine(
+            jobs=1, cache=ResultCache(directory=tmp_path)
+        )
+        start = time.perf_counter()
+        warm = warm_engine.run(specs)
+        warm_seconds = time.perf_counter() - start
+        assert warm_engine.cache.hits == len(specs)
+
+        for a, b in zip(cold, warm):
+            assert _fingerprint(a) == _fingerprint(b)
+        assert warm_seconds * 10 <= cold_seconds, (
+            f"warm rerun took {warm_seconds:.3f}s vs cold "
+            f"{cold_seconds:.3f}s — expected >= 10x speedup"
+        )
+
+    def test_partial_cache_computes_only_missing(
+        self, tmp_path, tiny_sim_config
+    ):
+        pairs = experiment_pairs(quick=True)[:2]
+        specs = [
+            pearl_job(tiny_sim_config, pair_spec(pair, 1 + i), seed=1 + i)
+            for i, pair in enumerate(pairs)
+        ]
+        cache = ResultCache(directory=tmp_path)
+        cache.put(specs[0], execute_job(specs[0]))
+        engine = ExperimentEngine(jobs=1, cache=cache)
+        results = engine.run(specs)
+        assert len(results) == 2
+        assert cache.hits == 1
+        # The fresh job was persisted: a second engine hits both.
+        second = ExperimentEngine(
+            jobs=1, cache=ResultCache(directory=tmp_path)
+        )
+        second.run(specs)
+        assert second.cache.hits == 2

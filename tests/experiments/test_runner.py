@@ -42,6 +42,67 @@ class TestExperimentResult:
         assert "hello" in result.format_table()
 
 
+class TestPartialColumns:
+    """Regression: partial columns must be an explicit choice.
+
+    ``column()`` used to drop rows lacking the key silently while
+    ``mean()`` raised — aggregations over heterogeneous results (e.g.
+    the concatenated ablations table) could quietly average a subset.
+    """
+
+    def _partial(self) -> ExperimentResult:
+        result = ExperimentResult(name="partial")
+        result.add_row(config="a", value=1.0)
+        result.add_row(config="b")  # no "value"
+        result.add_row(config="c", value=3.0)
+        return result
+
+    def test_partial_column_raises_by_default(self):
+        with pytest.raises(KeyError, match=r"missing from rows \[1\]"):
+            self._partial().column("value")
+
+    def test_partial_mean_raises_by_default(self):
+        with pytest.raises(KeyError):
+            self._partial().mean("value")
+
+    def test_drop_mode_skips_absent_rows(self):
+        assert self._partial().column("value", missing="drop") == [1.0, 3.0]
+        assert self._partial().mean("value", missing="drop") == 2.0
+
+    def test_fill_mode_substitutes(self):
+        assert self._partial().column("value", missing="fill") == [
+            1.0,
+            None,
+            3.0,
+        ]
+        assert self._partial().column("value", missing="fill", fill=0.0) == [
+            1.0,
+            0.0,
+            3.0,
+        ]
+
+    def test_fill_mean_ignores_none(self):
+        # None fills are excluded from the mean rather than crashing.
+        assert self._partial().mean("value", missing="fill") == 2.0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self._partial().column("value", missing="bogus")
+
+    def test_complete_column_unaffected(self):
+        result = ExperimentResult(name="full")
+        result.add_row(value=2.0)
+        result.add_row(value=4.0)
+        assert result.column("value") == [2.0, 4.0]
+        assert result.mean("value") == 3.0
+
+    def test_wholly_absent_column_raises_in_drop_mode_mean(self):
+        result = ExperimentResult(name="none")
+        result.add_row(other=1.0)
+        with pytest.raises(KeyError):
+            result.mean("value", missing="drop")
+
+
 class TestPairsAndConfig:
     def test_quick_pairs_are_diagonal(self):
         quick = experiment_pairs(quick=True)

@@ -140,3 +140,85 @@ class TestDiskCache:
             first.validation_nrmse
         )
         pl._MODEL_CACHE.clear()
+
+    def test_corrupt_disk_cache_retrained(self, tmp_path, monkeypatch):
+        """A mangled cache entry is retrained, not crashed on."""
+        import numpy as np
+
+        from repro.ml import pipeline as pl
+
+        monkeypatch.setenv("PEARL_CACHE_DIR", str(tmp_path))
+        trainer_pairs = [
+            (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"])
+        ]
+        val_pairs = [(CPU_BENCHMARKS["raytrace"], GPU_BENCHMARKS["prefix_sum"])]
+
+        original_init = pl.PowerModelTrainer.__init__
+
+        def tiny_init(self, config=None, train_pairs=None, val_pairs_=None,
+                      seed=2018, quick=False, **kwargs):
+            original_init(
+                self,
+                config=_small_config(),
+                train_pairs=trainer_pairs,
+                val_pairs=val_pairs,
+                seed=seed,
+                quick=False,
+            )
+
+        monkeypatch.setattr(pl.PowerModelTrainer, "__init__", tiny_init)
+        pl._MODEL_CACHE.clear()
+        first = pl.train_default_model(200, quick=True, seed=99)
+        model_path = tmp_path / "model_w200_q1_s99.npz"
+        model_path.write_bytes(b"not a zip archive")
+
+        pl._MODEL_CACHE.clear()
+        retrained = pl.train_default_model(200, quick=True, seed=99)
+        assert np.allclose(retrained.model.weights, first.model.weights)
+        # The corrupt file was overwritten with a loadable model.
+        pl._MODEL_CACHE.clear()
+        path = pl.ensure_model_file(200, quick=True, seed=99)
+        from repro.ml.ridge import RidgeRegression
+
+        loaded = RidgeRegression.load(path)
+        assert np.allclose(loaded.weights, first.model.weights)
+        pl._MODEL_CACHE.clear()
+
+    def test_ensure_model_file_replaces_corrupt_file(
+        self, tmp_path, monkeypatch
+    ):
+        """ensure_model_file never hands workers an unloadable path."""
+        import numpy as np
+
+        from repro.ml import pipeline as pl
+        from repro.ml.ridge import RidgeRegression
+
+        monkeypatch.setenv("PEARL_CACHE_DIR", str(tmp_path))
+        trainer_pairs = [
+            (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"])
+        ]
+        val_pairs = [(CPU_BENCHMARKS["raytrace"], GPU_BENCHMARKS["prefix_sum"])]
+
+        original_init = pl.PowerModelTrainer.__init__
+
+        def tiny_init(self, config=None, train_pairs=None, val_pairs_=None,
+                      seed=2018, quick=False, **kwargs):
+            original_init(
+                self,
+                config=_small_config(),
+                train_pairs=trainer_pairs,
+                val_pairs=val_pairs,
+                seed=seed,
+                quick=False,
+            )
+
+        monkeypatch.setattr(pl.PowerModelTrainer, "__init__", tiny_init)
+        pl._MODEL_CACHE.clear()
+        # Simulate the corrupt committed artifact: model file unloadable
+        # while the in-process cache is cold.
+        (tmp_path / "model_w200_q1_s99.npz").write_bytes(b"garbage")
+        (tmp_path / "model_w200_q1_s99.json").write_text("{}")
+        path = pl.ensure_model_file(200, quick=True, seed=99)
+        loaded = RidgeRegression.load(path)
+        assert np.isfinite(loaded.weights).all()
+        pl._MODEL_CACHE.clear()

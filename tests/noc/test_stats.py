@@ -168,3 +168,85 @@ class TestLatencyPercentiles:
         stats = self._populated()
         stats.begin_measurement(0)
         assert stats.latency_percentile(50) == 0.0
+
+
+class TestSerialization:
+    def _populated_run(self):
+        stats = NetworkStats()
+        stats.begin_measurement(100)
+        for cycle in (10, 20, 35):
+            _delivered_request(stats, cycle=cycle)
+        gpu = make_response(16, 0, CoreType.GPU, CacheLevel.L3, cycle=0)
+        stats.on_injected(gpu)
+        stats.on_delivered(gpu, 7)
+        for busy in (True, False, True):
+            stats.on_link_sample(busy)
+        stats.laser_energy_j = 1.5e-6
+        stats.trimming_energy_j = 2.5e-7
+        stats.modulation_energy_j = 1.25e-8
+        stats.receiver_energy_j = 3.0e-8
+        stats.ml_energy_j = 4.0e-9
+        stats.electrical_energy_j = 5.5e-7
+        stats.finish(600)
+        return stats
+
+    def test_roundtrip_is_lossless(self):
+        stats = self._populated_run()
+        rebuilt = NetworkStats.from_dict(stats.to_dict())
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert rebuilt.summary() == stats.summary()
+        assert rebuilt.latency_summary() == stats.latency_summary()
+
+    def test_roundtrip_with_external_latencies(self):
+        stats = self._populated_run()
+        data = stats.to_dict(include_latencies=False)
+        assert "latencies" not in data
+        rebuilt = NetworkStats.from_dict(data, latencies=stats._latencies)
+        assert rebuilt.to_dict() == stats.to_dict()
+
+    def test_empty_roundtrip(self):
+        rebuilt = NetworkStats.from_dict(NetworkStats().to_dict())
+        assert rebuilt.packets_delivered == 0
+        assert rebuilt.mean_latency() == 0.0
+
+
+class TestMerge:
+    def _run(self, cycles, deliveries):
+        stats = NetworkStats()
+        stats.begin_measurement(0)
+        for cycle in deliveries:
+            _delivered_request(stats, cycle=cycle)
+        stats.laser_energy_j = 1e-6 * len(deliveries)
+        stats.finish(cycles)
+        return stats
+
+    def test_counters_and_energies_sum(self):
+        a = self._run(100, [10, 20])
+        b = self._run(200, [30])
+        merged = NetworkStats.merge([a, b])
+        assert merged.packets_delivered == 3
+        assert merged.network_flits_delivered == 3
+        assert merged.laser_energy_j == pytest.approx(3e-6)
+
+    def test_measurement_windows_concatenate(self):
+        a = self._run(100, [10])
+        b = self._run(200, [30])
+        merged = NetworkStats.merge([a, b])
+        assert merged.measured_cycles == 300
+        assert merged.throughput_flits_per_cycle() == pytest.approx(2 / 300)
+
+    def test_latency_samples_concatenate(self):
+        a = self._run(100, [10, 20])
+        b = self._run(200, [30])
+        merged = NetworkStats.merge([a, b])
+        assert sorted(merged._latencies) == [10, 20, 30]
+        assert merged.latency_percentile(100) == 30
+
+    def test_merge_of_one_matches_original(self):
+        original = self._run(100, [10, 20])
+        merged = NetworkStats.merge([original])
+        assert merged.to_dict() == original.to_dict()
+
+    def test_merge_empty_is_empty(self):
+        merged = NetworkStats.merge([])
+        assert merged.packets_delivered == 0

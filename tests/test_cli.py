@@ -5,6 +5,14 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep CLI-triggered result-cache writes out of the repo tree."""
+    monkeypatch.setenv(
+        "PEARL_RESULT_CACHE_DIR", str(tmp_path / "result_cache")
+    )
+
+
 class TestList:
     def test_lists_experiments(self, capsys):
         assert main(["list"]) == 0
@@ -21,6 +29,34 @@ class TestExperiment:
         assert main(["experiment", "table1"]) == 0
         out = capsys.readouterr().out
         assert "CPU cores" in out
+
+
+class TestEngineFlags:
+    def test_jobs_flag_parallel_run(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("PEARL_RESULT_CACHE_DIR", str(tmp_path / "rc"))
+        assert main(["experiment", "fig4", "--jobs", "2"]) == 0
+        serial_out = capsys.readouterr().out
+        # The parallel run populated the cache; a repeat hits it and
+        # prints the identical table.
+        assert main(["experiment", "fig4", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+        assert (tmp_path / "rc").exists()
+
+    def test_no_cache_skips_disk(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("PEARL_RESULT_CACHE_DIR", str(tmp_path / "rc"))
+        assert main(["experiment", "fig4", "--no-cache"]) == 0
+        assert not (tmp_path / "rc").exists()
+
+    def test_invalid_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig4", "--jobs", "0"])
+
+    def test_engine_restored_after_run(self):
+        from repro.experiments.parallel import current_engine
+
+        before = current_engine()
+        assert main(["experiment", "fig4", "--jobs", "2"]) == 0
+        assert current_engine() is before
 
 
 class TestSimulate:
