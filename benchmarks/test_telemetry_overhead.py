@@ -1,0 +1,96 @@
+"""Telemetry overhead budget: instrumented runs stay within 5%.
+
+The observability layer promises that leaving telemetry enabled costs
+less than 5% wall time over an uninstrumented simulation.  This
+benchmark times identical closed-loop runs with the session off and on
+(interleaved, best-of-N so scheduler noise cancels) and fails if the
+ratio exceeds the budget — a regression canary for anyone adding
+instrumentation to the cycle path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.config import PearlConfig, SimulationConfig
+from repro.noc.network import PearlNetwork
+from repro.noc.router import PowerPolicyKind
+from repro.traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS
+from repro.traffic.synthetic import generate_pair_trace
+
+#: Maximum tolerated instrumented/bare wall-time ratio.
+OVERHEAD_BUDGET = 1.05
+
+#: Timing repetitions; best-of-N suppresses one-off scheduler stalls.
+REPEATS = 5
+
+
+def _workload():
+    config = PearlConfig(
+        simulation=SimulationConfig(
+            warmup_cycles=200, measure_cycles=4_000, seed=5
+        )
+    )
+    trace = generate_pair_trace(
+        CPU_BENCHMARKS["fluidanimate"],
+        GPU_BENCHMARKS["dct"],
+        config.architecture,
+        config.simulation.total_cycles,
+        5,
+    )
+
+    def run():
+        network = PearlNetwork(
+            config, power_policy=PowerPolicyKind.REACTIVE, seed=5
+        )
+        network.run(trace)
+
+    return run
+
+
+def test_telemetry_overhead_within_budget():
+    run = _workload()
+    run()  # warm caches and JIT-able paths before timing
+
+    def instrumented():
+        with obs.session():
+            run()
+
+    bare_times, instrumented_times = [], []
+    for _ in range(REPEATS):  # interleave so drift hits both sides
+        start = time.perf_counter()
+        run()
+        bare_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        instrumented()
+        instrumented_times.append(time.perf_counter() - start)
+
+    bare = min(bare_times)
+    on = min(instrumented_times)
+    ratio = on / bare
+    print(f"bare={bare:.4f}s instrumented={on:.4f}s ratio={ratio:.4f}")
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"telemetry overhead {ratio:.3f}x exceeds the "
+        f"{OVERHEAD_BUDGET:.2f}x budget"
+    )
+
+
+def test_disabled_telemetry_is_free():
+    """With no session, instrumentation sites are one attribute check."""
+    run = _workload()
+    run()
+    times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - start)
+    # Sanity bound only: a bare run must not mysteriously slow down
+    # because telemetry code exists (guards are plain attribute reads).
+    assert min(times) > 0
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v", "-s"])

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate exported telemetry artifacts (stdlib only, CI-friendly).
+
+Usage::
+
+    python scripts/check_trace.py RUN.jsonl RUN.trace.json
+    python scripts/check_trace.py RUN            # checks both artifacts
+
+Checks the JSONL stream against the ``pearl-obs-1`` record shapes (one
+provenance header line, then metric and event lines) and the Chrome
+``trace_event`` document for viewer-loadable structure.  Exits non-zero
+with one message per violation, so CI logs point at the broken record.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+EXPECTED_SCHEMA = "pearl-obs-1"
+
+METRIC_KINDS = {
+    "counter": {"value"},
+    "gauge": {"value", "peak"},
+    "histogram": {"bounds", "counts", "sum", "count"},
+}
+
+CHROME_PHASES = {"M", "X", "i"}
+
+
+def check_jsonl(path: Path) -> List[str]:
+    errors: List[str] = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    if not lines:
+        return [f"{path}: empty file"]
+
+    records: List[Dict] = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}:{number}: invalid JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"{path}:{number}: record is not an object")
+            continue
+        records.append(record)
+
+    if not records:
+        return errors or [f"{path}: no records"]
+
+    header = records[0]
+    if header.get("type") != "provenance":
+        errors.append(f"{path}:1: first record must be the provenance header")
+    if header.get("schema") != EXPECTED_SCHEMA:
+        errors.append(
+            f"{path}:1: schema {header.get('schema')!r} != {EXPECTED_SCHEMA!r}"
+        )
+    if not isinstance(header.get("provenance"), dict):
+        errors.append(f"{path}:1: provenance must be an object")
+
+    seen_event = False
+    for number, record in enumerate(records[1:], start=2):
+        kind = record.get("type")
+        if kind == "provenance":
+            errors.append(f"{path}:{number}: duplicate provenance header")
+        elif kind == "metric":
+            if seen_event:
+                errors.append(
+                    f"{path}:{number}: metric after events (order is "
+                    "header, metrics, events)"
+                )
+            metric_kind = record.get("kind")
+            required = METRIC_KINDS.get(metric_kind)
+            if not isinstance(record.get("name"), str):
+                errors.append(f"{path}:{number}: metric missing name")
+            if required is None:
+                errors.append(
+                    f"{path}:{number}: unknown metric kind {metric_kind!r}"
+                )
+            else:
+                for field in sorted(required - set(record)):
+                    errors.append(
+                        f"{path}:{number}: {metric_kind} missing {field!r}"
+                    )
+        elif kind == "event":
+            seen_event = True
+            for field in ("name", "cat", "ts", "stream", "seq"):
+                if field not in record:
+                    errors.append(
+                        f"{path}:{number}: event missing {field!r}"
+                    )
+        else:
+            errors.append(f"{path}:{number}: unknown record type {kind!r}")
+    return errors
+
+
+def check_chrome(path: Path) -> List[str]:
+    errors: List[str] = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents must be a list"]
+    for index, event in enumerate(events):
+        where = f"{path}: traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in CHROME_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for field in ("name", "pid", "tid"):
+            if field not in event:
+                errors.append(f"{where}: missing {field!r}")
+        if phase == "M":
+            if not isinstance(event.get("args", {}).get("name"), str):
+                errors.append(f"{where}: metadata needs args.name")
+        else:
+            if "ts" not in event:
+                errors.append(f"{where}: missing 'ts'")
+        if phase == "X" and "dur" not in event:
+            errors.append(f"{where}: complete event missing 'dur'")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    paths: List[Path] = []
+    for arg in argv:
+        path = Path(arg)
+        if path.suffix:  # explicit artifact file
+            paths.append(path)
+        else:  # bare stem: check the standard artifact pair
+            paths.append(path.with_name(path.name + ".jsonl"))
+            paths.append(path.with_name(path.name + ".trace.json"))
+
+    errors: List[str] = []
+    for path in paths:
+        if path.name.endswith(".trace.json"):
+            errors.extend(check_chrome(path))
+        else:
+            errors.extend(check_jsonl(path))
+
+    for message in errors:
+        print(message, file=sys.stderr)
+    if errors:
+        print(f"FAIL: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(paths)} artifact(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -39,7 +39,7 @@ from .noc.packet import CacheLevel, CoreType, Packet, PacketClass
 from .noc.router import PowerPolicyKind
 from .noc.stats import NetworkStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArchitectureConfig",

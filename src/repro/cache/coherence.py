@@ -146,10 +146,20 @@ class NmoesiController:
     def access(self, address: int, access_type: AccessType) -> CoherenceResult:
         """Perform a load/store/nc-store from this cluster."""
         if access_type is AccessType.LOAD:
-            return self._load(address)
-        if access_type is AccessType.STORE:
-            return self._store(address)
-        return self._nc_store(address)
+            result = self._load(address)
+        elif access_type is AccessType.STORE:
+            result = self._store(address)
+        else:
+            result = self._nc_store(address)
+        from ..obs import OBS
+
+        if OBS.enabled:
+            for action in result.actions:
+                OBS.registry.counter(
+                    f"coherence/{action.value}",
+                    help="directory actions by class (hit vs. miss kinds)",
+                ).inc()
+        return result
 
     def _evict_if_needed(
         self, evicted: "Optional[tuple[int, LineState]]", result: CoherenceResult

@@ -5,13 +5,21 @@ Subcommands:
 * ``list`` — show the registered experiments;
 * ``experiment <id>`` — regenerate one paper figure/table;
 * ``all`` — regenerate every experiment (writes a combined report);
-* ``simulate`` — run one benchmark pair under a chosen configuration.
+* ``simulate`` — run one benchmark pair under a chosen configuration;
+* ``obs report <id>`` — run one experiment instrumented and print its
+  telemetry summary (``--json`` for machine-readable output).
+
+``experiment``, ``all`` and ``simulate`` accept ``--trace PATH`` to run
+under telemetry and export the JSONL + Chrome ``trace_event`` artifacts
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from .config import PearlConfig, SimulationConfig
@@ -22,9 +30,14 @@ from .traffic.synthetic import generate_pair_trace
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="pearl-sim",
         description="PEARL photonic-NoC reproduction (HPCA 2018)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -40,12 +53,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render the figure as a terminal chart too",
     )
     _add_engine_args(exp)
+    _add_trace_args(exp)
 
     allp = sub.add_parser("all", help="run every experiment")
     allp.add_argument("--full", action="store_true")
     allp.add_argument("--seed", type=int, default=1)
     allp.add_argument("--output", default=None, help="write report to a file")
     _add_engine_args(allp)
+    _add_trace_args(allp)
+
+    obsp = sub.add_parser("obs", help="telemetry commands")
+    obs_sub = obsp.add_subparsers(dest="obs_command", required=True)
+    rep = obs_sub.add_parser(
+        "report",
+        help="run one experiment instrumented and print its telemetry",
+    )
+    rep.add_argument("id", help="experiment id (see `pearl-sim list`)")
+    rep.add_argument("--full", action="store_true", help="all 16 test pairs")
+    rep.add_argument("--seed", type=int, default=1)
+    rep.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    rep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulation fan-out (default 1)",
+    )
+    _add_trace_args(rep)
 
     simp = sub.add_parser("simulate", help="run one benchmark pair")
     simp.add_argument("--cpu", default="fluidanimate", choices=sorted(CPU_BENCHMARKS))
@@ -62,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simp.add_argument("--static-state", type=int, default=64)
     simp.add_argument("--fcfs", action="store_true", help="disable DBA")
     simp.add_argument("--seed", type=int, default=1)
+    _add_trace_args(simp)
     return parser
 
 
@@ -80,12 +117,56 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="run instrumented and export <PATH>.jsonl + <PATH>.trace.json",
+    )
+    parser.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every Nth trace event per event name (default 1: all)",
+    )
+
+
 def _engine_scope(args: argparse.Namespace):
     from .experiments.parallel import engine_scope
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
     return engine_scope(jobs=args.jobs, use_cache=not args.no_cache)
+
+
+@contextmanager
+def _telemetry_scope(args: argparse.Namespace):
+    """Enable telemetry for a command when ``--trace PATH`` was given.
+
+    On clean completion the JSONL and Chrome trace artifacts are
+    written next to each other under the requested stem.
+    """
+    trace = getattr(args, "trace", None)
+    if not trace:
+        yield
+        return
+    from . import obs
+
+    if args.sample_every < 1:
+        raise SystemExit("--sample-every must be at least 1")
+    with obs.session(sample_every=args.sample_every):
+        yield
+        provenance = obs.collect_provenance(
+            seed=getattr(args, "seed", None),
+            command=args.command,
+            sample_every=args.sample_every,
+        )
+        jsonl_path, chrome_path = obs.write_trace_artifacts(
+            trace, obs.OBS.registry, obs.OBS.tracer, provenance
+        )
+        print(f"wrote {jsonl_path} and {chrome_path}", file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -178,6 +259,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from . import obs
+    from .experiments import REGISTRY
+
+    if args.id not in REGISTRY:
+        print(f"unknown experiment {args.id!r}; try `pearl-sim list`")
+        return 2
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    if args.sample_every < 1:
+        raise SystemExit("--sample-every must be at least 1")
+    from .experiments.parallel import engine_scope
+
+    with obs.session(sample_every=args.sample_every):
+        # Cache off: the report must describe a live instrumented run,
+        # not whatever telemetry an earlier cache entry happened to hold.
+        with engine_scope(jobs=args.jobs, use_cache=False):
+            REGISTRY[args.id](quick=not args.full, seed=args.seed)
+        provenance = obs.collect_provenance(
+            seed=args.seed,
+            experiment=args.id,
+            quick=not args.full,
+            sample_every=args.sample_every,
+        )
+        if args.trace:
+            jsonl_path, chrome_path = obs.write_trace_artifacts(
+                args.trace, obs.OBS.registry, obs.OBS.tracer, provenance
+            )
+            print(f"wrote {jsonl_path} and {chrome_path}", file=sys.stderr)
+        if args.json:
+            doc = obs.report_doc(obs.OBS.registry, obs.OBS.tracer, provenance)
+            print(json.dumps(doc, sort_keys=True, indent=2))
+        else:
+            print(
+                obs.render_report(obs.OBS.registry, obs.OBS.tracer, provenance)
+            )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -185,11 +305,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "experiment":
-            return _cmd_experiment(args)
+            with _telemetry_scope(args):
+                return _cmd_experiment(args)
         if args.command == "all":
-            return _cmd_all(args)
+            with _telemetry_scope(args):
+                return _cmd_all(args)
         if args.command == "simulate":
-            return _cmd_simulate(args)
+            with _telemetry_scope(args):
+                return _cmd_simulate(args)
+        if args.command == "obs":
+            if args.obs_command == "report":
+                return _cmd_obs_report(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0

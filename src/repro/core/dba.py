@@ -62,6 +62,15 @@ class DynamicBandwidthAllocator:
             cpu_fraction=self._minor, gpu_fraction=self._major
         )
         self._even = BandwidthAllocation.even_split()
+        # Stable outcome labels for telemetry (BandwidthAllocation is a
+        # frozen dataclass, so the allocations key a dict by value).
+        self.split_labels = {
+            self._all_cpu: "all_cpu",
+            self._all_gpu: "all_gpu",
+            self._cpu_major: "cpu_major",
+            self._gpu_major: "gpu_major",
+            self._even: "even",
+        }
 
     def sample(self, buffers: PartitionedBuffer) -> OccupancySample:
         """Read Eq. 1-2 occupancies from a router's buffer pools."""
@@ -102,6 +111,10 @@ class FCFSAllocator:
 
     def __init__(self, config: DBAConfig) -> None:
         self.config = config
+        # One canonical instance (this runs every cycle on every router,
+        # and telemetry tallies outcomes by object identity).
+        self._even = BandwidthAllocation.even_split()
+        self.split_labels = {self._even: "even"}
 
     def sample(self, buffers: PartitionedBuffer) -> OccupancySample:
         """Occupancy reading (collected for statistics only)."""
@@ -111,11 +124,11 @@ class FCFSAllocator:
 
     def allocate(self, occupancy: OccupancySample) -> BandwidthAllocation:
         """Always the even split, regardless of demand."""
-        return BandwidthAllocation.even_split()
+        return self._even
 
     def allocate_from_buffers(
         self, buffers: PartitionedBuffer
     ) -> BandwidthAllocation:
         """Sample (for stats) and return the static split."""
         self.sample(buffers)
-        return BandwidthAllocation.even_split()
+        return self._even

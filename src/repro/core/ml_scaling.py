@@ -22,6 +22,7 @@ import numpy as np
 from ..config import MLConfig, PhotonicConfig
 from ..ml.features import NUM_FEATURES
 from ..ml.ridge import RidgeRegression
+from ..obs import OBS
 from .wavelength import WavelengthLadder
 
 
@@ -143,6 +144,11 @@ class MLPowerScaler:
         state = self.selector.state_for_packets(predicted)
         self.predictions.append(predicted)
         self.decisions.append(state)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "ml/inferences", help="ridge predictions made at window boundaries"
+            ).inc()
+            OBS.registry.counter(f"ml/decisions/{state}wl").inc()
         return state
 
     def record_label(self, injected_packets: int) -> None:
@@ -153,6 +159,14 @@ class MLPowerScaler:
         """
         if self._pending_label is not None:
             self.labels.append(self._pending_label)
+            if OBS.enabled and len(self.labels) <= len(self.predictions):
+                # labels[i] is the realised target of predictions[i].
+                OBS.registry.histogram(
+                    "ml/prediction_abs_error",
+                    help="|predicted - actual| next-window injections",
+                ).observe(
+                    abs(self.predictions[len(self.labels) - 1] - self._pending_label)
+                )
         self._pending_label = float(injected_packets)
 
     def aligned_history(self) -> "tuple[np.ndarray, np.ndarray]":

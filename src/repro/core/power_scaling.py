@@ -120,6 +120,31 @@ class LaserBank:
             return {s: 0.0 for s in self.ladder.states}
         return {s: c / cycles for s, c in self.cycles_in_state.items()}
 
+    def record_telemetry(self, registry) -> None:
+        """Flush the integrated state statistics into a metrics registry.
+
+        Cycle counts are emitted as counters (they add across routers
+        and jobs, so residency fractions can always be recovered from
+        the aggregate); called once per run per router — never on the
+        cycle path.
+        """
+        for state, cycles in self.cycles_in_state.items():
+            if cycles:
+                registry.counter(
+                    f"laser/state_cycles/{state}wl",
+                    help="cycles the active wavelength state spent at this rung",
+                ).inc(cycles)
+        if self.stall_cycles:
+            registry.counter(
+                "laser/stall_cycles",
+                help="dark cycles spent waiting for laser stabilization",
+            ).inc(self.stall_cycles)
+        if self.transitions:
+            registry.counter(
+                "laser/transitions",
+                help="wavelength-state change requests accepted",
+            ).inc(self.transitions)
+
 
 class ReactivePowerScaler:
     """Buffer-occupancy-driven wavelength-state selector (steps 6-8).

@@ -104,6 +104,13 @@ class ReservationChannel:
         """Send a reservation; it is visible after the channel latency."""
         self._in_flight[reservation.source] = reservation
         self.broadcast_count += 1
+        from ..obs import OBS
+
+        if OBS.enabled:
+            OBS.registry.counter(
+                "reservation/broadcasts",
+                help="reservation packets sent on the broadcast waveguide",
+            ).inc()
 
     def ready(self, source: int, cycle: int) -> Optional[Reservation]:
         """The reservation from ``source`` once its broadcast completed."""

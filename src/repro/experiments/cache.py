@@ -31,6 +31,7 @@ from typing import Any, Dict, Optional, Union
 import numpy as np
 
 from ..noc.stats import NetworkStats
+from ..obs import OBS
 
 #: Bump when a simulator change invalidates previously cached results.
 CODE_VERSION = "pearl-experiments-1"
@@ -132,6 +133,7 @@ class ResultCache:
         json_path, npz_path = self._paths(self.key_for(spec))
         if not json_path.exists():
             self.misses += 1
+            self._count("misses")
             return None
         try:
             doc = json.loads(json_path.read_text())
@@ -145,9 +147,13 @@ class ResultCache:
         except Exception:
             self.errors += 1
             self.misses += 1
+            self._count("errors")
+            self._count("misses")
+            self._count("evictions", 2)
             self._evict(json_path, npz_path)
             return None
         self.hits += 1
+        self._count("hits")
         return result
 
     def put(self, spec, result) -> None:
@@ -166,6 +172,16 @@ class ResultCache:
         _atomic_write_bytes(
             json_path, (json.dumps(doc, sort_keys=True) + "\n").encode()
         )
+        self._count("writes")
+
+    @staticmethod
+    def _count(event: str, amount: int = 1) -> None:
+        """Mirror a cache event into the telemetry registry (if enabled)."""
+        if OBS.enabled:
+            OBS.registry.counter(
+                f"engine/cache_{event}",
+                help="result-cache lookups by outcome",
+            ).inc(amount)
 
     @staticmethod
     def _evict(*paths: Path) -> None:
@@ -187,6 +203,7 @@ def _encode_result(result) -> "tuple[Dict[str, Any], Dict[str, np.ndarray]]":
         "mean_laser_power_w": result.mean_laser_power_w,
         "laser_stall_cycles": result.laser_stall_cycles,
         "extras": result.extras,
+        "telemetry": result.telemetry,
         "stats": (
             result.stats.to_dict(include_latencies=False)
             if result.stats is not None
@@ -225,4 +242,6 @@ def _decode_result(doc: Dict[str, Any], arrays: Dict[str, np.ndarray]):
         ml_predictions=[float(v) for v in arrays["ml_predictions"]],
         ml_labels=[float(v) for v in arrays["ml_labels"]],
         extras=dict(doc["extras"]),
+        # Entries written before telemetry existed have no key: None.
+        telemetry=doc.get("telemetry"),
     )

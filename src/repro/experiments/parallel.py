@@ -24,16 +24,19 @@ sweep) only simulates the jobs it has not seen before.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..config import PearlConfig
 from ..config_io import config_to_dict
 from ..noc.packet import CoreType
 from ..noc.stats import NetworkStats
 from ..noc.router import PowerPolicyKind
+from ..obs import OBS
 from ..traffic.benchmarks import BenchmarkProfile, get_benchmark
 from ..traffic.synthetic import generate_pair_trace, uniform_random_trace
 from ..traffic.trace import Trace
@@ -172,6 +175,10 @@ class JobResult:
     ml_predictions: List[float] = field(default_factory=list)
     ml_labels: List[float] = field(default_factory=list)
     extras: Dict[str, object] = field(default_factory=dict)
+    #: Telemetry captured while this job ran (``None`` when the session
+    #: was disabled): a JSON-able ``{"metrics": ..., "events": ...}``
+    #: snapshot the engine merges into the parent's registry/tracer.
+    telemetry: Optional[Dict[str, object]] = None
 
     def throughput(self) -> float:
         """Network throughput in flits/cycle."""
@@ -267,13 +274,39 @@ def thermal_job(
 # ---------------------------------------------------------------------------
 
 
+def _init_worker_obs(config: Dict[str, object]) -> None:
+    """Process-pool initializer: mirror the parent's telemetry session."""
+    obs.apply_config(config)
+
+
 def execute_job(spec: JobSpec) -> JobResult:
     """Run one job to completion (top-level so executors can pickle it).
 
     This single function is the code path for *both* serial and
     parallel execution; determinism follows from every RNG being
     seeded from the spec alone.
+
+    With telemetry enabled the job runs inside an isolated
+    :func:`repro.obs.capture` — identical for inline and worker
+    execution — and ships its snapshot back on ``JobResult.telemetry``
+    for an order-independent merge in the parent.
     """
+    if not OBS.enabled:
+        return _dispatch_job(spec)
+    with obs.capture() as cap:
+        start = time.perf_counter()
+        result = _dispatch_job(spec)
+        cap.registry.histogram(
+            "engine/job_seconds",
+            help="wall time of one simulation job",
+            volatile=True,
+        ).observe(time.perf_counter() - start)
+        cap.registry.counter(f"engine/jobs/{spec.kind}").inc()
+    result.telemetry = cap.take()
+    return result
+
+
+def _dispatch_job(spec: JobSpec) -> JobResult:
     if spec.kind == "pearl":
         return _run_pearl_job(spec)
     if spec.kind == "cmesh":
@@ -402,7 +435,11 @@ class ExperimentEngine:
 
         if self.jobs > 1 and len(pending) > 1:
             workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as executor:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker_obs,
+                initargs=(OBS.config(),),
+            ) as executor:
                 computed = list(
                     executor.map(
                         execute_job, [specs[i] for i in pending]
@@ -417,7 +454,32 @@ class ExperimentEngine:
         if self.cache is not None:
             for index in pending:
                 self.cache.put(specs[index], results[index])
+        if OBS.enabled:
+            self._record_batch_telemetry(results, executed=len(pending))
         return results  # type: ignore[return-value]
+
+    def _record_batch_telemetry(
+        self, results: Sequence[Optional[JobResult]], executed: int
+    ) -> None:
+        """Merge per-job telemetry and count this batch's engine work.
+
+        Job snapshots merge order-independently (counters/histograms
+        add, gauges take maxima; trace streams are re-tagged by
+        submission index), so a serial run and any worker count produce
+        identical registry state.  Cache hits carry the telemetry
+        captured when the job originally executed, making warm re-runs
+        report the same simulation metrics as cold ones.
+        """
+        registry = OBS.registry
+        registry.counter(
+            "engine/jobs_submitted", help="job specs submitted to the engine"
+        ).inc(len(results))
+        registry.counter(
+            "engine/jobs_executed", help="jobs that missed the cache and ran"
+        ).inc(executed)
+        for index, result in enumerate(results):
+            if result is not None and result.telemetry is not None:
+                obs.merge_capture(result.telemetry, stream=f"job{index}")
 
 
 # -- process-wide default engine ---------------------------------------------

@@ -19,6 +19,7 @@ tests while exercising every stage.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -38,6 +39,12 @@ from .metrics import nrmse
 from .ridge import RidgeRegression, select_lambda
 
 Pair = Tuple[BenchmarkProfile, BenchmarkProfile]
+
+
+@contextmanager
+def _null_span(*args, **kwargs):
+    """No-op stand-in for the tracer's wall_span when telemetry is off."""
+    yield
 
 
 @dataclass
@@ -145,41 +152,56 @@ class PowerModelTrainer:
 
     def train(self) -> TrainingResult:
         """Run the full pipeline and return the deployable model."""
+        from ..obs import OBS
+
         history: List[str] = []
         ml: MLConfig = self.config.ml
-
-        phase1 = collect_datasets(self.train_pairs, self.config, seed=self.seed)
-        val_set = collect_datasets(
-            self.val_pairs, self.config, seed=self.seed + 1000
+        obs_span = (
+            OBS.tracer.wall_span if OBS.enabled else _null_span
         )
+
+        with obs_span("ml/phase1_collect", "training"):
+            phase1 = collect_datasets(
+                self.train_pairs, self.config, seed=self.seed
+            )
+            val_set = collect_datasets(
+                self.val_pairs, self.config, seed=self.seed + 1000
+            )
         history.append(
             f"phase1: {len(phase1)} train / {len(val_set)} validation samples"
         )
         X1, y1 = phase1.arrays()
         Xv, yv = val_set.arrays()
-        model1, lam1 = select_lambda(
-            X1, y1, Xv, yv, ml.lambda_grid, standardize=ml.standardize_features
-        )
+        with obs_span("ml/phase1_fit", "training"):
+            model1, lam1 = select_lambda(
+                X1, y1, Xv, yv, ml.lambda_grid, standardize=ml.standardize_features
+            )
         history.append(f"phase1 model: lambda={lam1}")
 
-        phase2 = collect_datasets(
-            self.train_pairs,
-            self.config,
-            seed=self.seed + 2000,
-            driving_model=model1,
-        )
-        val2 = collect_datasets(
-            self.val_pairs,
-            self.config,
-            seed=self.seed + 3000,
-            driving_model=model1,
-        )
+        with obs_span("ml/phase2_collect", "training"):
+            phase2 = collect_datasets(
+                self.train_pairs,
+                self.config,
+                seed=self.seed + 2000,
+                driving_model=model1,
+            )
+            val2 = collect_datasets(
+                self.val_pairs,
+                self.config,
+                seed=self.seed + 3000,
+                driving_model=model1,
+            )
         history.append(f"phase2: {len(phase2)} train / {len(val2)} validation samples")
         X2, y2 = phase2.arrays()
         Xv2, yv2 = val2.arrays()
-        model2, lam2 = select_lambda(
-            X2, y2, Xv2, yv2, ml.lambda_grid, standardize=ml.standardize_features
-        )
+        with obs_span("ml/phase2_fit", "training"):
+            model2, lam2 = select_lambda(
+                X2, y2, Xv2, yv2, ml.lambda_grid, standardize=ml.standardize_features
+            )
+        if OBS.enabled:
+            OBS.registry.counter(
+                "ml/training_samples", help="(features, label) pairs collected"
+            ).inc(len(phase1) + len(phase2))
         validation_score = nrmse(yv2, model2.predict(Xv2))
         history.append(
             f"phase2 model: lambda={lam2}, validation NRMSE={validation_score:.3f}"

@@ -26,6 +26,7 @@ import numpy as np
 from ..cache.memory import MemoryController
 from ..config import PearlConfig
 from ..core.ml_scaling import MLPowerScaler, StateSelector
+from ..obs import OBS
 from ..ml.ridge import RidgeRegression
 from .packet import CacheLevel, CoreType, Packet, PacketClass
 from .router import PearlRouter, PowerPolicyKind, Transmission
@@ -285,6 +286,11 @@ class PearlNetwork:
 
     def run(self, trace: Trace) -> PearlRunResult:
         """Simulate warm-up plus measurement over a trace."""
+        if OBS.enabled:
+            return self._run_instrumented(trace)
+        return self._run_bare(trace)
+
+    def _run_bare(self, trace: Trace) -> PearlRunResult:
         sim = self.config.simulation
         cursor = TraceCursor(trace)
         for cycle in range(sim.warmup_cycles):
@@ -299,7 +305,65 @@ class PearlNetwork:
         self._integrate_energy()
         return self._result()
 
+    def _run_instrumented(self, trace: Trace) -> PearlRunResult:
+        """The same phases as :meth:`_run_bare` under profiling spans.
+
+        Instrumentation is strictly observational (wall-clock timers
+        and post-hoc metric flushes), so the simulated result is
+        bit-identical to an uninstrumented run.
+        """
+        sim = self.config.simulation
+        cursor = TraceCursor(trace)
+        tracer = OBS.tracer
+        with tracer.wall_span("sim/warmup", "sim", trace=trace.name):
+            for cycle in range(sim.warmup_cycles):
+                self.step(cycle, cursor)
+        self.stats.begin_measurement(sim.warmup_cycles)
+        for router in self.routers:
+            router.reset_power_stats()
+        self.memory.stats.busy_cycles = 0
+        with tracer.wall_span("sim/measure", "sim", trace=trace.name):
+            for cycle in range(sim.warmup_cycles, sim.total_cycles):
+                self.step(cycle, cursor)
+        self.stats.finish(sim.total_cycles)
+        with tracer.wall_span("sim/integrate_energy", "sim"):
+            self._integrate_energy()
+        self._record_run_telemetry()
+        return self._result()
+
     # -- accounting -----------------------------------------------------------------
+
+    def _record_run_telemetry(self) -> None:
+        """Flush end-of-run aggregates into the metrics registry.
+
+        Counters add across runs and jobs; one network run contributes
+        its measurement-phase totals exactly once.
+        """
+        registry = OBS.registry
+        stats = self.stats
+        registry.counter(
+            "sim/runs", help="completed network simulations"
+        ).inc()
+        registry.counter(
+            "sim/packets_delivered", help="packets delivered (measurement phase)"
+        ).inc(stats.packets_delivered)
+        registry.counter(
+            "sim/network_flits_delivered",
+            help="flits that crossed the photonic interconnect",
+        ).inc(stats.network_flits_delivered)
+        registry.counter(
+            "sim/local_packets_delivered",
+            help="packets served by the intra-cluster crossbar",
+        ).inc(stats.local_packets_delivered)
+        registry.counter(
+            "sim/measured_cycles", help="cycles in the measurement phase"
+        ).inc(stats.measured_cycles)
+        registry.gauge(
+            "noc/injection_backlog",
+            help="packets stalled at full input buffers at run end",
+        ).set(self.injection_backlog_size)
+        for router in self.routers:
+            router.laser.record_telemetry(registry)
 
     def _integrate_energy(self) -> None:
         from .photonic import PhotonicLinkModel

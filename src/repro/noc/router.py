@@ -34,6 +34,7 @@ from ..core.ml_scaling import MLPowerScaler
 from ..core.power_scaling import LaserBank, ReactivePowerScaler, StaticPowerPolicy
 from ..core.wavelength import WavelengthLadder
 from ..ml.features import FeatureCollector
+from ..obs import OBS
 from .buffer import InputBuffer, PartitionedBuffer
 from .packet import CoreType, Packet
 
@@ -172,6 +173,17 @@ class PearlRouter:
         # when running in dataset-collection mode.
         self.collection_hook: Optional[Callable[[np.ndarray, float], None]] = None
         self._prev_features: Optional[np.ndarray] = None
+        # Telemetry: per-outcome DBA decision tallies, accumulated on
+        # the cycle path as plain dict increments and flushed into the
+        # metrics registry at window boundaries.  Allocators return
+        # canonical allocation instances, so the cycle path can label
+        # them by ``id()`` (an int hash) instead of hashing the frozen
+        # dataclass every cycle.
+        self._dba_split_counts: dict = {}
+        self._split_label_by_id = {
+            id(allocation): label
+            for allocation, label in self.dba.split_labels.items()
+        }
 
     # -- injection / ejection ------------------------------------------------
 
@@ -242,6 +254,7 @@ class PearlRouter:
         if self.collection_hook is not None and self._prev_features is not None:
             self.collection_hook(self._prev_features, label)
         self._prev_features = snapshot
+        state_before = self.laser.state
 
         if self.reactive is not None:  # REACTIVE and ADAPTIVE policies
             self.laser.request_state(self.reactive.close_window())
@@ -256,6 +269,63 @@ class PearlRouter:
             state = int(self._rng.choice(states))
             self.laser.request_state(state)
         # STATIC: nothing to decide.
+
+        if OBS.enabled:
+            self._record_window_telemetry(cycle, label, state_before)
+
+    def _record_window_telemetry(
+        self, cycle: int, injected_label: float, state_before: int
+    ) -> None:
+        """Window-cadence telemetry flush (never on the cycle path).
+
+        Purely observational: reads buffer occupancies and the DBA
+        tallies accumulated since the last boundary, touching no RNG
+        and no control state.
+        """
+        registry = OBS.registry
+        registry.counter(
+            "noc/windows_closed", help="reservation-window boundaries"
+        ).inc()
+        registry.histogram(
+            "noc/buffer_occupancy/cpu",
+            help="CPU input-buffer occupancy sampled at window boundaries",
+        ).observe(self.buffers.cpu_occupancy)
+        registry.histogram(
+            "noc/buffer_occupancy/gpu",
+            help="GPU input-buffer occupancy sampled at window boundaries",
+        ).observe(self.buffers.gpu_occupancy)
+        for split, count in self._dba_split_counts.items():
+            registry.counter(
+                f"dba/split/{split}",
+                help="cycles the DBA chose this CPU/GPU bandwidth split",
+            ).inc(count)
+        self._dba_split_counts.clear()
+        state_target = (
+            self.laser._pending_state
+            if self.laser._pending_state is not None
+            else self.laser.state
+        )
+        OBS.tracer.instant(
+            "window_close",
+            "window",
+            cycle,
+            router=self.router_id,
+            injected=injected_label,
+            state=state_target,
+        )
+        if state_target != state_before:
+            registry.counter(
+                "laser/state_requests",
+                help="window boundaries that requested a different state",
+            ).inc()
+            OBS.tracer.instant(
+                "laser_state_request",
+                "laser",
+                cycle,
+                router=self.router_id,
+                from_state=state_before,
+                to_state=state_target,
+            )
 
     def tick_control(self, cycle: int) -> None:
         """Per-cycle bookkeeping: occupancies, scalers, laser power."""
@@ -276,6 +346,13 @@ class PearlRouter:
         """Dispatch head packets onto the local and photonic paths."""
         started: List[Transmission] = []
         allocation = self.dba.allocate_from_buffers(self.buffers)
+        if OBS.enabled:
+            label = self._split_label_by_id.get(id(allocation))
+            if label is None:  # non-canonical instance: hash by value
+                label = self.dba.split_labels.get(allocation, "other")
+            self._dba_split_counts[label] = (
+                self._dba_split_counts.get(label, 0) + 1
+            )
         link_busy = False
         for core_type in (CoreType.CPU, CoreType.GPU):
             pool = self.buffers.pool(core_type)

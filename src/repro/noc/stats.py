@@ -55,7 +55,6 @@ class NetworkStats:
         self.receiver_energy_j = 0.0
         self.ml_energy_j = 0.0
         self.electrical_energy_j = 0.0
-        self._measuring = True
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -1,0 +1,194 @@
+"""Trace/metric exporters: JSONL and Chrome ``trace_event`` format.
+
+Two artifacts per instrumented run, derived from one stem:
+
+* ``<stem>.jsonl`` — line-delimited records: one ``provenance`` header
+  line, one ``metric`` line per instrument, one ``event`` line per
+  buffered trace event.  Machine-friendly; validated by
+  ``scripts/check_trace.py`` in CI.
+* ``<stem>.trace.json`` — the Chrome ``trace_event`` JSON object
+  (``{"traceEvents": [...]}``), loadable in Perfetto or
+  ``about://tracing``.  Simulation events use one microsecond per
+  simulated cycle; wall-clock phases live under a separate process row.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .registry import MetricsRegistry
+from .tracer import EventTracer, TraceEvent
+
+#: JSONL schema identifier, bumped when record shapes change.
+JSONL_SCHEMA = "pearl-obs-1"
+
+
+def trace_paths(path: Union[str, Path]) -> Tuple[Path, Path]:
+    """Resolve a user-given ``--trace`` path to (jsonl, chrome) paths.
+
+    Known suffixes (``.jsonl``, ``.json``) are stripped so every
+    spelling of the same stem maps to the same artifact pair.
+    """
+    path = Path(path)
+    name = path.name
+    for suffix in (".trace.json", ".jsonl", ".json"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+            break
+    stem = path.with_name(name or "trace")
+    return (
+        stem.with_name(stem.name + ".jsonl"),
+        stem.with_name(stem.name + ".trace.json"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def jsonl_records(
+    registry: MetricsRegistry,
+    tracer: EventTracer,
+    provenance: Optional[Dict[str, object]] = None,
+) -> List[Dict[str, object]]:
+    """All JSONL records for one run, header first."""
+    records: List[Dict[str, object]] = [
+        {
+            "type": "provenance",
+            "schema": JSONL_SCHEMA,
+            "provenance": provenance or {},
+        }
+    ]
+    for name, data in registry.snapshot().items():
+        record: Dict[str, object] = {"type": "metric", "name": name}
+        record.update(data)
+        records.append(record)
+    for data in tracer.snapshot():
+        record = {"type": "event"}
+        record.update(data)
+        records.append(record)
+    return records
+
+
+def write_jsonl(
+    path: Union[str, Path],
+    registry: MetricsRegistry,
+    tracer: EventTracer,
+    provenance: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the JSONL artifact; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for record in jsonl_records(registry, tracer, provenance):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+#: Wall-clock events render under this pseudo-process in the viewer.
+WALL_STREAM = "wall-clock"
+
+
+def chrome_trace_doc(
+    events: Sequence[TraceEvent],
+    provenance: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The Chrome ``trace_event`` JSON object for a set of events.
+
+    Streams map to pids and categories to tids (both emitted as
+    ``process_name``/``thread_name`` metadata so Perfetto shows the
+    real names).  Simulation events use cycle==µs; wall spans convert
+    seconds to µs.
+    """
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    trace_events: List[Dict[str, object]] = []
+
+    def pid_for(stream: str) -> int:
+        if stream not in pids:
+            pids[stream] = len(pids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pids[stream],
+                    "tid": 0,
+                    "args": {"name": stream},
+                }
+            )
+        return pids[stream]
+
+    def tid_for(stream: str, category: str) -> int:
+        key = (stream, category)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid_for(stream),
+                    "tid": tids[key],
+                    "args": {"name": category},
+                }
+            )
+        return tids[key]
+
+    for event in events:
+        stream = WALL_STREAM if event.wall else event.stream
+        scale = 1e6 if event.wall else 1.0  # seconds vs cycles -> µs
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.category,
+            "pid": pid_for(stream),
+            "tid": tid_for(stream, event.category),
+            "ts": event.ts * scale,
+            "args": dict(event.args),
+        }
+        if event.is_span:
+            record["ph"] = "X"
+            record["dur"] = (event.duration or 0.0) * scale
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+
+    doc: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if provenance is not None:
+        doc["otherData"] = provenance
+    return doc
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    tracer: EventTracer,
+    provenance: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the Chrome trace artifact; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = chrome_trace_doc(tracer.events(), provenance)
+    path.write_text(json.dumps(doc, sort_keys=True) + "\n")
+    return path
+
+
+def write_trace_artifacts(
+    path: Union[str, Path],
+    registry: MetricsRegistry,
+    tracer: EventTracer,
+    provenance: Optional[Dict[str, object]] = None,
+) -> Tuple[Path, Path]:
+    """Write both artifacts for ``--trace PATH``; returns their paths."""
+    jsonl_path, chrome_path = trace_paths(path)
+    write_jsonl(jsonl_path, registry, tracer, provenance)
+    write_chrome_trace(chrome_path, tracer, provenance)
+    return jsonl_path, chrome_path

@@ -1,0 +1,87 @@
+"""Per-run provenance: enough context to reproduce a result exactly.
+
+A provenance block records *what* ran (config digest, experiment id,
+seed), *on what* (git commit + dirty flag, python/numpy versions,
+platform) and *when*.  It is embedded in every exported trace and in
+``pearl-sim obs report`` output, so a trace file found on disk months
+later still identifies the code and inputs that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Optional
+
+
+def _run_git(*args: str) -> Optional[str]:
+    """One git query, or None when git/repo is unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip()
+
+
+def git_provenance() -> Dict[str, object]:
+    """Commit hash, branch and dirty flag of the working tree."""
+    commit = _run_git("rev-parse", "HEAD")
+    if commit is None:
+        return {"commit": None, "branch": None, "dirty": None}
+    status = _run_git("status", "--porcelain")
+    return {
+        "commit": commit,
+        "branch": _run_git("rev-parse", "--abbrev-ref", "HEAD"),
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+def config_digest(config: Any) -> Optional[str]:
+    """SHA-256 over the canonical JSON form of a PearlConfig."""
+    if config is None:
+        return None
+    from ..config_io import config_to_dict
+
+    text = json.dumps(
+        config_to_dict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def collect_provenance(
+    config: Any = None,
+    seed: Optional[int] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """Assemble the full provenance block for one run.
+
+    ``extra`` keys (experiment id, CLI argv, sampling knob, ...) are
+    merged in verbatim; everything is JSON-serialisable.
+    """
+    import numpy
+
+    from .. import __version__
+
+    block: Dict[str, object] = {
+        "repro_version": __version__,
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git": git_provenance(),
+        "seed": seed,
+        "config_digest": config_digest(config),
+    }
+    block.update(extra)
+    return block

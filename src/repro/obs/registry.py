@@ -1,0 +1,328 @@
+"""Zero-dependency metrics registry for the simulator.
+
+Three instrument kinds cover everything the PEARL components report:
+
+* :class:`Counter` — monotonically increasing totals (packets, DBA
+  split decisions, cache hits);
+* :class:`Gauge` — last-observed values with a tracked peak (buffer
+  backlog, wavelength-state residency fractions);
+* :class:`Histogram` — fixed-bucket distributions with quantile
+  estimates (buffer occupancy, ML prediction error, job wall time).
+
+Instruments carrying wall-clock measurements are created with
+``volatile=True`` so deterministic comparisons (serial vs. parallel
+runs, telemetry on vs. off) can exclude them via
+``snapshot(include_volatile=False)``.
+
+Cross-process aggregation is *order-independent*: counters and
+histograms add, gauges take the element-wise maximum, so merging worker
+snapshots in any order yields identical registry state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds: fractions/occupancies in
+#: [0, 1] get fine buckets, larger magnitudes fall into the log tail.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    0.75,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "volatile", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", volatile: bool = False) -> None:
+        self.name = name
+        self.help = help
+        self.volatile = volatile
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"kind": self.kind, "value": self.value}
+        if self.volatile:
+            data["volatile"] = True
+        return data
+
+    def merge(self, data: Dict[str, object]) -> None:
+        self.value += data["value"]  # type: ignore[operator]
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A last-observed value plus its peak."""
+
+    __slots__ = ("name", "help", "volatile", "value", "peak", "_observed")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", volatile: bool = False) -> None:
+        self.name = name
+        self.help = help
+        self.volatile = volatile
+        self.value: float = 0.0
+        self.peak: float = 0.0
+        self._observed = False
+
+    def set(self, value: float) -> None:
+        """Record the current value, tracking the maximum seen."""
+        value = float(value)
+        self.value = value
+        if not self._observed or value > self.peak:
+            self.peak = value
+        self._observed = True
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "kind": self.kind,
+            "value": self.value,
+            "peak": self.peak,
+        }
+        if self.volatile:
+            data["volatile"] = True
+        return data
+
+    def merge(self, data: Dict[str, object]) -> None:
+        """Order-independent merge: element-wise maximum."""
+        value = float(data["value"])  # type: ignore[arg-type]
+        peak = float(data.get("peak", value))  # type: ignore[arg-type]
+        if not self._observed:
+            self.value, self.peak = value, peak
+            self._observed = True
+        else:
+            self.value = max(self.value, value)
+            self.peak = max(self.peak, peak)
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.peak = 0.0
+        self._observed = False
+
+
+class Histogram:
+    """Fixed-bucket distribution with quantile estimates.
+
+    ``buckets`` are ascending upper bounds; observations above the last
+    bound land in an implicit overflow bucket.  Quantiles interpolate
+    linearly within the winning bucket, which is exact enough for the
+    occupancy/error distributions the simulator reports and keeps the
+    instrument allocation-free on the observe path.
+    """
+
+    __slots__ = ("name", "help", "volatile", "bounds", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        volatile: bool = False,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("buckets must be strictly ascending and non-empty")
+        self.name = name
+        self.help = help
+        self.volatile = volatile
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (q in [0, 1]) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.bounds[-1]
+                )
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                fraction = 1.0 - (cumulative - target) / bucket_count
+                return lower + (upper - lower) * fraction
+        return self.bounds[-1]
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+        if self.volatile:
+            data["volatile"] = True
+        return data
+
+    def merge(self, data: Dict[str, object]) -> None:
+        if tuple(data["bounds"]) != self.bounds:  # type: ignore[arg-type]
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ, cannot merge"
+            )
+        for index, count in enumerate(data["counts"]):  # type: ignore[arg-type]
+            self.counts[index] += count
+        self.sum += data["sum"]  # type: ignore[operator]
+        self.count += data["count"]  # type: ignore[operator]
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: components
+    register by simply asking for a name, so instrumentation sites need
+    no setup ceremony.  Asking for an existing name with a different
+    instrument kind is an error (it would silently split a metric).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", volatile: bool = False) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(Counter, name, help=help, volatile=volatile)
+
+    def gauge(self, name: str, help: str = "", volatile: bool = False) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(Gauge, name, help=help, volatile=volatile)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        volatile: bool = False,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(
+            Histogram, name, help=help, buckets=buckets, volatile=volatile
+        )
+
+    def get(self, name: str) -> Optional[object]:
+        """The instrument registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable:
+        return iter(self._metrics.values())
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self, include_volatile: bool = True) -> Dict[str, Dict[str, object]]:
+        """JSON-able state of every instrument, keyed by name.
+
+        ``include_volatile=False`` drops wall-clock instruments so two
+        runs of identical work compare equal regardless of timing.
+        """
+        return {
+            name: metric.to_dict()
+            for name, metric in sorted(self._metrics.items())
+            if include_volatile or not metric.volatile
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` into this registry, order-independently.
+
+        Counters and histograms add; gauges take maxima.  Unknown names
+        are created with the snapshot's kind.
+        """
+        for name, data in snapshot.items():
+            cls = _KINDS.get(str(data.get("kind")))
+            if cls is None:
+                raise ValueError(f"unknown metric kind in snapshot: {data!r}")
+            kwargs: Dict[str, object] = {
+                "volatile": bool(data.get("volatile", False))
+            }
+            if cls is Histogram:
+                kwargs["buckets"] = data["bounds"]
+            metric = self._get_or_create(cls, name, **kwargs)
+            metric.merge(data)
+
+    def reset(self) -> None:
+        """Zero every instrument (names stay registered)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        self._metrics.clear()

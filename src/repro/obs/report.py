@@ -1,0 +1,128 @@
+"""Run-summary rendering for ``pearl-sim obs report``.
+
+Turns one session's registry + tracer + provenance into either a
+human-readable text report (provenance block, metrics table, wall-time
+phase table) or a JSON document for scripting (``--json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import EventTracer
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def metrics_rows(registry: MetricsRegistry) -> List[Dict[str, object]]:
+    """One summary row per instrument, sorted by name."""
+    rows: List[Dict[str, object]] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        row: Dict[str, object] = {"name": name, "kind": metric.kind}
+        if isinstance(metric, Counter):
+            row["value"] = metric.value
+        elif isinstance(metric, Gauge):
+            row["value"] = metric.value
+            row["peak"] = metric.peak
+        elif isinstance(metric, Histogram):
+            row.update(
+                count=metric.count,
+                mean=metric.mean,
+                p50=metric.quantile(0.5),
+                p95=metric.quantile(0.95),
+            )
+        rows.append(row)
+    return rows
+
+
+def wall_phase_rows(tracer: EventTracer) -> List[Dict[str, object]]:
+    """Wall-clock spans (profiling hooks), longest first."""
+    rows = [
+        {
+            "name": event.name,
+            "category": event.category,
+            "seconds": event.duration or 0.0,
+            "args": dict(event.args),
+        }
+        for event in tracer.events()
+        if event.wall and event.is_span
+    ]
+    rows.sort(key=lambda row: -float(row["seconds"]))  # type: ignore[arg-type]
+    return rows
+
+
+def report_doc(
+    registry: MetricsRegistry,
+    tracer: EventTracer,
+    provenance: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The machine-readable report (``obs report --json``)."""
+    return {
+        "provenance": provenance or {},
+        "metrics": metrics_rows(registry),
+        "wall_phases": wall_phase_rows(tracer),
+        "trace_events": len(tracer),
+        "trace_dropped": tracer.dropped,
+    }
+
+
+def _table(rows: List[Dict[str, object]], columns: List[str]) -> List[str]:
+    """Aligned fixed-column text table."""
+    if not rows:
+        return ["(none)"]
+    cells = [
+        [
+            (
+                _format_value(row[col])
+                if isinstance(row.get(col), (int, float))
+                and not isinstance(row.get(col), bool)
+                else str(row.get(col, ""))
+            )
+            for col in columns
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for line in cells:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return lines
+
+
+def render_report(
+    registry: MetricsRegistry,
+    tracer: EventTracer,
+    provenance: Optional[Dict[str, object]] = None,
+) -> str:
+    """The human-readable run summary."""
+    lines: List[str] = ["# provenance"]
+    for key, value in sorted((provenance or {}).items()):
+        if isinstance(value, dict):
+            value = json.dumps(value, sort_keys=True)
+        lines.append(f"  {key}: {value}")
+    lines.append("")
+    lines.append(f"# metrics ({len(registry)})")
+    lines.extend(_table(metrics_rows(registry), ["name", "kind", "value", "peak", "count", "mean", "p50", "p95"]))
+    lines.append("")
+    phases = wall_phase_rows(tracer)
+    lines.append(f"# wall-clock phases ({len(phases)})")
+    lines.extend(_table(phases, ["name", "category", "seconds"]))
+    lines.append("")
+    lines.append(
+        f"# trace: {len(tracer)} buffered events"
+        f" ({tracer.dropped} dropped by sampling/ring)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Structured event tracer with a bounded ring buffer.
+
+Components emit *instant* events (a wavelength-state transition, a
+reservation-window close) and *span* events (a simulation phase, one
+experiment job) tagged with a category and free-form args.  The buffer
+is a ``deque(maxlen=capacity)``; when full, the oldest events fall off,
+so a run can never exhaust memory through tracing.
+
+Two timebases coexist:
+
+* ``ts`` — the event's own clock.  Simulation events pass the cycle
+  number (deterministic); wall-clock spans use ``time.perf_counter``
+  relative to the tracer's epoch and are marked ``wall=True`` so
+  deterministic comparisons can exclude them.
+* ``seq`` — a per-stream monotonically increasing id, reassigned on
+  merge so events from worker processes never collide.
+
+The *sampling knob*: ``sample_every=N`` keeps every Nth event per event
+name (deterministic — a per-name modular counter, no RNG), which bounds
+tracing cost on chatty event sources while keeping rare events intact
+when their own counters are sparse.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+#: Default ring-buffer capacity (events).
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record."""
+
+    name: str
+    category: str
+    ts: float  # cycles for simulation events, seconds for wall spans
+    duration: Optional[float] = None  # None => instant event
+    stream: str = "main"
+    seq: int = 0
+    wall: bool = False  # wall-clock timebase (excluded from determinism)
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_span(self) -> bool:
+        """True for duration events, False for instants."""
+        return self.duration is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.category,
+            "ts": self.ts,
+            "stream": self.stream,
+            "seq": self.seq,
+            "wall": self.wall,
+            "args": dict(self.args),
+        }
+        if self.duration is not None:
+            data["dur"] = self.duration
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceEvent":
+        return cls(
+            name=str(data["name"]),
+            category=str(data["cat"]),
+            ts=float(data["ts"]),  # type: ignore[arg-type]
+            duration=(
+                float(data["dur"]) if "dur" in data else None  # type: ignore[arg-type]
+            ),
+            stream=str(data.get("stream", "main")),
+            seq=int(data.get("seq", 0)),  # type: ignore[arg-type]
+            wall=bool(data.get("wall", False)),
+            args=dict(data.get("args", {})),  # type: ignore[arg-type]
+        )
+
+
+class EventTracer:
+    """Ring-buffered event sink with deterministic sampling."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sample_every: int = 1,
+        stream: str = "main",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be at least 1")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.stream = stream
+        self._events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self._sample_counts: Dict[str, int] = {}
+        self._seq = 0
+        self._epoch = time.perf_counter()
+        self.dropped = 0  # events rejected by sampling or ring overflow
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def _admit(self, name: str) -> bool:
+        """Deterministic sampling: keep every Nth occurrence per name."""
+        if self.sample_every == 1:
+            return True
+        count = self._sample_counts.get(name, 0)
+        self._sample_counts[name] = count + 1
+        if count % self.sample_every:
+            self.dropped += 1
+            return False
+        return True
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._seq += 1
+        event.seq = self._seq
+        event.stream = self.stream
+        self._events.append(event)
+
+    def instant(
+        self, name: str, category: str, ts: float, **args: object
+    ) -> None:
+        """Record an instant event at simulation time ``ts`` (cycles)."""
+        if not self._admit(name):
+            return
+        self._append(
+            TraceEvent(name=name, category=category, ts=float(ts), args=args)
+        )
+
+    def span(
+        self,
+        name: str,
+        category: str,
+        ts: float,
+        duration: float,
+        **args: object,
+    ) -> None:
+        """Record a completed duration event in simulation time."""
+        if not self._admit(name):
+            return
+        self._append(
+            TraceEvent(
+                name=name,
+                category=category,
+                ts=float(ts),
+                duration=float(duration),
+                args=args,
+            )
+        )
+
+    @contextmanager
+    def wall_span(self, name: str, category: str, **args: object):
+        """Context manager timing a wall-clock phase (marked volatile).
+
+        The span is recorded even if the body raises, so failed phases
+        still show up in the trace.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            self._append(
+                TraceEvent(
+                    name=name,
+                    category=category,
+                    ts=start - self._epoch,
+                    duration=end - start,
+                    wall=True,
+                    args=args,
+                )
+            )
+
+    # -- access / merge --------------------------------------------------------
+
+    def events(self, include_wall: bool = True) -> List[TraceEvent]:
+        """Buffered events in record order."""
+        return [
+            e for e in self._events if include_wall or not e.wall
+        ]
+
+    def snapshot(self, include_wall: bool = True) -> List[Dict[str, object]]:
+        """JSON-able form of the buffer (what workers ship back)."""
+        return [e.to_dict() for e in self.events(include_wall=include_wall)]
+
+    def merge_snapshot(
+        self, events: Iterable[Dict[str, object]], stream: str
+    ) -> None:
+        """Adopt another tracer's events under a fresh stream name.
+
+        Sequence ids are reassigned from this tracer's counter and the
+        stream is re-tagged, so merging any number of worker snapshots —
+        in any order — never produces colliding (stream, seq) pairs.
+        """
+        for data in events:
+            event = TraceEvent.from_dict(data)
+            self._seq += 1
+            event.seq = self._seq
+            event.stream = stream
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+
+    def reset(self) -> None:
+        """Drop all buffered events and sampling state."""
+        self._events.clear()
+        self._sample_counts.clear()
+        self._seq = 0
+        self.dropped = 0
+        self._epoch = time.perf_counter()

@@ -250,3 +250,61 @@ class TestMerge:
     def test_merge_empty_is_empty(self):
         merged = NetworkStats.merge([])
         assert merged.packets_delivered == 0
+
+
+class TestFieldCoverage:
+    """Every ``__init__`` attribute must survive round trips and merges.
+
+    Guards against fields being silently dropped: every attribute is
+    populated with a distinct value via ``vars()`` (so a newly added
+    field is picked up automatically), then checked after a
+    to_dict/from_dict round trip and after a single-part merge.
+    """
+
+    def _populated(self) -> NetworkStats:
+        stats = NetworkStats()
+        values = iter(range(3, 1000))
+        for name, attr in vars(stats).items():
+            if name == "counters":
+                for counter in attr.values():
+                    for field in vars(counter):
+                        setattr(counter, field, next(values))
+            elif name == "_latencies":
+                stats._latencies = [next(values), next(values)]
+            elif isinstance(attr, float):
+                setattr(stats, name, next(values) + 0.5)
+            elif isinstance(attr, int):
+                setattr(stats, name, next(values))
+            else:
+                raise AssertionError(
+                    f"unhandled NetworkStats attribute {name!r}: "
+                    "teach this test (and to_dict/merge) about it"
+                )
+        return stats
+
+    def test_roundtrip_carries_every_attribute(self):
+        original = self._populated()
+        rebuilt = NetworkStats.from_dict(original.to_dict())
+        assert vars(rebuilt) == vars(original)
+
+    def test_external_latency_roundtrip_carries_every_attribute(self):
+        original = self._populated()
+        rebuilt = NetworkStats.from_dict(
+            original.to_dict(include_latencies=False),
+            latencies=original._latencies,
+        )
+        assert vars(rebuilt) == vars(original)
+
+    def test_merge_of_one_carries_every_attribute(self):
+        original = self._populated()
+        merged = NetworkStats.merge([original])
+        expected = dict(vars(original))
+        actual = dict(vars(merged))
+        # merge re-bases the measurement window at cycle 0; the window
+        # *length* is what must survive, not its absolute position.
+        assert merged.measure_start_cycle == 0
+        assert merged.measured_cycles == original.measured_cycles
+        for rebased in ("measure_start_cycle", "final_cycle"):
+            expected.pop(rebased)
+            actual.pop(rebased)
+        assert actual == expected

@@ -1,0 +1,110 @@
+"""scripts/check_trace.py validates what the exporters emit."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import write_trace_artifacts
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import EventTracer
+
+SCRIPT = (
+    Path(__file__).resolve().parents[2] / "scripts" / "check_trace.py"
+)
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_trace", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("noc/windows").inc(2)
+    registry.gauge("noc/backlog").set(1)
+    registry.histogram("ml/error").observe(0.1)
+    tracer = EventTracer()
+    tracer.instant("window_close", "noc", ts=500)
+    with tracer.wall_span("sim/measure", "sim"):
+        pass
+    return write_trace_artifacts(
+        tmp_path / "run", registry, tracer, {"seed": 1}
+    )
+
+
+class TestAcceptsRealArtifacts:
+    def test_jsonl_valid(self, checker, artifacts):
+        jsonl, _ = artifacts
+        assert checker.check_jsonl(jsonl) == []
+
+    def test_chrome_valid(self, checker, artifacts):
+        _, chrome = artifacts
+        assert checker.check_chrome(chrome) == []
+
+    def test_main_accepts_stem(self, checker, artifacts, capsys):
+        jsonl, _ = artifacts
+        stem = str(jsonl)[: -len(".jsonl")]
+        assert checker.main([stem]) == 0
+
+
+class TestRejectsBrokenArtifacts:
+    def test_missing_header(self, checker, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "metric", "name": "x"}) + "\n")
+        assert checker.check_jsonl(path)
+
+    def test_wrong_schema(self, checker, artifacts):
+        jsonl, _ = artifacts
+        lines = jsonl.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = "pearl-obs-0"
+        lines[0] = json.dumps(header)
+        jsonl.write_text("\n".join(lines) + "\n")
+        assert any("schema" in e for e in checker.check_jsonl(jsonl))
+
+    def test_metric_missing_field(self, checker, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        records = [
+            {"type": "provenance", "schema": "pearl-obs-1", "provenance": {}},
+            {"type": "metric", "name": "x", "kind": "histogram"},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        errors = checker.check_jsonl(path)
+        assert any("missing 'bounds'" in e for e in errors)
+
+    def test_truncated_json_line(self, checker, artifacts):
+        jsonl, _ = artifacts
+        jsonl.write_text(jsonl.read_text() + "{ truncated\n")
+        assert any("invalid JSON" in e for e in checker.check_jsonl(jsonl))
+
+    def test_chrome_span_without_duration(self, checker, tmp_path):
+        path = tmp_path / "bad.trace.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {
+                            "ph": "X",
+                            "name": "n",
+                            "pid": 1,
+                            "tid": 1,
+                            "ts": 0,
+                        }
+                    ]
+                }
+            )
+        )
+        assert any("dur" in e for e in checker.check_chrome(path))
+
+    def test_main_exit_code(self, checker, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert checker.main([str(path)]) == 1

@@ -1,0 +1,106 @@
+"""Exporters: path resolution, JSONL records, Chrome trace docs."""
+
+import json
+from pathlib import Path
+
+from repro.obs.export import (
+    JSONL_SCHEMA,
+    WALL_STREAM,
+    chrome_trace_doc,
+    jsonl_records,
+    trace_paths,
+    write_trace_artifacts,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import EventTracer, TraceEvent
+
+
+class TestTracePaths:
+    def test_bare_stem(self):
+        jsonl, chrome = trace_paths("out/run")
+        assert jsonl == Path("out/run.jsonl")
+        assert chrome == Path("out/run.trace.json")
+
+    def test_suffixes_normalise_to_same_pair(self):
+        spellings = ["run", "run.jsonl", "run.json", "run.trace.json"]
+        pairs = {trace_paths(s) for s in spellings}
+        assert len(pairs) == 1
+
+    def test_empty_stem_defaults(self):
+        jsonl, _ = trace_paths(".jsonl")
+        assert jsonl.name == "trace.jsonl"
+
+
+def _populated():
+    registry = MetricsRegistry()
+    registry.counter("noc/windows").inc(3)
+    registry.histogram("noc/occupancy").observe(0.4)
+    tracer = EventTracer()
+    tracer.instant("window_close", "noc", ts=500, router=1)
+    tracer.span("burst", "noc", ts=600, duration=50)
+    with tracer.wall_span("sim/measure", "sim"):
+        pass
+    return registry, tracer
+
+
+class TestJsonl:
+    def test_header_first_then_metrics_then_events(self):
+        registry, tracer = _populated()
+        records = jsonl_records(registry, tracer, {"seed": 7})
+        assert records[0]["type"] == "provenance"
+        assert records[0]["schema"] == JSONL_SCHEMA
+        assert records[0]["provenance"] == {"seed": 7}
+        types = [r["type"] for r in records[1:]]
+        assert types == ["metric"] * 2 + ["event"] * 3
+
+    def test_records_are_json_serialisable(self):
+        registry, tracer = _populated()
+        for record in jsonl_records(registry, tracer):
+            json.dumps(record)
+
+
+class TestChromeDoc:
+    def test_metadata_names_streams_and_categories(self):
+        _, tracer = _populated()
+        doc = chrome_trace_doc(tracer.events())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert process_names == {"main", WALL_STREAM}
+
+    def test_span_and_instant_phases(self):
+        _, tracer = _populated()
+        doc = chrome_trace_doc(tracer.events())
+        phases = [e["ph"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert sorted(phases) == ["X", "X", "i"]
+
+    def test_wall_spans_scaled_to_microseconds(self):
+        tracer = EventTracer()
+        events = [
+            TraceEvent(
+                name="phase", category="sim", ts=1.5, duration=0.25, wall=True
+            )
+        ]
+        doc = chrome_trace_doc(events)
+        (span,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert span["ts"] == 1.5e6
+        assert span["dur"] == 0.25e6
+        del tracer
+
+    def test_provenance_embedded(self):
+        doc = chrome_trace_doc([], provenance={"seed": 3})
+        assert doc["otherData"] == {"seed": 3}
+
+
+class TestArtifacts:
+    def test_write_both_artifacts(self, tmp_path):
+        registry, tracer = _populated()
+        jsonl, chrome = write_trace_artifacts(
+            tmp_path / "run", registry, tracer, {"seed": 1}
+        )
+        lines = [json.loads(l) for l in jsonl.read_text().splitlines()]
+        assert lines[0]["schema"] == JSONL_SCHEMA
+        doc = json.loads(chrome.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"] == {"seed": 1}

@@ -1,0 +1,199 @@
+"""Metrics registry: instrument semantics, snapshots, merging."""
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(2)
+        b.inc(3)
+        a.merge(b.to_dict())
+        assert a.value == 5
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_tracks_value_and_peak(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.peak == 5
+
+    def test_peak_handles_negative_start(self):
+        gauge = Gauge("g")
+        gauge.set(-3)
+        assert gauge.peak == -3
+        gauge.set(-7)
+        assert gauge.peak == -3
+
+    def test_merge_takes_maxima(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1)
+        b.set(9)
+        b.set(4)
+        a.merge(b.to_dict())
+        assert a.value == 4
+        assert a.peak == 9
+
+    def test_merge_into_unobserved_adopts(self):
+        a, b = Gauge("g"), Gauge("g")
+        b.set(-2)
+        a.merge(b.to_dict())
+        assert a.value == -2
+        assert a.peak == -2
+
+
+class TestHistogram:
+    def test_bucket_placement_and_overflow(self):
+        hist = Histogram("h", buckets=[1.0, 10.0])
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.5)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+
+    def test_mean(self):
+        hist = Histogram("h", buckets=[10.0])
+        assert hist.mean == 0.0
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_quantiles_interpolate(self):
+        hist = Histogram("h", buckets=[1.0, 2.0, 3.0, 4.0])
+        for value in (0.5, 1.5, 2.5, 3.5):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.0
+        assert 0.0 < hist.quantile(0.25) <= 1.0
+        assert 2.0 < hist.quantile(0.75) <= 3.0
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+
+    def test_quantile_monotone(self):
+        hist = Histogram("h")
+        for value in (0.02, 0.3, 0.7, 5.0, 40.0, 2000.0):
+            hist.observe(value)
+        qs = [hist.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_merge_requires_equal_bounds(self):
+        a = Histogram("h", buckets=[1.0])
+        b = Histogram("h", buckets=[2.0])
+        with pytest.raises(ValueError):
+            a.merge(b.to_dict())
+
+    def test_merge_adds(self):
+        a = Histogram("h", buckets=[1.0, 2.0])
+        b = Histogram("h", buckets=[1.0, 2.0])
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b.to_dict())
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+
+    def test_snapshot_excludes_volatile_on_request(self):
+        registry = MetricsRegistry()
+        registry.counter("keep").inc()
+        registry.histogram("wall", volatile=True).observe(1.0)
+        assert set(registry.snapshot()) == {"keep", "wall"}
+        assert set(registry.snapshot(include_volatile=False)) == {"keep"}
+
+    def test_merge_snapshot_order_independent(self):
+        def worker(values):
+            registry = MetricsRegistry()
+            for value in values:
+                registry.counter("c").inc(value)
+                registry.gauge("g").set(value)
+                registry.histogram("h").observe(value)
+            return registry.snapshot()
+
+        snaps = [worker([1, 2]), worker([5]), worker([0.5, 3])]
+
+        def merged(order):
+            registry = MetricsRegistry()
+            for index in order:
+                registry.merge_snapshot(snaps[index])
+            return registry.snapshot()
+
+        assert merged([0, 1, 2]) == merged([2, 0, 1]) == merged([1, 2, 0])
+
+    def test_merge_preserves_volatile_flag(self):
+        source = MetricsRegistry()
+        source.histogram("wall", volatile=True).observe(1.0)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert set(target.snapshot(include_volatile=False)) == set()
+
+    def test_merge_rejects_unknown_kind(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.merge_snapshot({"x": {"kind": "mystery"}})
+
+    def test_reset_keeps_names(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.reset()
+        assert registry.names() == ["c"]
+        assert registry.counter("c").value == 0
+
+    def test_clear_drops_names(self):
+        registry = MetricsRegistry()
+        registry.counter("c")
+        registry.clear()
+        assert registry.names() == []
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -1,0 +1,88 @@
+"""Report rendering: summary rows, wall phases, text/JSON output."""
+
+import json
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import (
+    metrics_rows,
+    render_report,
+    report_doc,
+    wall_phase_rows,
+)
+from repro.obs.tracer import EventTracer
+
+
+def _populated():
+    registry = MetricsRegistry()
+    registry.counter("noc/windows").inc(7)
+    registry.gauge("noc/backlog").set(3)
+    registry.histogram("ml/error").observe(0.2)
+    tracer = EventTracer()
+    tracer.instant("window_close", "noc", ts=500)
+    with tracer.wall_span("sim/measure", "sim"):
+        pass
+    return registry, tracer
+
+
+class TestRows:
+    def test_one_row_per_instrument(self):
+        registry, _ = _populated()
+        rows = metrics_rows(registry)
+        assert [r["name"] for r in rows] == [
+            "ml/error",
+            "noc/backlog",
+            "noc/windows",
+        ]
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["noc/windows"]["value"] == 7
+        assert by_name["noc/backlog"]["peak"] == 3
+        assert by_name["ml/error"]["count"] == 1
+        assert "p95" in by_name["ml/error"]
+
+    def test_wall_phases_sorted_longest_first(self):
+        tracer = EventTracer()
+        import time
+
+        with tracer.wall_span("short", "sim"):
+            pass
+        with tracer.wall_span("long", "sim"):
+            time.sleep(0.01)
+        rows = wall_phase_rows(tracer)
+        assert [r["name"] for r in rows] == ["long", "short"]
+
+    def test_wall_phases_exclude_sim_events(self):
+        _, tracer = _populated()
+        rows = wall_phase_rows(tracer)
+        assert [r["name"] for r in rows] == ["sim/measure"]
+
+
+class TestDoc:
+    def test_keys_and_serialisable(self):
+        registry, tracer = _populated()
+        doc = report_doc(registry, tracer, {"seed": 1})
+        assert set(doc) == {
+            "provenance",
+            "metrics",
+            "wall_phases",
+            "trace_events",
+            "trace_dropped",
+        }
+        assert doc["trace_events"] == 2
+        json.dumps(doc)
+
+
+class TestRender:
+    def test_sections_present(self):
+        registry, tracer = _populated()
+        text = render_report(registry, tracer, {"seed": 1})
+        assert "# provenance" in text
+        assert "seed: 1" in text
+        assert "# metrics (3)" in text
+        assert "noc/windows" in text
+        assert "# wall-clock phases" in text
+        assert "sim/measure" in text
+        assert "buffered events" in text
+
+    def test_empty_session_renders(self):
+        text = render_report(MetricsRegistry(), EventTracer())
+        assert "(none)" in text

@@ -1,0 +1,101 @@
+"""Session lifecycle: enable/disable, capture isolation, merging."""
+
+import pytest
+
+from repro import obs
+from repro.obs import OBS
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with telemetry disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert not OBS.enabled
+
+    def test_enable_creates_fresh_instruments(self):
+        obs.enable()
+        OBS.registry.counter("x").inc()
+        obs.enable()
+        assert OBS.registry.names() == []
+
+    def test_session_restores_prior_state(self):
+        with obs.session():
+            assert OBS.enabled
+            OBS.registry.counter("inner").inc()
+        assert not OBS.enabled
+
+    def test_nested_sessions_restore_outer_instruments(self):
+        with obs.session():
+            OBS.registry.counter("outer").inc(5)
+            with obs.session():
+                OBS.registry.counter("inner").inc()
+            assert OBS.registry.names() == ["outer"]
+            assert OBS.registry.counter("outer").value == 5
+
+    def test_session_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.session():
+                raise RuntimeError("boom")
+        assert not OBS.enabled
+
+    def test_session_passes_sampling_knob(self):
+        with obs.session(sample_every=5):
+            assert OBS.tracer.sample_every == 5
+
+    def test_config_roundtrip_through_apply(self):
+        with obs.session(sample_every=3, capacity=128):
+            config = OBS.config()
+        obs.apply_config(config)
+        try:
+            assert OBS.enabled
+            assert OBS.sample_every == 3
+            assert OBS.tracer.capacity == 128
+        finally:
+            obs.disable()
+
+    def test_apply_disabled_config(self):
+        obs.apply_config({"enabled": False})
+        assert not OBS.enabled
+
+
+class TestCapture:
+    def test_requires_enabled_session(self):
+        with pytest.raises(RuntimeError):
+            with obs.capture():
+                pass
+
+    def test_isolates_and_restores(self):
+        with obs.session():
+            OBS.registry.counter("outer").inc()
+            with obs.capture() as cap:
+                OBS.registry.counter("job_metric").inc(2)
+                OBS.tracer.instant("job_event", "cat", ts=1)
+            assert OBS.registry.names() == ["outer"]
+            snap = cap.take()
+            assert snap["metrics"]["job_metric"]["value"] == 2
+            assert len(snap["events"]) == 1
+
+    def test_merge_capture_folds_into_session(self):
+        with obs.session():
+            with obs.capture() as cap:
+                OBS.registry.counter("c").inc(3)
+                OBS.tracer.instant("e", "cat", ts=1)
+            obs.merge_capture(cap.take(), stream="job0")
+            assert OBS.registry.counter("c").value == 3
+            (event,) = OBS.tracer.events()
+            assert event.stream == "job0"
+
+    def test_merge_capture_tolerates_none(self):
+        with obs.session():
+            obs.merge_capture(None, stream="job0")
+            assert OBS.registry.names() == []
+
+    def test_merge_capture_noop_when_disabled(self):
+        obs.merge_capture({"metrics": {}, "events": []}, stream="job0")
+        assert not OBS.enabled

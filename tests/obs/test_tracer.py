@@ -1,0 +1,147 @@
+"""Event tracer: ring buffer, sampling, wall spans, merging."""
+
+import pytest
+
+from repro.obs.tracer import EventTracer, TraceEvent
+
+
+class TestTraceEvent:
+    def test_roundtrip(self):
+        event = TraceEvent(
+            name="n", category="c", ts=3.0, duration=2.0, args={"k": 1}
+        )
+        rebuilt = TraceEvent.from_dict(event.to_dict())
+        assert rebuilt == event
+
+    def test_instant_has_no_dur_key(self):
+        event = TraceEvent(name="n", category="c", ts=1.0)
+        assert not event.is_span
+        assert "dur" not in event.to_dict()
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        tracer = EventTracer(capacity=3)
+        for i in range(5):
+            tracer.instant(f"e{i}", "cat", ts=i)
+        names = [e.name for e in tracer.events()]
+        assert names == ["e2", "e3", "e4"]
+        assert tracer.dropped == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_seq_monotonic(self):
+        tracer = EventTracer()
+        for i in range(4):
+            tracer.instant("e", "cat", ts=i)
+        seqs = [e.seq for e in tracer.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 4
+
+    def test_reset(self):
+        tracer = EventTracer()
+        tracer.instant("e", "cat", ts=0)
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+
+class TestSampling:
+    def test_keeps_every_nth_per_name(self):
+        tracer = EventTracer(sample_every=3)
+        for i in range(9):
+            tracer.instant("chatty", "cat", ts=i)
+        kept = [e.ts for e in tracer.events()]
+        assert kept == [0.0, 3.0, 6.0]
+        assert tracer.dropped == 6
+
+    def test_rare_events_survive_alongside_chatty_ones(self):
+        tracer = EventTracer(sample_every=10)
+        for i in range(20):
+            tracer.instant("chatty", "cat", ts=i)
+        tracer.instant("rare", "cat", ts=99)
+        names = [e.name for e in tracer.events()]
+        assert "rare" in names
+
+    def test_deterministic(self):
+        def record():
+            tracer = EventTracer(sample_every=4)
+            for i in range(17):
+                tracer.instant("e", "cat", ts=i, index=i)
+            return [(e.name, e.ts) for e in tracer.events()]
+
+        assert record() == record()
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            EventTracer(sample_every=0)
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        tracer = EventTracer()
+        tracer.span("window", "noc", ts=500, duration=500, router=3)
+        (event,) = tracer.events()
+        assert event.is_span
+        assert event.duration == 500
+        assert event.args == {"router": 3}
+
+    def test_wall_span_marked_wall(self):
+        tracer = EventTracer()
+        with tracer.wall_span("phase", "sim"):
+            pass
+        (event,) = tracer.events()
+        assert event.wall
+        assert event.duration >= 0.0
+
+    def test_wall_span_recorded_on_raise(self):
+        tracer = EventTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.wall_span("phase", "sim"):
+                raise RuntimeError("boom")
+        assert [e.name for e in tracer.events()] == ["phase"]
+
+    def test_events_can_exclude_wall(self):
+        tracer = EventTracer()
+        tracer.instant("sim_event", "noc", ts=1)
+        with tracer.wall_span("phase", "sim"):
+            pass
+        assert len(tracer.events(include_wall=True)) == 2
+        assert [e.name for e in tracer.events(include_wall=False)] == [
+            "sim_event"
+        ]
+
+
+class TestMerge:
+    def test_merge_reassigns_stream_and_seq(self):
+        workers = []
+        for _ in range(3):
+            tracer = EventTracer()
+            for i in range(4):
+                tracer.instant("e", "cat", ts=i)
+            workers.append(tracer.snapshot())
+
+        parent = EventTracer()
+        parent.instant("local", "cat", ts=0)
+        for index, snap in enumerate(workers):
+            parent.merge_snapshot(snap, stream=f"job{index}")
+
+        keys = [(e.stream, e.seq) for e in parent.events()]
+        assert len(keys) == len(set(keys)) == 13
+        assert {e.stream for e in parent.events()} == {
+            "main",
+            "job0",
+            "job1",
+            "job2",
+        }
+
+    def test_merge_respects_capacity(self):
+        parent = EventTracer(capacity=2)
+        child = EventTracer()
+        for i in range(5):
+            child.instant("e", "cat", ts=i)
+        parent.merge_snapshot(child.snapshot(), stream="job0")
+        assert len(parent) == 2
+        assert parent.dropped == 3

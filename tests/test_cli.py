@@ -118,3 +118,117 @@ class TestChart:
         assert main(["experiment", "table1", "--chart"]) == 0
         out = capsys.readouterr().out
         assert "no chart renderer" in out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestUnknownSubcommand:
+    def test_unknown_subcommand_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_no_subcommand_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_obs_subcommand_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs", "frobnicate"])
+        assert excinfo.value.code == 2
+
+
+class TestObsReport:
+    def test_report_renders_summary(self, capsys):
+        assert main(["obs", "report", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "# provenance" in out
+        assert "# metrics" in out
+        assert "engine/jobs_executed" in out
+
+    def test_report_json_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["obs", "report", "fig4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["provenance"]["experiment"] == "fig4"
+        names = {row["name"] for row in doc["metrics"]}
+        assert "engine/jobs_executed" in names
+
+    def test_report_unknown_experiment(self, capsys):
+        assert main(["obs", "report", "fig99"]) == 2
+
+    def test_report_writes_trace_artifacts(self, capsys, tmp_path):
+        stem = tmp_path / "run"
+        assert main(["obs", "report", "fig4", "--trace", str(stem)]) == 0
+        assert (tmp_path / "run.jsonl").exists()
+        assert (tmp_path / "run.trace.json").exists()
+
+    def test_telemetry_disabled_after_report(self):
+        from repro.obs import OBS
+
+        assert main(["obs", "report", "fig4"]) == 0
+        assert not OBS.enabled
+
+    def test_invalid_sample_every_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "report", "fig4", "--sample-every", "0"])
+
+
+class TestTraceFlag:
+    def test_experiment_trace_exports_artifacts(self, capsys, tmp_path):
+        stem = tmp_path / "exp"
+        assert main(
+            ["experiment", "fig4", "--no-cache", "--trace", str(stem)]
+        ) == 0
+        import json
+
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "exp.jsonl").read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "provenance"
+        assert lines[0]["provenance"]["command"] == "experiment"
+
+    def test_simulate_trace_exports_artifacts(self, capsys, tmp_path):
+        stem = tmp_path / "sim"
+        code = main(
+            [
+                "simulate",
+                "--cycles",
+                "1000",
+                "--warmup",
+                "100",
+                "--trace",
+                str(stem),
+            ]
+        )
+        assert code == 0
+        import json
+
+        doc = json.loads((tmp_path / "sim.trace.json").read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "sim/measure" in names
+
+    def test_trace_flag_leaves_telemetry_disabled(self, tmp_path):
+        from repro.obs import OBS
+
+        assert main(
+            [
+                "experiment",
+                "fig4",
+                "--no-cache",
+                "--trace",
+                str(tmp_path / "t"),
+            ]
+        ) == 0
+        assert not OBS.enabled
