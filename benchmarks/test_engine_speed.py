@@ -1,0 +1,98 @@
+"""Fast-engine speed trajectory: skipping must pay for itself.
+
+The event-horizon engine exists to make idle-heavy simulations cheap
+without perturbing results.  These benchmarks time the fast engine
+against the reference on the two ends of the load spectrum and fail
+when the trajectory regresses:
+
+* idle-heavy — the fast engine must be at least ``IDLE_SPEEDUP_FLOOR``
+  times faster (spans of thousands of quiescent cycles collapse into
+  closed-form advances);
+* saturated — the skip machinery must cost at most
+  ``SATURATED_OVERHEAD_BUDGET`` (quiescence probes back off
+  exponentially under sustained load).
+
+``scripts/bench.py`` produces the same comparison as a JSON artifact
+for CI trending; this module is the local regression canary.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import PearlConfig, SimulationConfig
+from repro.noc.network import PearlNetwork
+from repro.noc.packet import CoreType
+from repro.noc.router import PowerPolicyKind
+from repro.traffic.synthetic import uniform_random_trace
+
+#: Minimum idle-heavy reference/fast wall-time ratio (measured ~6-10x;
+#: the floor leaves headroom for loaded CI machines).
+IDLE_SPEEDUP_FLOOR = 2.0
+
+#: Maximum saturated fast/reference wall-time ratio.
+SATURATED_OVERHEAD_BUDGET = 1.15
+
+#: Timing repetitions; interleaved best-of-N cancels machine drift.
+REPEATS = 3
+
+
+def _time_engines(config, trace, policy=PowerPolicyKind.REACTIVE, seed=3):
+    best = {"reference": float("inf"), "fast": float("inf")}
+    results = {}
+    for _ in range(REPEATS):
+        for engine in best:
+            network = PearlNetwork(config=config, power_policy=policy, seed=seed)
+            start = time.perf_counter()
+            results[engine] = network.run(trace, engine=engine)
+            best[engine] = min(best[engine], time.perf_counter() - start)
+    assert (
+        results["reference"].stats.to_dict() == results["fast"].stats.to_dict()
+    ), "engines diverged — speed is meaningless if results differ"
+    return best
+
+
+def test_idle_heavy_speedup():
+    config = PearlConfig().replace(
+        simulation=SimulationConfig(warmup_cycles=2_000, measure_cycles=20_000)
+    )
+    trace = uniform_random_trace(
+        CoreType.CPU,
+        rate=0.02,
+        architecture=config.architecture,
+        duration=2_000,
+        seed=5,
+    )
+    best = _time_engines(config, trace)
+    speedup = best["reference"] / best["fast"]
+    print(
+        f"idle-heavy ref={best['reference']:.3f}s fast={best['fast']:.3f}s "
+        f"speedup={speedup:.2f}x"
+    )
+    assert speedup >= IDLE_SPEEDUP_FLOOR, (
+        f"idle-heavy speedup {speedup:.2f}x below the "
+        f"{IDLE_SPEEDUP_FLOOR:.1f}x floor"
+    )
+
+
+def test_saturated_overhead_within_budget():
+    config = PearlConfig().replace(
+        simulation=SimulationConfig(warmup_cycles=1_000, measure_cycles=8_000)
+    )
+    trace = uniform_random_trace(
+        CoreType.GPU,
+        rate=0.40,
+        architecture=config.architecture,
+        duration=config.simulation.total_cycles,
+        seed=5,
+    )
+    best = _time_engines(config, trace)
+    ratio = best["fast"] / best["reference"]
+    print(
+        f"saturated ref={best['reference']:.3f}s fast={best['fast']:.3f}s "
+        f"ratio={ratio:.3f}"
+    )
+    assert ratio <= SATURATED_OVERHEAD_BUDGET, (
+        f"saturated fast/reference ratio {ratio:.3f} exceeds the "
+        f"{SATURATED_OVERHEAD_BUDGET:.2f} budget"
+    )

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Benchmark the fast-forwarding cycle engine against the reference.
+
+Runs a small workload matrix (idle-heavy, mixed, saturated) under both
+the event-horizon fast engine and the reference cycle-by-cycle engine,
+verifies the results are bit-identical, and writes ``BENCH_<label>.json``
+with per-variant wall time, simulated cycles/second and speedup.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py --label $(git rev-parse --short HEAD)
+    PYTHONPATH=src python scripts/bench.py --quick --check   # CI gate
+
+``--check`` exits non-zero when any engine pair diverges, when the fast
+engine is slower than the reference on the idle-heavy workload
+(``--min-idle-speedup``, default 1.0), or when the saturated workload
+regresses by more than ``--max-saturated-regression`` (default 0.10).
+See ``docs/performance.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import PearlConfig, SimulationConfig  # noqa: E402
+from repro.noc.network import PearlNetwork  # noqa: E402
+from repro.noc.packet import CoreType  # noqa: E402
+from repro.noc.router import PowerPolicyKind  # noqa: E402
+from repro.traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS  # noqa: E402
+from repro.traffic.synthetic import (  # noqa: E402
+    generate_pair_trace,
+    uniform_random_trace,
+)
+
+ENGINES = ("reference", "fast")
+
+POLICIES = {
+    "static": PowerPolicyKind.STATIC,
+    "reactive": PowerPolicyKind.REACTIVE,
+}
+
+
+def _workloads(quick: bool):
+    """(name, config, trace) triples of the benchmark matrix.
+
+    * ``idle_heavy`` — traffic only in the first ~5% of the run, the
+      fast engine's best case (long quiescent spans);
+    * ``mixed`` — a benchmark-pair trace over the full run;
+    * ``saturated`` — high-rate uniform random over the full run, the
+      fast engine's worst case (quiescence never holds).
+    """
+    scale = 1 if quick else 4
+    idle_cfg = PearlConfig().replace(
+        simulation=SimulationConfig(
+            warmup_cycles=2_000, measure_cycles=20_000 * scale
+        )
+    )
+    mixed_cfg = PearlConfig().replace(
+        simulation=SimulationConfig(
+            warmup_cycles=1_000, measure_cycles=8_000 * scale
+        )
+    )
+    sat_cfg = mixed_cfg
+    return (
+        (
+            "idle_heavy",
+            idle_cfg,
+            uniform_random_trace(
+                CoreType.CPU,
+                rate=0.02,
+                architecture=idle_cfg.architecture,
+                duration=2_000,
+                seed=5,
+            ),
+        ),
+        (
+            "mixed",
+            mixed_cfg,
+            generate_pair_trace(
+                CPU_BENCHMARKS["fluidanimate"],
+                GPU_BENCHMARKS["dct"],
+                mixed_cfg.architecture,
+                mixed_cfg.simulation.total_cycles,
+                seed=7,
+            ),
+        ),
+        (
+            "saturated",
+            sat_cfg,
+            uniform_random_trace(
+                CoreType.GPU,
+                rate=0.40,
+                architecture=sat_cfg.architecture,
+                duration=sat_cfg.simulation.total_cycles,
+                seed=5,
+            ),
+        ),
+    )
+
+
+def _canonical(network: PearlNetwork, result) -> dict:
+    """Everything that must be bit-identical across engines."""
+    return {
+        "stats": result.stats.to_dict(),
+        "residency": result.state_residency,
+        "mean_laser_power_w": result.mean_laser_power_w,
+        "laser_stall_cycles": result.laser_stall_cycles,
+        "ml_predictions": result.ml_predictions,
+        "ml_labels": result.ml_labels,
+        "sequence": network._sequence,
+        "backlog": network.injection_backlog_size,
+    }
+
+
+def run_matrix(quick: bool, repeats: int) -> dict:
+    """Time every workload/policy/engine combination (best-of-N)."""
+    entries = {}
+    for workload, config, trace in _workloads(quick):
+        cycles = config.simulation.total_cycles
+        for policy_name, policy in POLICIES.items():
+            # Interleave the engines inside each repeat (best-of-N) so
+            # machine-load drift hits both variants equally.
+            walls = {engine: float("inf") for engine in ENGINES}
+            outputs = {}
+            for _ in range(repeats):
+                for engine in ENGINES:
+                    network = PearlNetwork(
+                        config=config, power_policy=policy, seed=3
+                    )
+                    start = time.perf_counter()
+                    result = network.run(trace, engine=engine)
+                    wall = time.perf_counter() - start
+                    walls[engine] = min(walls[engine], wall)
+                    outputs[engine] = _canonical(network, result)
+            identical = outputs["reference"] == outputs["fast"]
+            entries[f"{workload}/{policy_name}"] = {
+                "workload": workload,
+                "policy": policy_name,
+                "cycles": cycles,
+                "identical": identical,
+                "speedup": walls["reference"] / walls["fast"],
+                **{
+                    engine: {
+                        "wall_s": walls[engine],
+                        "cycles_per_s": cycles / walls[engine],
+                    }
+                    for engine in ENGINES
+                },
+            }
+            entry = entries[f"{workload}/{policy_name}"]
+            print(
+                f"{workload:11s} {policy_name:9s} "
+                f"ref={walls['reference']:.3f}s fast={walls['fast']:.3f}s "
+                f"x{entry['speedup']:.2f} identical={identical}",
+                flush=True,
+            )
+    return entries
+
+
+def check(entries: dict, min_idle_speedup: float, max_sat_regression: float):
+    """The CI gate: equivalence always, speed on the trajectory axes."""
+    failures = []
+    for name, entry in entries.items():
+        if not entry["identical"]:
+            failures.append(f"{name}: engines diverged")
+        if (
+            entry["workload"] == "idle_heavy"
+            and entry["speedup"] < min_idle_speedup
+        ):
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f} < "
+                f"required {min_idle_speedup:.2f}"
+            )
+        if entry["workload"] == "saturated" and entry["speedup"] < (
+            1.0 - max_sat_regression
+        ):
+            failures.append(
+                f"{name}: saturated regression "
+                f"{1.0 - entry['speedup']:.1%} > {max_sat_regression:.0%}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--label", default="local", help="suffix of BENCH_<label>.json"
+    )
+    parser.add_argument(
+        "--out", default=".", metavar="DIR", help="output directory"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="short runs (the CI matrix)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on divergence or speed-gate failure",
+    )
+    parser.add_argument("--min-idle-speedup", type=float, default=1.0)
+    parser.add_argument("--max-saturated-regression", type=float, default=0.10)
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    entries = run_matrix(quick=args.quick, repeats=args.repeats)
+    doc = {
+        "label": args.label,
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "workloads": entries,
+    }
+    out_path = Path(args.out) / f"BENCH_{args.label}.json"
+    out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if args.check:
+        failures = check(
+            entries, args.min_idle_speedup, args.max_saturated_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("all benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,9 @@ Subcommands:
 
 ``experiment``, ``all`` and ``simulate`` accept ``--trace PATH`` to run
 under telemetry and export the JSONL + Chrome ``trace_event`` artifacts
-(see ``docs/observability.md``).
+(see ``docs/observability.md``), and ``--profile PATH`` to wrap the run
+in ``cProfile`` and write a ``.pstats`` file (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -98,6 +100,13 @@ def _build_parser() -> argparse.ArgumentParser:
     simp.add_argument("--static-state", type=int, default=64)
     simp.add_argument("--fcfs", action="store_true", help="disable DBA")
     simp.add_argument("--seed", type=int, default=1)
+    simp.add_argument(
+        "--sim-engine",
+        default="fast",
+        choices=["fast", "reference"],
+        help="cycle engine: event-horizon fast-forwarding (default) or "
+        "plain cycle-by-cycle stepping (bit-identical results)",
+    )
     _add_trace_args(simp)
     return parser
 
@@ -131,6 +140,12 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="keep every Nth trace event per event name (default 1: all)",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="wrap the run in cProfile and write PATH (a .pstats file)",
+    )
 
 
 def _engine_scope(args: argparse.Namespace):
@@ -139,6 +154,30 @@ def _engine_scope(args: argparse.Namespace):
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
     return engine_scope(jobs=args.jobs, use_cache=not args.no_cache)
+
+
+@contextmanager
+def _profile_scope(args: argparse.Namespace):
+    """Profile a command under ``cProfile`` when ``--profile PATH`` was given.
+
+    The stats file is written on clean completion and can be inspected
+    with ``python -m pstats PATH`` or snakeviz (see
+    ``docs/performance.md``).
+    """
+    path = getattr(args, "profile", None)
+    if not path:
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(f"wrote {path}", file=sys.stderr)
 
 
 @contextmanager
@@ -248,7 +287,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ml_model=ml_model,
         seed=args.seed,
     )
-    result = network.run(trace)
+    result = network.run(trace, engine=args.sim_engine)
     print(f"pair: {args.cpu}+{args.gpu} policy={args.policy} window={args.window}")
     for key, value in result.stats.summary().items():
         print(f"  {key}: {value:.4g}")
@@ -305,17 +344,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "list":
             return _cmd_list()
         if args.command == "experiment":
-            with _telemetry_scope(args):
+            with _profile_scope(args), _telemetry_scope(args):
                 return _cmd_experiment(args)
         if args.command == "all":
-            with _telemetry_scope(args):
+            with _profile_scope(args), _telemetry_scope(args):
                 return _cmd_all(args)
         if args.command == "simulate":
-            with _telemetry_scope(args):
+            with _profile_scope(args), _telemetry_scope(args):
                 return _cmd_simulate(args)
         if args.command == "obs":
             if args.obs_command == "report":
-                return _cmd_obs_report(args)
+                with _profile_scope(args):
+                    return _cmd_obs_report(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0

@@ -129,6 +129,10 @@ class FCFSAllocator:
     def allocate_from_buffers(
         self, buffers: PartitionedBuffer
     ) -> BandwidthAllocation:
-        """Sample (for stats) and return the static split."""
-        self.sample(buffers)
+        """Return the static split regardless of the buffers' demand.
+
+        This runs every cycle on every router, so no occupancy sample
+        object is materialised — callers wanting the reading use
+        :meth:`sample` directly.
+        """
         return self._even

@@ -124,6 +124,8 @@ class MLPowerScaler:
         self.offset = (router_id * stagger_cycles) % max(
             config.reservation_window, 1
         )
+        # Cached for the per-cycle boundary check on the router hot path.
+        self._window = config.reservation_window
         self.predictions: List[float] = []
         self.decisions: List[int] = []
         self.labels: List[float] = []
@@ -131,7 +133,7 @@ class MLPowerScaler:
 
     def window_boundary(self, cycle: int) -> bool:
         """True on this router's staggered window boundaries."""
-        return (cycle - self.offset) % self.config.reservation_window == 0
+        return (cycle - self.offset) % self._window == 0
 
     def decide(self, features: np.ndarray) -> int:
         """Predict next-window injections and pick the wavelength state."""

@@ -23,8 +23,11 @@ class LaserBank:
     and the stabilization countdown.  Scaling **down** is immediate
     (lasers switch off instantly); scaling **up** keeps the link dark
     for ``turn_on_cycles`` while the newly lit lasers stabilise, after
-    which the new state becomes active.  Power is integrated per cycle
-    so time-weighted averages fall out of the statistics directly.
+    which the new state becomes active.  Power is integrated as integer
+    cycle counts per powered state (``energy_j`` is derived lazily), so
+    advancing N quiescent cycles in one :meth:`advance` call produces
+    bit-identical statistics to N :meth:`tick` calls — the invariant
+    the fast-forwarding cycle engine is built on.
     """
 
     def __init__(
@@ -43,9 +46,16 @@ class LaserBank:
         # Integrated statistics:
         self.cycles_in_state: Dict[int, int] = {s: 0 for s in self.ladder.states}
         self.stall_cycles = 0
-        self.energy_j = 0.0
         self.transitions = 0
         self._cycle_ns = 1.0 / network_frequency_ghz
+        # Cycles spent drawing each state's power (the powered state is
+        # the *pending* one while stabilizing).  Kept as integers so the
+        # energy integral is order-independent and exactly reproducible
+        # whether the run stepped every cycle or fast-forwarded spans.
+        self._cycles_at_power: Dict[int, int] = {}
+        self._power_w: Dict[int, float] = {
+            s: self.ladder.power_w(s) for s in self.ladder.states
+        }
 
     @property
     def state(self) -> int:
@@ -56,6 +66,22 @@ class LaserBank:
     def is_stabilizing(self) -> bool:
         """True while newly lit lasers are warming up (link is dark)."""
         return self._stabilize_remaining > 0
+
+    @property
+    def stabilize_remaining(self) -> int:
+        """Dark cycles left before a pending upward transition lands."""
+        return self._stabilize_remaining
+
+    @property
+    def energy_j(self) -> float:
+        """Laser energy integrated so far, derived from cycle counts."""
+        cycle_s = self._cycle_ns * 1e-9
+        total = 0.0
+        for state in sorted(self._cycles_at_power):
+            total += (
+                self._power_w[state] * self._cycles_at_power[state] * cycle_s
+            )
+        return total
 
     @property
     def can_transmit(self) -> bool:
@@ -91,9 +117,8 @@ class LaserBank:
         powered_state = (
             self._pending_state if self._pending_state is not None else self._state
         )
-        self.energy_j += (
-            self.ladder.power_w(powered_state) * self._cycle_ns * 1e-9
-        )
+        counts = self._cycles_at_power
+        counts[powered_state] = counts.get(powered_state, 0) + 1
         self.cycles_in_state[self._state] += 1
         if self._stabilize_remaining > 0:
             self.stall_cycles += 1
@@ -101,6 +126,41 @@ class LaserBank:
             if self._stabilize_remaining == 0 and self._pending_state is not None:
                 self._state = self._pending_state
                 self._pending_state = None
+
+    def advance(self, cycles: int) -> None:
+        """Integrate ``cycles`` network cycles in closed form.
+
+        Exactly equivalent to calling :meth:`tick` ``cycles`` times
+        because every accumulator is an integer count.  The caller must
+        not advance past a stabilization completion in one call
+        (``cycles <= stabilize_remaining`` while stabilizing), since the
+        powered/active states would change mid-span.
+        """
+        if cycles <= 0:
+            return
+        powered_state = (
+            self._pending_state if self._pending_state is not None else self._state
+        )
+        counts = self._cycles_at_power
+        counts[powered_state] = counts.get(powered_state, 0) + cycles
+        self.cycles_in_state[self._state] += cycles
+        if self._stabilize_remaining > 0:
+            if cycles > self._stabilize_remaining:
+                raise ValueError(
+                    "cannot advance past a laser stabilization completion"
+                )
+            self.stall_cycles += cycles
+            self._stabilize_remaining -= cycles
+            if self._stabilize_remaining == 0 and self._pending_state is not None:
+                self._state = self._pending_state
+                self._pending_state = None
+
+    def reset_stats(self) -> None:
+        """Clear the integrated statistics (warm-up boundary)."""
+        self.cycles_in_state = {s: 0 for s in self.ladder.states}
+        self._cycles_at_power = {}
+        self.stall_cycles = 0
+        self.transitions = 0
 
     def total_cycles(self) -> int:
         """Cycles integrated so far."""
@@ -168,6 +228,7 @@ class ReactivePowerScaler:
         self.offset = (router_id * config.router_stagger_cycles) % max(
             config.reservation_window, 1
         )
+        self._window = config.reservation_window
         self._occupancy_sum = 0.0
         self._samples = 0
         self.decisions: List[int] = []
@@ -179,9 +240,18 @@ class ReactivePowerScaler:
         self._occupancy_sum += combined_occupancy
         self._samples += 1
 
+    def observe_idle(self, cycles: int) -> None:
+        """Closed-form equivalent of ``cycles`` calls to ``observe(0.0)``.
+
+        Adding +0.0 to a non-negative float sum is exact in IEEE-754, so
+        an idle span only advances the integer sample counter — the
+        window mean comes out bit-identical to per-cycle stepping.
+        """
+        self._samples += cycles
+
     def window_boundary(self, cycle: int) -> bool:
         """Step 6: does this cycle close the router's staggered window?"""
-        return (cycle - self.offset) % self.config.reservation_window == 0
+        return (cycle - self.offset) % self._window == 0
 
     def select_state(self, mean_occupancy: float) -> int:
         """Step 8: map a window-mean occupancy to a wavelength state."""

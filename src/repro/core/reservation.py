@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..obs import OBS
+
 
 def reservation_packet_bits(
     num_routers: int,
@@ -104,8 +106,6 @@ class ReservationChannel:
         """Send a reservation; it is visible after the channel latency."""
         self._in_flight[reservation.source] = reservation
         self.broadcast_count += 1
-        from ..obs import OBS
-
         if OBS.enabled:
             OBS.registry.counter(
                 "reservation/broadcasts",

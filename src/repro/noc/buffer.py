@@ -26,6 +26,8 @@ class InputBuffer:
     ``beta_ocup`` for one core type.
     """
 
+    __slots__ = ("capacity_slots", "name", "_queue", "_occupied_slots")
+
     def __init__(self, capacity_slots: int, name: str = "buffer") -> None:
         if capacity_slots <= 0:
             raise ValueError("buffer capacity must be positive")
@@ -100,9 +102,13 @@ class PartitionedBuffer:
     (``Buf_w`` in the paper's Eq. 3).
     """
 
+    __slots__ = ("cpu", "gpu", "_total_slots")
+
     def __init__(self, cpu_slots: int, gpu_slots: int, name: str = "router") -> None:
         self.cpu = InputBuffer(cpu_slots, name=f"{name}/cpu")
         self.gpu = InputBuffer(gpu_slots, name=f"{name}/gpu")
+        # Hoisted for the per-cycle combined-occupancy read.
+        self._total_slots = cpu_slots + gpu_slots
 
     def pool(self, core_type: CoreType) -> InputBuffer:
         """The buffer pool that stores packets of ``core_type``."""
@@ -129,8 +135,9 @@ class PartitionedBuffer:
     @property
     def combined_occupancy(self) -> float:
         """Occupied fraction of all slots (Eq. 3, normalised to [0, 1])."""
-        total = self.cpu.capacity_slots + self.gpu.capacity_slots
-        return (self.cpu.occupied_slots + self.gpu.occupied_slots) / total
+        return (
+            self.cpu._occupied_slots + self.gpu._occupied_slots
+        ) / self._total_slots
 
     @property
     def total_packets(self) -> int:
@@ -145,6 +152,8 @@ class PartitionedBuffer:
 
 class VirtualChannelBuffer:
     """One virtual channel of a CMESH input port (flit-granular FIFO)."""
+
+    __slots__ = ("depth_flits", "name", "_flits", "allocated_packet_id")
 
     def __init__(self, depth_flits: int, name: str = "vc") -> None:
         if depth_flits <= 0:

@@ -18,6 +18,7 @@ The same class serves every PEARL variant of the evaluation:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -29,6 +30,7 @@ from ..core.ml_scaling import MLPowerScaler, StateSelector
 from ..obs import OBS
 from ..ml.ridge import RidgeRegression
 from .packet import CacheLevel, CoreType, Packet, PacketClass
+from .photonic import PhotonicLinkModel
 from .router import PearlRouter, PowerPolicyKind, Transmission
 from .stats import NetworkStats
 from ..traffic.trace import Trace, TraceCursor
@@ -146,8 +148,6 @@ class PearlNetwork:
         self._sequence = 0
         # Per-router FIFO of packets whose input buffer was full; only
         # the head is retried each cycle (stalled cores stay in order).
-        from collections import deque
-
         self._injection_backlog: List = [
             deque() for _ in range(arch.num_routers)
         ]
@@ -234,28 +234,33 @@ class PearlNetwork:
         return False
 
     def step(self, cycle: int, cursor: Optional[TraceCursor] = None) -> None:
-        """Advance the network by one cycle."""
+        """Advance the network by one cycle (the reference engine)."""
         routers = self.routers
+        backlogs = self._injection_backlog
+        responses = self._responses
+        in_flight = self._in_flight
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        try_inject = self._try_inject
         # 1. Retry backlogged injections (stalled cores), oldest first;
         #    stop at the first packet that still does not fit.
-        for router_id, backlog in enumerate(self._injection_backlog):
-            router = routers[router_id]
-            while backlog and self._try_inject(router, backlog[0], cycle):
-                backlog.popleft()
+        for router_id, backlog in enumerate(backlogs):
+            if backlog:
+                router = routers[router_id]
+                while backlog and try_inject(router, backlog[0], cycle):
+                    backlog.popleft()
         # 2. Ready responses.
-        while self._responses and self._responses[0][0] <= cycle:
-            _, _, router_id, packet = heapq.heappop(self._responses)
-            backlog = self._injection_backlog[router_id]
-            if backlog or not self._try_inject(
-                routers[router_id], packet, cycle
-            ):
+        while responses and responses[0][0] <= cycle:
+            _, _, router_id, packet = heappop(responses)
+            backlog = backlogs[router_id]
+            if backlog or not try_inject(routers[router_id], packet, cycle):
                 backlog.append(packet)
         # 3. New trace events.
         if cursor is not None:
             for event in cursor.pop_ready(cycle):
                 packet = event.to_packet()
-                backlog = self._injection_backlog[packet.source]
-                if backlog or not self._try_inject(
+                backlog = backlogs[packet.source]
+                if backlog or not try_inject(
                     routers[packet.source], packet, cycle
                 ):
                     backlog.append(packet)
@@ -263,68 +268,178 @@ class PearlNetwork:
         for router in routers:
             router.tick_control(cycle)
         # 5. Transmissions.
+        on_link_sample = self.stats.on_link_sample
+        sequence = self._sequence
         for router in routers:
             for transmission in router.transmit(cycle):
-                self._sequence += 1
-                heapq.heappush(
-                    self._in_flight,
-                    (transmission.arrival_cycle, self._sequence, transmission),
+                sequence += 1
+                heappush(
+                    in_flight,
+                    (transmission.arrival_cycle, sequence, transmission),
                 )
-            self.stats.on_link_sample(router.link_busy)
+            on_link_sample(router._link_busy_this_cycle)
+        self._sequence = sequence
         # 6. Arrivals.
-        while self._in_flight and self._in_flight[0][0] <= cycle:
-            _, _, transmission = heapq.heappop(self._in_flight)
+        while in_flight and in_flight[0][0] <= cycle:
+            _, _, transmission = heappop(in_flight)
             packet = transmission.packet
             destination = routers[packet.destination]
-            if packet.is_local:
+            if packet.source == packet.destination:
                 destination.deliver_local(packet)
             else:
                 destination.receive(packet)
         # 7. Ejection to cores (delivery + closed-loop responses).
+        on_delivered = self._on_delivered
         for router in routers:
-            router.drain_ejection(cycle, self._on_delivered)
+            router.drain_ejection(cycle, on_delivered)
 
-    def run(self, trace: Trace) -> PearlRunResult:
-        """Simulate warm-up plus measurement over a trace."""
+    # -- fast-forwarding (event-horizon) engine -------------------------------
+
+    def _quiescent(self) -> bool:
+        """True when no packet anywhere could move this cycle."""
+        for backlog in self._injection_backlog:
+            if backlog:
+                return False
+        for router in self.routers:
+            if not router.is_quiescent():
+                return False
+        return True
+
+    def _skip_horizon(
+        self, cycle: int, end: int, cursor: Optional[TraceCursor]
+    ) -> int:
+        """First cycle in [cycle, end] that must be executed in full.
+
+        The horizon is the earliest of: the segment end, the next trace
+        event, the next ready response, the next in-flight arrival, and
+        each router's :meth:`~PearlRouter.skip_bound` (window boundary,
+        laser stabilization completion, transmit-engine drain).  A
+        return value of ``cycle`` means nothing can be skipped.
+        """
+        horizon = end
+        if cursor is not None:
+            next_event = cursor.next_cycle()
+            if next_event is not None and next_event < horizon:
+                horizon = next_event
+        if self._responses and self._responses[0][0] < horizon:
+            horizon = self._responses[0][0]
+        if self._in_flight and self._in_flight[0][0] < horizon:
+            horizon = self._in_flight[0][0]
+        if horizon <= cycle:
+            return cycle
+        for router in self.routers:
+            bound = router.skip_bound(cycle)
+            if bound < horizon:
+                if bound <= cycle:
+                    return cycle
+                horizon = bound
+        return horizon
+
+    def _fast_forward(self, cycle: int, cycles: int) -> None:
+        """Advance a quiescent span of ``cycles`` cycles in closed form."""
+        on_link_samples = self.stats.on_link_samples
+        for router in self.routers:
+            busy = router.fast_forward(cycle, cycles)
+            on_link_samples(busy, cycles)
+
+    def _advance_fast(
+        self, start: int, end: int, cursor: Optional[TraceCursor]
+    ) -> None:
+        """Advance cycles [start, end) with event-horizon skipping.
+
+        Every cycle with any packet motion, window boundary, laser flip
+        or engine drain runs through the reference :meth:`step`; spans
+        where the whole network is provably idle are advanced in closed
+        form, producing bit-identical statistics.
+
+        Consecutive failed quiescence probes back off exponentially (up
+        to 32 cycles) so a saturated run pays almost nothing for the
+        skip machinery; skipping is optional, so deferring a probe
+        never changes the simulated result.
+        """
+        step = self.step
+        quiescent = self._quiescent
+        cycle = start
+        backoff = 1
+        cooldown = 0
+        while cycle < end:
+            step(cycle, cursor)
+            cycle += 1
+            if cycle >= end:
+                break
+            if cooldown:
+                cooldown -= 1
+                continue
+            if not quiescent():
+                cooldown = backoff
+                if backoff < 32:
+                    backoff <<= 1
+                continue
+            backoff = 1
+            horizon = self._skip_horizon(cycle, end, cursor)
+            if horizon > cycle:
+                self._fast_forward(cycle, horizon - cycle)
+                cycle = horizon
+
+    def _advance_cycles(
+        self, start: int, end: int, cursor: Optional[TraceCursor], fast: bool
+    ) -> None:
+        if fast:
+            self._advance_fast(start, end, cursor)
+        else:
+            step = self.step
+            for cycle in range(start, end):
+                step(cycle, cursor)
+
+    def run(self, trace: Trace, engine: str = "fast") -> PearlRunResult:
+        """Simulate warm-up plus measurement over a trace.
+
+        ``engine`` selects ``"fast"`` (event-horizon skipping, the
+        default) or ``"reference"`` (plain cycle-by-cycle stepping);
+        both produce bit-identical results.
+        """
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        fast = engine == "fast"
         if OBS.enabled:
-            return self._run_instrumented(trace)
-        return self._run_bare(trace)
+            return self._run_instrumented(trace, fast)
+        return self._run_bare(trace, fast)
 
-    def _run_bare(self, trace: Trace) -> PearlRunResult:
+    def _run_bare(self, trace: Trace, fast: bool = True) -> PearlRunResult:
         sim = self.config.simulation
         cursor = TraceCursor(trace)
-        for cycle in range(sim.warmup_cycles):
-            self.step(cycle, cursor)
+        self._advance_cycles(0, sim.warmup_cycles, cursor, fast)
         self.stats.begin_measurement(sim.warmup_cycles)
         for router in self.routers:
             router.reset_power_stats()
         self.memory.stats.busy_cycles = 0
-        for cycle in range(sim.warmup_cycles, sim.total_cycles):
-            self.step(cycle, cursor)
+        self._advance_cycles(sim.warmup_cycles, sim.total_cycles, cursor, fast)
         self.stats.finish(sim.total_cycles)
         self._integrate_energy()
         return self._result()
 
-    def _run_instrumented(self, trace: Trace) -> PearlRunResult:
+    def _run_instrumented(
+        self, trace: Trace, fast: bool = True
+    ) -> PearlRunResult:
         """The same phases as :meth:`_run_bare` under profiling spans.
 
         Instrumentation is strictly observational (wall-clock timers
         and post-hoc metric flushes), so the simulated result is
-        bit-identical to an uninstrumented run.
+        bit-identical to an uninstrumented run — on either engine.
         """
         sim = self.config.simulation
         cursor = TraceCursor(trace)
         tracer = OBS.tracer
         with tracer.wall_span("sim/warmup", "sim", trace=trace.name):
-            for cycle in range(sim.warmup_cycles):
-                self.step(cycle, cursor)
+            self._advance_cycles(0, sim.warmup_cycles, cursor, fast)
         self.stats.begin_measurement(sim.warmup_cycles)
         for router in self.routers:
             router.reset_power_stats()
         self.memory.stats.busy_cycles = 0
         with tracer.wall_span("sim/measure", "sim", trace=trace.name):
-            for cycle in range(sim.warmup_cycles, sim.total_cycles):
-                self.step(cycle, cursor)
+            self._advance_cycles(
+                sim.warmup_cycles, sim.total_cycles, cursor, fast
+            )
         self.stats.finish(sim.total_cycles)
         with tracer.wall_span("sim/integrate_energy", "sim"):
             self._integrate_energy()
@@ -366,8 +481,6 @@ class PearlNetwork:
             router.laser.record_telemetry(registry)
 
     def _integrate_energy(self) -> None:
-        from .photonic import PhotonicLinkModel
-
         model = PhotonicLinkModel(self.config.optical, self.config.photonic)
         cycle_s = (
             1.0 / (self.config.architecture.network_frequency_ghz * 1e9)

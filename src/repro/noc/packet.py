@@ -83,7 +83,7 @@ def _next_packet_id() -> int:
     return next(_packet_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A network packet.
 
@@ -154,7 +154,7 @@ class Packet:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One 128-bit slice of a packet (wormhole switching unit)."""
 

@@ -29,6 +29,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..config import PearlConfig
+from ..core.adaptive import AdaptiveReactiveScaler
 from ..core.dba import DynamicBandwidthAllocator, FCFSAllocator
 from ..core.ml_scaling import MLPowerScaler
 from ..core.power_scaling import LaserBank, ReactivePowerScaler, StaticPowerPolicy
@@ -66,7 +67,7 @@ class PowerPolicyKind(Enum):
     RANDOM = "random"
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """A packet in flight on the photonic (or local) path."""
 
@@ -142,8 +143,6 @@ class PearlRouter:
                 config.power_scaling, self.ladder, router_id=router_id
             )
         elif policy_kind is PowerPolicyKind.ADAPTIVE:
-            from ..core.adaptive import AdaptiveReactiveScaler
-
             self.reactive = AdaptiveReactiveScaler(
                 config.power_scaling, self.ladder, router_id=router_id
             )
@@ -167,6 +166,26 @@ class PearlRouter:
             CoreType.GPU: [_TransmitEngine() for _ in range(parallel_links)],
         }
         self._local_engine = _TransmitEngine()
+        # Hot-path hoists: the per-cycle methods and the fast-forward
+        # horizon computation read these instead of chasing dict keys.
+        self._ejection_cpu = self.ejection[CoreType.CPU]
+        self._ejection_gpu = self.ejection[CoreType.GPU]
+        self._all_engines = (
+            self._engines[CoreType.CPU] + self._engines[CoreType.GPU]
+        )
+        self._link_busy_this_cycle = False
+        # Every policy closes windows on a fixed periodic cadence; the
+        # (window, offset) pair is resolved once so both the per-cycle
+        # boundary check and ``skip_bound`` avoid policy dispatch.
+        if self.ml_scaler is not None:
+            self._boundary_window = self.ml_scaler._window
+            self._boundary_offset = self.ml_scaler.offset
+        elif self.reactive is not None:
+            self._boundary_window = self.reactive._window
+            self._boundary_offset = self.reactive.offset
+        else:
+            self._boundary_window = self._window
+            self._boundary_offset = self._offset
         self.ml_energy_j = 0.0
         self.reservations_sent = 0
         # Hook set by the network: called with (features, label) pairs
@@ -236,16 +255,14 @@ class PearlRouter:
     # -- per-cycle operation ---------------------------------------------------
 
     def window_boundary(self, cycle: int) -> bool:
-        """True on this router's staggered reservation-window boundary."""
-        if self.policy_kind is PowerPolicyKind.STATIC:
-            # Static routers still close windows for feature collection.
-            return (cycle - self._offset) % self._window == 0
-        if self.reactive is not None:  # REACTIVE and ADAPTIVE policies
-            return self.reactive.window_boundary(cycle)
-        if self.policy_kind is PowerPolicyKind.ML:
-            assert self.ml_scaler is not None
-            return self.ml_scaler.window_boundary(cycle)
-        return (cycle - self._offset) % self._window == 0
+        """True on this router's staggered reservation-window boundary.
+
+        All policies close windows on the same fixed cadence (static
+        routers still close windows for feature collection), so the
+        check reduces to the (window, offset) pair resolved at
+        construction.
+        """
+        return (cycle - self._boundary_offset) % self._boundary_window == 0
 
     def close_window(self, cycle: int) -> None:
         """Reservation-window boundary: pick the next wavelength state."""
@@ -329,23 +346,24 @@ class PearlRouter:
 
     def tick_control(self, cycle: int) -> None:
         """Per-cycle bookkeeping: occupancies, scalers, laser power."""
-        occupancy = self.buffers.combined_occupancy
+        buffers = self.buffers
         if self.reactive is not None:
-            self.reactive.observe(occupancy)
+            self.reactive.observe(buffers.combined_occupancy)
         self.features.observe_occupancies(
-            cpu_core=self.buffers.cpu_occupancy,
-            cpu_other=self.ejection[CoreType.CPU].occupancy,
-            gpu_core=self.buffers.gpu_occupancy,
-            gpu_other=self.ejection[CoreType.GPU].occupancy,
+            cpu_core=buffers.cpu_occupancy,
+            cpu_other=self._ejection_cpu.occupancy,
+            gpu_core=buffers.gpu_occupancy,
+            gpu_other=self._ejection_gpu.occupancy,
         )
-        if self.window_boundary(cycle):
+        if (cycle - self._boundary_offset) % self._boundary_window == 0:
             self.close_window(cycle)
         self.laser.tick()
 
     def transmit(self, cycle: int) -> List[Transmission]:
         """Dispatch head packets onto the local and photonic paths."""
         started: List[Transmission] = []
-        allocation = self.dba.allocate_from_buffers(self.buffers)
+        buffers = self.buffers
+        allocation = self.dba.allocate_from_buffers(buffers)
         if OBS.enabled:
             label = self._split_label_by_id.get(id(allocation))
             if label is None:  # non-canonical instance: hash by value
@@ -353,41 +371,46 @@ class PearlRouter:
             self._dba_split_counts[label] = (
                 self._dba_split_counts.get(label, 0) + 1
             )
+        laser = self.laser
+        local_engine = self._local_engine
+        router_id = self.router_id
+        can_transmit = laser.can_transmit
+        serialization = self.ladder.serialization_cycles(laser.state)
+        ceil = math.ceil
         link_busy = False
-        for core_type in (CoreType.CPU, CoreType.GPU):
-            pool = self.buffers.pool(core_type)
-            fraction = allocation.fraction(core_type)
-            engines = self._engines[core_type]
-            while not pool.is_empty:
+        for pool, fraction, engines in (
+            (buffers.cpu, allocation.cpu_fraction, self._engines[CoreType.CPU]),
+            (buffers.gpu, allocation.gpu_fraction, self._engines[CoreType.GPU]),
+        ):
+            while True:
                 head = pool.peek()
-                assert head is not None
-                if head.is_local:
-                    if not self._local_engine.is_free(cycle):
+                if head is None:
+                    break
+                if head.source == head.destination:  # local-crossbar path
+                    if cycle < local_engine.busy_until:
                         break
                     pool.pop()
-                    self._local_engine.busy_until = cycle + 1
+                    local_engine.busy_until = cycle + 1
                     started.append(
                         Transmission(
                             packet=head,
                             arrival_cycle=cycle + LOCAL_CROSSBAR_CYCLES,
-                            source_router=self.router_id,
+                            source_router=router_id,
                         )
                     )
                     continue
-                if fraction <= 0.0 or not self.laser.can_transmit:
+                if fraction <= 0.0 or not can_transmit:
                     break
-                engine = next(
-                    (e for e in engines if e.is_free(cycle)), None
-                )
+                engine = None
+                for candidate in engines:
+                    if candidate.busy_until <= cycle:
+                        engine = candidate
+                        break
                 if engine is None:
                     break
                 pool.pop()
                 serialize = int(
-                    math.ceil(
-                        self.ladder.serialization_cycles(self.laser.state)
-                        * head.size_flits
-                        / fraction
-                    )
+                    ceil(serialization * head.size_flits / fraction)
                 )
                 engine.busy_until = cycle + serialize
                 self.reservations_sent += 1
@@ -397,16 +420,15 @@ class PearlRouter:
                         arrival_cycle=cycle
                         + serialize
                         + PIPELINE_OVERHEAD_CYCLES,
-                        source_router=self.router_id,
+                        source_router=router_id,
                     )
                 )
                 link_busy = True
         if not link_busy:
-            link_busy = any(
-                not engine.is_free(cycle)
-                for engines in self._engines.values()
-                for engine in engines
-            )
+            for engine in self._all_engines:
+                if engine.busy_until > cycle:
+                    link_busy = True
+                    break
         self.features.observe_link(link_busy)
         self._link_busy_this_cycle = link_busy
         return started
@@ -414,14 +436,85 @@ class PearlRouter:
     @property
     def link_busy(self) -> bool:
         """Whether any transmit engine was busy last cycle."""
-        return getattr(self, "_link_busy_this_cycle", False)
+        return self._link_busy_this_cycle
+
+    # -- fast-forward (event-horizon) support ---------------------------------
+
+    def is_quiescent(self) -> bool:
+        """True when a cycle of this router would move no packets.
+
+        Requires empty CPU/GPU input pools, empty ejection pools and no
+        ejection backlog; in-flight transmissions live in the network's
+        heaps and bound the horizon there.
+        """
+        return (
+            self.buffers.is_empty
+            and not self._ejection_backlog
+            and self._ejection_cpu.is_empty
+            and self._ejection_gpu.is_empty
+        )
+
+    def skip_bound(self, cycle: int) -> int:
+        """First cycle >= ``cycle`` this router must execute in full.
+
+        Three events end a quiescent span: the next reservation-window
+        boundary (policy decisions, RNG draws and feature snapshots
+        happen there), the completion of a laser stabilization (the
+        active state flips, splitting the residency integral), and the
+        drain of the last busy transmit engine (the link-busy sample
+        changes value).  Returning ``cycle`` itself means no skip.
+        """
+        window = self._boundary_window
+        rem = (cycle - self._boundary_offset) % window
+        bound = cycle if rem == 0 else cycle + (window - rem)
+        laser = self.laser
+        if laser.is_stabilizing:
+            flip = cycle + laser.stabilize_remaining
+            if flip < bound:
+                bound = flip
+        busy_until = 0
+        for engine in self._all_engines:
+            if engine.busy_until > busy_until:
+                busy_until = engine.busy_until
+        if cycle < busy_until < bound:
+            bound = busy_until
+        return bound
+
+    def fast_forward(self, cycle: int, cycles: int) -> bool:
+        """Advance ``cycles`` quiescent cycles in closed form.
+
+        Exactly equivalent to ``cycles`` calls of :meth:`tick_control` +
+        :meth:`transmit` starting at ``cycle`` when the router is
+        quiescent and ``cycle + cycles <= skip_bound(cycle)``: occupancy
+        observations are IEEE-exact ``+0.0`` no-ops (only the integer
+        sample counters advance), the laser integral advances as cycle
+        counts, and the link-busy flag is constant over the span.
+        Returns that flag so the caller can batch the per-cycle link
+        sample into the run statistics.
+        """
+        if self.reactive is not None:
+            self.reactive.observe_idle(cycles)
+        link_busy = False
+        for engine in self._all_engines:
+            if engine.busy_until > cycle:
+                link_busy = True
+                break
+        self.features.observe_idle_cycles(cycles, link_busy)
+        self.laser.advance(cycles)
+        if OBS.enabled:
+            # transmit() tallies the DBA outcome every cycle; with both
+            # pools empty the allocator is constant over the span.
+            allocation = self.dba.allocate_from_buffers(self.buffers)
+            label = self._split_label_by_id.get(id(allocation))
+            if label is None:
+                label = self.dba.split_labels.get(allocation, "other")
+            self._dba_split_counts[label] = (
+                self._dba_split_counts.get(label, 0) + cycles
+            )
+        self._link_busy_this_cycle = link_busy
+        return link_busy
 
     def reset_power_stats(self) -> None:
         """Clear laser/ML energy integrals (warm-up boundary)."""
-        self.laser.cycles_in_state = {
-            s: 0 for s in self.ladder.states
-        }
-        self.laser.energy_j = 0.0
-        self.laser.stall_cycles = 0
-        self.laser.transitions = 0
+        self.laser.reset_stats()
         self.ml_energy_j = 0.0

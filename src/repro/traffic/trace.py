@@ -15,9 +15,10 @@ the paper's Multi2Sim-trace / network-simulator split.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Sequence, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..noc.packet import CacheLevel, CoreType, Packet, PacketClass
 
@@ -155,25 +156,41 @@ class TraceCursor:
     """Streaming view over a trace for the cycle loop.
 
     ``pop_ready(cycle)`` returns every event whose time has come, in
-    order, exactly once.
+    order, exactly once: an event is returned by the first call whose
+    ``cycle`` reaches it and by no later call, so a caller stepping
+    cycle-by-cycle and a caller that jumps straight to the same cycle
+    observe identical event batches (the fast-forward engine relies on
+    this boundary semantics).
+
+    ``next_cycle()`` exposes the cycle of the next unpopped event — the
+    trace's contribution to the fast-forward event horizon.
     """
+
+    __slots__ = ("_events", "_cycles", "_index", "_count")
 
     def __init__(self, trace: Trace) -> None:
         self._events = trace.events
+        # Parallel list of event cycles so pop_ready can batch via
+        # bisect (C-speed) instead of walking events one by one.
+        self._cycles = [event.cycle for event in self._events]
         self._index = 0
+        self._count = len(self._events)
 
     @property
     def exhausted(self) -> bool:
         """True when every event has been popped."""
-        return self._index >= len(self._events)
+        return self._index >= self._count
+
+    def next_cycle(self) -> Optional[int]:
+        """Cycle of the next unpopped event (None once exhausted)."""
+        index = self._index
+        return self._cycles[index] if index < self._count else None
 
     def pop_ready(self, cycle: int) -> List[InjectionEvent]:
         """Events with ``event.cycle <= cycle`` not yet returned."""
-        ready: List[InjectionEvent] = []
-        while (
-            self._index < len(self._events)
-            and self._events[self._index].cycle <= cycle
-        ):
-            ready.append(self._events[self._index])
-            self._index += 1
-        return ready
+        start = self._index
+        if start >= self._count or self._cycles[start] > cycle:
+            return []
+        end = bisect_right(self._cycles, cycle, start)
+        self._index = end
+        return self._events[start:end]

@@ -1,0 +1,279 @@
+"""Fast-engine equivalence: event-horizon skipping is bit-identical.
+
+The fast engine (``PearlNetwork.run(trace, engine="fast")``) may only
+differ from the reference cycle-by-cycle engine in wall time.  These
+tests run the same trace through both engines across every power
+policy, both bandwidth allocators, multiple seeds, both L3 link-bank
+widths and (via hypothesis) random traces, and require byte-equal
+statistics, wavelength-state residencies, laser energy, ML prediction
+streams and injection-backlog state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    MLConfig,
+    PearlConfig,
+    PowerScalingConfig,
+    SimulationConfig,
+)
+from repro.ml.features import NUM_FEATURES
+from repro.ml.ridge import RidgeRegression
+from repro.noc.network import PearlNetwork
+from repro.noc.packet import CacheLevel, CoreType, PacketClass
+from repro.noc.router import PowerPolicyKind
+from repro.traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS
+from repro.traffic.synthetic import generate_pair_trace, uniform_random_trace
+from repro.traffic.trace import InjectionEvent, Trace
+
+
+def _config(measure=1_500, warmup=100, window=200):
+    return PearlConfig(
+        simulation=SimulationConfig(
+            warmup_cycles=warmup, measure_cycles=measure
+        ),
+        power_scaling=PowerScalingConfig(reservation_window=window),
+        ml=MLConfig(reservation_window=window),
+    )
+
+
+@pytest.fixture(scope="module")
+def toy_model():
+    """A fitted ridge model (arbitrary weights; determinism is what counts)."""
+    rng = np.random.default_rng(0)
+    model = RidgeRegression(lam=1.0)
+    model.fit(rng.normal(size=(64, NUM_FEATURES)), rng.normal(size=64))
+    return model
+
+
+def _canonical(network, result):
+    """Everything the two engines must reproduce byte-for-byte."""
+    return {
+        "stats": result.stats.to_dict(),
+        "residency": result.state_residency,
+        "mean_laser_power_w": result.mean_laser_power_w,
+        "laser_stall_cycles": result.laser_stall_cycles,
+        "ml_predictions": result.ml_predictions,
+        "ml_labels": result.ml_labels,
+        "sequence": network._sequence,
+        "backlog": network.injection_backlog_size,
+        "laser_energy": [r.laser.energy_j for r in network.routers],
+        "cycles_in_state": [
+            r.laser.cycles_in_state for r in network.routers
+        ],
+        "reservations": [r.reservations_sent for r in network.routers],
+    }
+
+
+def _run_both(config, trace, policy, model=None, dyn=True, links=8, seed=3):
+    out = {}
+    for engine in ("reference", "fast"):
+        network = PearlNetwork(
+            config=config,
+            power_policy=policy,
+            use_dynamic_bandwidth=dyn,
+            ml_model=model if policy is PowerPolicyKind.ML else None,
+            l3_parallel_links=links,
+            seed=seed,
+        )
+        out[engine] = _canonical(network, network.run(trace, engine=engine))
+    return out
+
+
+def _idle_heavy_trace(config, seed=5):
+    """Traffic only in the first quarter: long quiescent spans to skip."""
+    return uniform_random_trace(
+        CoreType.CPU,
+        rate=0.05,
+        architecture=config.architecture,
+        duration=config.simulation.total_cycles // 4,
+        seed=seed,
+    )
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("policy", list(PowerPolicyKind))
+    @pytest.mark.parametrize("dyn", [True, False])
+    def test_policy_allocator_matrix(self, policy, dyn, toy_model):
+        """All five policies x both allocators on an idle-heavy trace."""
+        config = _config()
+        trace = _idle_heavy_trace(config)
+        out = _run_both(config, trace, policy, toy_model, dyn=dyn)
+        assert out["reference"] == out["fast"]
+
+    @pytest.mark.parametrize("seed", [1, 2, 9])
+    @pytest.mark.parametrize(
+        "policy", [PowerPolicyKind.REACTIVE, PowerPolicyKind.ML]
+    )
+    def test_seeds_on_benchmark_pair(self, seed, policy, toy_model):
+        """Closed-loop benchmark-pair traffic across seeds."""
+        config = _config(measure=1_200)
+        trace = generate_pair_trace(
+            CPU_BENCHMARKS["fluidanimate"],
+            GPU_BENCHMARKS["dct"],
+            config.architecture,
+            config.simulation.total_cycles // 2,
+            seed=seed,
+        )
+        out = _run_both(config, trace, policy, toy_model, seed=seed)
+        assert out["reference"] == out["fast"]
+
+    @pytest.mark.parametrize("links", [1, 8])
+    def test_l3_parallel_link_banks(self, links, toy_model):
+        """The banked L3 router's engine array fast-forwards correctly."""
+        config = _config()
+        trace = _idle_heavy_trace(config, seed=11)
+        out = _run_both(
+            config, trace, PowerPolicyKind.REACTIVE, links=links
+        )
+        assert out["reference"] == out["fast"]
+
+    def test_saturated_trace(self, toy_model):
+        """Quiescence (almost) never holds: the skip path stays correct."""
+        config = _config(measure=1_000)
+        trace = uniform_random_trace(
+            CoreType.GPU,
+            rate=0.4,
+            architecture=config.architecture,
+            duration=config.simulation.total_cycles,
+            seed=5,
+        )
+        out = _run_both(config, trace, PowerPolicyKind.REACTIVE)
+        assert out["reference"] == out["fast"]
+
+    def test_empty_trace(self):
+        """A fully idle run is one long skip (modulo window boundaries)."""
+        config = _config()
+        out = _run_both(
+            config, Trace([], name="empty"), PowerPolicyKind.REACTIVE
+        )
+        assert out["reference"] == out["fast"]
+        assert out["fast"]["stats"]["link_total_cycles"] > 0
+
+    def test_unknown_engine_rejected(self):
+        config = _config(measure=200, warmup=0)
+        network = PearlNetwork(config=config)
+        with pytest.raises(ValueError, match="unknown engine"):
+            network.run(Trace([], name="empty"), engine="warp")
+
+
+@st.composite
+def traces(draw):
+    """Small random request traces over the 17-node PEARL network."""
+    n = draw(st.integers(min_value=0, max_value=50))
+    events = []
+    for _ in range(n):
+        source = draw(st.integers(min_value=0, max_value=15))
+        destination = draw(st.integers(min_value=0, max_value=16))
+        core = draw(st.sampled_from([CoreType.CPU, CoreType.GPU]))
+        if source == destination:
+            level = (
+                CacheLevel.CPU_L1_DATA
+                if core is CoreType.CPU
+                else CacheLevel.GPU_L1
+            )
+        else:
+            level = (
+                CacheLevel.CPU_L2_DOWN
+                if core is CoreType.CPU
+                else CacheLevel.GPU_L2_DOWN
+            )
+        events.append(
+            InjectionEvent(
+                cycle=draw(st.integers(min_value=0, max_value=400)),
+                source=source,
+                destination=destination,
+                core_type=core,
+                packet_class=PacketClass.REQUEST,
+                cache_level=level,
+            )
+        )
+    return Trace(events, name="random")
+
+
+class TestEngineEquivalenceProperty:
+    @given(
+        trace=traces(),
+        policy=st.sampled_from(
+            [
+                PowerPolicyKind.STATIC,
+                PowerPolicyKind.REACTIVE,
+                PowerPolicyKind.ADAPTIVE,
+                PowerPolicyKind.RANDOM,
+            ]
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_traces_bit_identical(self, trace, policy, seed):
+        """Arbitrary bursty traces: both engines agree byte-for-byte."""
+        config = _config(measure=1_000, warmup=50)
+        out = _run_both(config, trace, policy, seed=seed)
+        assert out["reference"] == out["fast"]
+
+
+class TestInjectionBacklogOrdering:
+    def test_backlog_preserves_fifo_order(self):
+        """Packets stalled at a full input buffer inject oldest-first.
+
+        64 CPU slots fill with the first 64 one-flit requests; the rest
+        queue in the network backlog and must enter the buffer in
+        creation order as the router drains.
+        """
+        config = _config(measure=2_000, warmup=0)
+        n = 100  # > cpu_buffer_slots
+        events = [
+            InjectionEvent(
+                cycle=0,
+                source=2,
+                destination=16,
+                core_type=CoreType.CPU,
+                packet_class=PacketClass.REQUEST,
+                cache_level=CacheLevel.CPU_L2_DOWN,
+            )
+            for _ in range(n)
+        ]
+        trace = Trace(events, name="flood")
+        network = PearlNetwork(config=config, seed=3)
+        network.run(trace, engine="fast")
+        # Requests plus their closed-loop responses all entered despite
+        # the initial overflow, and nothing is left stranded.
+        injected = network.stats.counters[CoreType.CPU].packets_injected
+        assert injected >= n
+        assert network.injection_backlog_size == 0
+
+    def test_backlog_fifo_cycles_monotonic(self):
+        """injected_cycle is non-decreasing in packet creation order."""
+        config = _config(measure=2_000, warmup=0)
+        events = [
+            InjectionEvent(
+                cycle=0,
+                source=4,
+                destination=16,
+                core_type=CoreType.CPU,
+                packet_class=PacketClass.REQUEST,
+                cache_level=CacheLevel.CPU_L2_DOWN,
+            )
+            for _ in range(90)
+        ]
+        packets = []
+        trace = Trace(events, name="flood")
+        network = PearlNetwork(config=config, seed=3)
+        original_inject = network.routers[4].inject
+
+        def tracking_inject(packet, cycle):
+            packets.append(packet)
+            original_inject(packet, cycle)
+
+        network.routers[4].inject = tracking_inject
+        network.run(trace, engine="fast")
+        assert len(packets) == 90
+        cycles = [p.injected_cycle for p in packets]
+        assert cycles == sorted(cycles)
+        ids = [p.packet_id for p in packets]
+        assert ids == sorted(ids)

@@ -36,7 +36,7 @@ def _telemetry_off():
     obs.disable()
 
 
-def _tiny_run(seed=7):
+def _tiny_run(seed=7, engine="fast"):
     config = PearlConfig().replace(
         simulation=SimulationConfig(
             warmup_cycles=500, measure_cycles=3_000, seed=seed
@@ -49,7 +49,7 @@ def _tiny_run(seed=7):
     network = PearlNetwork(
         config, power_policy=PowerPolicyKind.REACTIVE, seed=seed
     )
-    return network.run(trace)
+    return network.run(trace, engine=engine)
 
 
 def _canonical(result):
@@ -97,6 +97,24 @@ class TestNetworkInstrumentation:
         with obs.session():
             instrumented = _canonical(_tiny_run())
         assert plain == instrumented
+
+    def test_fast_engine_reports_same_sim_metrics(self):
+        """An instrumented fast-engine run matches the reference run.
+
+        Skipped-span accounting folds into the existing counters (DBA
+        split tallies, link samples, laser state cycles) — no new
+        metric names, no diverging values.  Wall-clock trace spans are
+        excluded: only the simulated quantities must agree.
+        """
+        with obs.session():
+            reference = _canonical(_tiny_run(engine="reference"))
+            ref_metrics = OBS.registry.snapshot()
+        with obs.session():
+            fast = _canonical(_tiny_run(engine="fast"))
+            fast_metrics = OBS.registry.snapshot()
+        assert reference == fast
+        assert sorted(ref_metrics) == sorted(fast_metrics)
+        assert ref_metrics == fast_metrics
 
     def test_disabled_session_records_nothing(self):
         with obs.session():

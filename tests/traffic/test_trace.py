@@ -109,3 +109,62 @@ class TestTraceCursor:
 
     def test_empty_trace_exhausted_immediately(self):
         assert TraceCursor(Trace([])).exhausted
+
+    def test_next_cycle_tracks_head(self):
+        trace = Trace([_event(cycle=c) for c in (2, 2, 7)])
+        cursor = TraceCursor(trace)
+        assert cursor.next_cycle() == 2
+        cursor.pop_ready(2)
+        assert cursor.next_cycle() == 7
+        cursor.pop_ready(7)
+        assert cursor.next_cycle() is None
+        assert cursor.exhausted
+
+    def test_horizon_edge_no_skip_no_double_pop(self):
+        """Jumping exactly to an event's cycle pops it exactly once.
+
+        The fast engine's horizon lands precisely on the next event's
+        cycle; popping at that edge must deliver every event of that
+        cycle once, and a re-pop at the same cycle must return nothing.
+        """
+        trace = Trace([_event(cycle=c) for c in (5, 5, 5, 9)])
+        cursor = TraceCursor(trace)
+        assert cursor.pop_ready(4) == []
+        at_edge = cursor.pop_ready(5)
+        assert [e.cycle for e in at_edge] == [5, 5, 5]
+        assert cursor.pop_ready(5) == []
+        assert cursor.next_cycle() == 9
+        assert cursor.pop_ready(8) == []
+        assert len(cursor.pop_ready(9)) == 1
+        assert cursor.exhausted
+
+    def test_jump_equals_stepping(self):
+        """Cycle-by-cycle popping and horizon jumps yield identical events."""
+        cycles = [0, 0, 3, 3, 3, 4, 10, 17, 17, 30]
+        stepped = TraceCursor(Trace([_event(cycle=c) for c in cycles]))
+        jumped = TraceCursor(Trace([_event(cycle=c) for c in cycles]))
+        step_order = []
+        for cycle in range(31):
+            step_order.extend(e.cycle for e in stepped.pop_ready(cycle))
+        jump_order = []
+        cycle = 0
+        while not jumped.exhausted:
+            cycle = jumped.next_cycle()
+            jump_order.extend(e.cycle for e in jumped.pop_ready(cycle))
+        assert step_order == jump_order == sorted(cycles)
+        assert stepped.exhausted and jumped.exhausted
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_pop_partitions_events(self, cycles):
+        """Any pop sequence partitions the trace: no skips, no repeats."""
+        trace = Trace([_event(cycle=c) for c in cycles])
+        cursor = TraceCursor(trace)
+        seen = []
+        cycle = -1
+        while not cursor.exhausted:
+            cycle = cursor.next_cycle()
+            popped = cursor.pop_ready(cycle)
+            assert popped, "pop at next_cycle() must return events"
+            seen.extend(e.cycle for e in popped)
+        assert seen == sorted(cycles)
