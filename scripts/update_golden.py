@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the golden-run snapshots under tests/golden/snapshots/.
+
+Run after an *intentional* simulator behaviour change and commit the
+resulting diff together with the code change.  Each case is simulated
+on both cycle engines and the script refuses to write a snapshot the
+engines disagree on — a divergence means a bug, not a new golden.
+
+Usage: python scripts/update_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from tests.golden.golden_cases import (  # noqa: E402
+    ALLOCATORS,
+    POLICIES,
+    run_case,
+)
+
+
+def main() -> int:
+    outdir = ROOT / "tests" / "golden" / "snapshots"
+    outdir.mkdir(parents=True, exist_ok=True)
+    for policy in POLICIES:
+        for allocator in ALLOCATORS:
+            fast = run_case(policy, allocator, "fast")
+            reference = run_case(policy, allocator, "reference")
+            if fast != reference:
+                print(
+                    f"ENGINE DIVERGENCE for {policy}_{allocator}: refusing "
+                    "to write a snapshot (fix the engines first)",
+                    file=sys.stderr,
+                )
+                return 1
+            path = outdir / f"{policy}_{allocator}.json"
+            path.write_text(
+                json.dumps(fast, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {path.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

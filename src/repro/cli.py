@@ -107,6 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cycle engine: event-horizon fast-forwarding (default) or "
         "plain cycle-by-cycle stepping (bit-identical results)",
     )
+    simp.add_argument(
+        "--faults",
+        default=None,
+        metavar="PATH",
+        help="fault schedule (YAML or JSON, see docs/resilience.md); "
+        "an empty schedule is bit-identical to running without one",
+    )
     _add_trace_args(simp)
     return parser
 
@@ -279,6 +286,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         print("training ML model (quick mode)...")
         ml_model = train_default_model(args.window, quick=True).model
+    faults = None
+    if args.faults:
+        from .faults import load_fault_schedule
+
+        try:
+            faults = load_fault_schedule(args.faults)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--faults {args.faults}: {exc}")
     network = PearlNetwork(
         config,
         power_policy=policy,
@@ -286,6 +301,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         static_state=args.static_state if policy is PowerPolicyKind.STATIC else None,
         ml_model=ml_model,
         seed=args.seed,
+        faults=faults,
     )
     result = network.run(trace, engine=args.sim_engine)
     print(f"pair: {args.cpu}+{args.gpu} policy={args.policy} window={args.window}")
@@ -295,6 +311,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "  residency:",
         {s: round(f, 3) for s, f in result.state_residency.items()},
     )
+    if faults is not None and not faults.is_empty:
+        stats = result.stats
+        print(
+            "  faults: crc_errors=%d retransmissions=%d packets_dropped=%d "
+            "clamp_events=%d"
+            % (
+                stats.crc_errors,
+                stats.retransmissions,
+                stats.packets_dropped,
+                stats.fault_clamp_events,
+            )
+        )
     return 0
 
 

@@ -12,6 +12,7 @@ the paper exactly:
 * :class:`PowerScalingConfig` — Algorithm 1 steps 6-8 thresholds.
 * :class:`MLConfig` — ridge-regression training setup (Sec. III-D, IV-A).
 * :class:`CMeshConfig` — electrical baseline (Sec. IV).
+* :class:`ResilienceConfig` — CRC/NACK retransmission under faults.
 * :class:`SimulationConfig` — run lengths, warm-up, seeds.
 """
 
@@ -353,6 +354,30 @@ class ElectricalPowerConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Recovery behaviour under injected faults (see ``repro.faults``).
+
+    A packet failing its receiver-side CRC is NACKed back to its source
+    router, which re-enters it at the head of its input pool after
+    ``nack_latency_cycles`` plus a linear per-attempt backoff.  After
+    ``retry_limit`` failed retransmissions the packet is dropped and
+    counted; a limit of 0 drops on the first CRC error.
+    """
+
+    retry_limit: int = 4
+    nack_latency_cycles: int = 8
+    retry_backoff_cycles: int = 16
+
+    def __post_init__(self) -> None:
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit cannot be negative")
+        if self.nack_latency_cycles < 1:
+            raise ValueError("nack_latency_cycles must be at least 1")
+        if self.retry_backoff_cycles < 0:
+            raise ValueError("retry_backoff_cycles cannot be negative")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Run-control parameters shared by all experiments."""
 
@@ -381,6 +406,7 @@ class PearlConfig:
     dba: DBAConfig = field(default_factory=DBAConfig)
     power_scaling: PowerScalingConfig = field(default_factory=PowerScalingConfig)
     ml: MLConfig = field(default_factory=MLConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
 
     def replace(self, **kwargs) -> "PearlConfig":

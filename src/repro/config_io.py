@@ -21,6 +21,7 @@ from .config import (
     PearlConfig,
     PhotonicConfig,
     PowerScalingConfig,
+    ResilienceConfig,
     SimulationConfig,
 )
 
@@ -34,6 +35,7 @@ _SECTIONS: Dict[str, type] = {
     "dba": DBAConfig,
     "power_scaling": PowerScalingConfig,
     "ml": MLConfig,
+    "resilience": ResilienceConfig,
     "simulation": SimulationConfig,
 }
 

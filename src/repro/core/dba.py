@@ -16,10 +16,42 @@ The paper's brute-force search fixed the upper bounds at 16% (CPU) and
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
 
 from ..config import DBAConfig
 from ..noc.buffer import PartitionedBuffer
+from ..noc.packet import CoreType
 from .wavelength import BandwidthAllocation
+
+
+def remap_wavelengths(
+    allocation: BandwidthAllocation, surviving: Sequence[int]
+) -> Dict[CoreType, Tuple[int, ...]]:
+    """Re-run a CPU/GPU split over an explicit surviving-wavelength set.
+
+    When ring-trimming drift disables individual wavelengths (see
+    :mod:`repro.faults`), the allocator's fractions are re-applied to
+    the rings that survive: CPU takes the low end, GPU the high end,
+    each side rounded to whole rings but guaranteed at least one ring
+    while its fraction is nonzero.  Every returned index is drawn from
+    ``surviving``, so a disabled ring is never assigned — the property
+    the resilience test-suite pins.
+    """
+    rings = tuple(sorted(surviving))
+    count = len(rings)
+    if count == 0:
+        return {CoreType.CPU: (), CoreType.GPU: ()}
+    if allocation.gpu_fraction == 0.0:
+        cpu_count = count if allocation.cpu_fraction > 0.0 else 0
+    elif allocation.cpu_fraction == 0.0:
+        cpu_count = 0
+    else:
+        cpu_count = int(round(allocation.cpu_fraction * count))
+        cpu_count = min(max(cpu_count, 1), count - 1)
+    return {
+        CoreType.CPU: rings[:cpu_count],
+        CoreType.GPU: rings[cpu_count:],
+    }
 
 
 @dataclass(frozen=True)

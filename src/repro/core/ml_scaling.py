@@ -83,19 +83,31 @@ class StateSelector:
         )
         return sorted(states)
 
-    def state_for_packets(self, predicted_packets: float) -> int:
+    def state_for_packets(
+        self, predicted_packets: float, max_state: Optional[int] = None
+    ) -> int:
         """The cheapest state whose capacity covers the prediction.
 
         ``headroom`` scales the predicted demand up before the Eq. 7
         comparison — the paper's thresholds were "chosen to balance
         performance and power", i.e. with slack for bandwidth lost to
         the CPU/GPU split and laser-stabilization stalls.
+
+        ``max_state`` restricts the candidates to sustainable states
+        when degraded hardware (wavelength faults, laser droop) has
+        shrunk the ladder; demand exceeding every sustainable capacity
+        selects the largest state still allowed.
         """
         demand = max(predicted_packets, 0.0) * self.headroom
-        for state in self.candidate_states():
+        candidates = self.candidate_states()
+        if max_state is not None:
+            allowed = [s for s in candidates if s <= max_state]
+            if allowed:
+                candidates = allowed
+        for state in candidates:
             if demand <= self.window_capacity_packets(state):
                 return state
-        return self.ladder.max_state
+        return candidates[-1]
 
 
 class MLPowerScaler:
@@ -135,15 +147,23 @@ class MLPowerScaler:
         """True on this router's staggered window boundaries."""
         return (cycle - self.offset) % self._window == 0
 
-    def decide(self, features: np.ndarray) -> int:
-        """Predict next-window injections and pick the wavelength state."""
+    def decide(
+        self, features: np.ndarray, max_state: Optional[int] = None
+    ) -> int:
+        """Predict next-window injections and pick the wavelength state.
+
+        ``max_state`` caps the selectable ladder when faults have shrunk
+        the sustainable state set (the router passes its fault
+        injector's ``max_usable_state``), making the scaler fault-aware
+        rather than clamped after the fact.
+        """
         features = np.asarray(features, dtype=float).ravel()
         if features.shape[0] != NUM_FEATURES:
             raise ValueError(
                 f"expected {NUM_FEATURES} features, got {features.shape[0]}"
             )
         predicted = float(self.model.predict(features))
-        state = self.selector.state_for_packets(predicted)
+        state = self.selector.state_for_packets(predicted, max_state=max_state)
         self.predictions.append(predicted)
         self.decisions.append(state)
         if OBS.enabled:

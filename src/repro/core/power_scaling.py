@@ -93,14 +93,18 @@ class LaserBank:
 
         A downward change applies immediately; an upward change starts
         the stabilization countdown (shortening an in-flight one is not
-        modelled — re-requests replace the pending target).
+        modelled — re-requests replace the pending target).  Requesting
+        the *current* state while an upward transition is pending
+        cancels the transition: the active lasers are already lit, so
+        no dark stabilization span is owed (fault clamps re-request the
+        active state exactly this way mid-stabilization).
         """
         if new_state not in self.ladder.states:
             raise ValueError(f"unknown wavelength state {new_state}")
         if new_state == self._state and self._pending_state is None:
             return
         self.transitions += 1
-        if new_state < self._state:
+        if new_state <= self._state:
             self._state = new_state
             self._pending_state = None
             self._stabilize_remaining = 0

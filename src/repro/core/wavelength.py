@@ -70,6 +70,18 @@ class WavelengthLadder:
         idx = self.index_of(state)
         return self._states[min(idx + 1, len(self._states) - 1)]
 
+    def max_state_for_capacity(self, capacity: int) -> Optional[int]:
+        """The largest state sustainable with ``capacity`` usable WLs.
+
+        Returns ``None`` when even the lowest rung needs more
+        wavelengths than survive (the link is effectively down) — the
+        fault layer uses this to derive its usable-state cap.
+        """
+        for state in self._states:
+            if state <= capacity:
+                return state
+        return None
+
     def clamp(self, state: int, allow_lowest: bool) -> int:
         """Clamp ``state`` to the ladder, optionally excluding 8 WL."""
         allowed = self._states if allow_lowest else self.states_without_lowest()

@@ -24,6 +24,7 @@ from . import (
     fig11_turn_on,
     headline,
     ml_quality,
+    resilience,
     tables,
 )
 from .cache import ResultCache
@@ -55,6 +56,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ml_quality": ml_quality.run,
     "ablations": ablations.run,
     "saturation": saturation.run,
+    "resilience": resilience.run,
     "arbitration": arbitration.run,
     "thermal_study": thermal_study.run,
     "headline": headline.run,

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from .. import obs
 from ..config import PearlConfig
 from ..config_io import config_to_dict
+from ..faults import FaultSchedule
 from ..noc.packet import CoreType
 from ..noc.stats import NetworkStats
 from ..noc.router import PowerPolicyKind
@@ -124,6 +125,9 @@ class JobSpec:
     static_state: Optional[int] = None
     allow_8wl: Optional[bool] = None
     ml_model_path: Optional[str] = None
+    #: Fault schedule applied to pearl jobs (frozen, picklable; ``None``
+    #: means fault-free and hashes identically to pre-fault cache keys).
+    faults: Optional[FaultSchedule] = None
     # -- cmesh --
     bandwidth_divisor: Optional[int] = None
     # -- thermal --
@@ -153,6 +157,8 @@ class JobSpec:
             ),
             "bandwidth_divisor": self.bandwidth_divisor,
         }
+        if self.faults is not None and not self.faults.is_empty:
+            data["faults"] = self.faults.payload()
         if self.kind == "thermal":
             data["thermal"] = {
                 "state": self.wavelength_state,
@@ -210,6 +216,7 @@ def pearl_job(
     static_state: Optional[int] = None,
     allow_8wl: Optional[bool] = None,
     ml_model_path: Union[str, "os.PathLike[str]", None] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> JobSpec:
     """A PEARL-variant simulation job."""
     return JobSpec(
@@ -222,6 +229,7 @@ def pearl_job(
         static_state=static_state,
         allow_8wl=allow_8wl,
         ml_model_path=str(ml_model_path) if ml_model_path else None,
+        faults=faults,
     )
 
 
@@ -335,6 +343,7 @@ def _run_pearl_job(spec: JobSpec) -> JobResult:
         ml_model=ml_model,
         allow_8wl=spec.allow_8wl,
         seed=spec.seed,
+        faults=spec.faults,
     )
     run = network.run(spec.trace.build(spec.config))
     return JobResult(

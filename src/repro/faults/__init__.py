@@ -1,0 +1,37 @@
+"""Fault injection and resilience for the photonic interconnect.
+
+The subsystem has two halves:
+
+* a *schedule* (:mod:`repro.faults.schedule`) — a frozen, seedable
+  description of wavelength failures, laser power droop and transient
+  bit errors, loadable from YAML/JSON (``pearl-sim simulate --faults``);
+* the *runtime* (:mod:`repro.faults.injector`) — per-router capacity
+  views and the dedicated bit-error RNG the network consumes.
+
+The resilience mechanisms that answer the faults live in the simulator
+itself: per-packet CRC + NACK retransmission in
+:class:`~repro.noc.network.PearlNetwork`, power-state clamping and
+wavelength remapping in :class:`~repro.noc.router.PearlRouter`.  See
+``docs/resilience.md`` for the fault model and the YAML format.
+"""
+
+from .injector import NetworkFaultContext, RouterFaultInjector
+from .schedule import (
+    BitErrorFault,
+    FaultSchedule,
+    LaserDroopFault,
+    WavelengthFault,
+    load_fault_schedule,
+    uniform_wavelength_fault,
+)
+
+__all__ = [
+    "BitErrorFault",
+    "FaultSchedule",
+    "LaserDroopFault",
+    "NetworkFaultContext",
+    "RouterFaultInjector",
+    "WavelengthFault",
+    "load_fault_schedule",
+    "uniform_wavelength_fault",
+]

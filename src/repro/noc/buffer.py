@@ -76,6 +76,21 @@ class InputBuffer:
         self._queue.append(packet)
         self._occupied_slots += packet.size_flits
 
+    def push_front(self, packet: Packet) -> None:
+        """Enqueue at the head of the FIFO.
+
+        Used by the CRC/NACK retransmission path so a retried packet
+        resumes head-of-line rather than requeueing behind traffic that
+        arrived after it.
+        """
+        if not self.can_accept(packet):
+            raise BufferFullError(
+                f"{self.name}: {packet.size_flits} flits do not fit in "
+                f"{self.free_slots} free slots"
+            )
+        self._queue.appendleft(packet)
+        self._occupied_slots += packet.size_flits
+
     def peek(self) -> Optional[Packet]:
         """The packet at the head of the FIFO without removing it."""
         return self._queue[0] if self._queue else None

@@ -27,6 +27,7 @@ import numpy as np
 from ..cache.memory import MemoryController
 from ..config import PearlConfig
 from ..core.ml_scaling import MLPowerScaler, StateSelector
+from ..faults import FaultSchedule, NetworkFaultContext, RouterFaultInjector
 from ..obs import OBS
 from ..ml.ridge import RidgeRegression
 from .packet import CacheLevel, CoreType, Packet, PacketClass
@@ -88,6 +89,7 @@ class PearlNetwork:
         responder: Optional[ResponderConfig] = None,
         l3_parallel_links: int = 8,
         seed: int = 1,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config or PearlConfig()
         self.responder = responder or ResponderConfig()
@@ -151,6 +153,42 @@ class PearlNetwork:
         self._injection_backlog: List = [
             deque() for _ in range(arch.num_routers)
         ]
+        # Fault injection (repro.faults).  An empty (or absent) schedule
+        # installs nothing, so fault-free runs stay bit-identical to
+        # builds without the subsystem.
+        self.faults = faults
+        self._fault_context: Optional[NetworkFaultContext] = None
+        if faults is not None and not faults.is_empty:
+            self._fault_context = NetworkFaultContext(
+                faults, arch.num_routers
+            )
+            for router in self.routers:
+                router.attach_faults(
+                    RouterFaultInjector(
+                        faults,
+                        router.router_id,
+                        router.ladder,
+                        max_wavelengths=router.ladder.max_state,
+                    )
+                )
+        resilience = self.config.resilience
+        self._retry_limit = resilience.retry_limit
+        self._nack_latency = resilience.nack_latency_cycles
+        self._retry_backoff = resilience.retry_backoff_cycles
+        # (ready_cycle, sequence, packet) min-heap of NACKed packets
+        # waiting out their retry backoff, plus a per-router FIFO for
+        # retries whose input pool was full at reinjection time.
+        self._retransmits: List[Tuple[int, int, Packet]] = []
+        self._retransmit_backlog: List = [
+            deque() for _ in range(arch.num_routers)
+        ]
+
+    @property
+    def retransmit_queue_size(self) -> int:
+        """Packets awaiting (or stalled on) CRC retransmission."""
+        return len(self._retransmits) + sum(
+            len(backlog) for backlog in self._retransmit_backlog
+        )
 
     @property
     def injection_backlog_size(self) -> int:
@@ -242,6 +280,24 @@ class PearlNetwork:
         heappop = heapq.heappop
         heappush = heapq.heappush
         try_inject = self._try_inject
+        fault_context = self._fault_context
+        # 0. CRC retransmissions whose backoff expired re-enter their
+        #    source pool head-of-line (stalled retries first, in order).
+        if fault_context is not None:
+            retransmits = self._retransmits
+            retry_backlogs = self._retransmit_backlog
+            for router_id, retry_backlog in enumerate(retry_backlogs):
+                if retry_backlog:
+                    router = routers[router_id]
+                    while retry_backlog and router.reinject(retry_backlog[0]):
+                        retry_backlog.popleft()
+            while retransmits and retransmits[0][0] <= cycle:
+                _, _, packet = heappop(retransmits)
+                retry_backlog = retry_backlogs[packet.source]
+                if retry_backlog or not routers[packet.source].reinject(
+                    packet
+                ):
+                    retry_backlog.append(packet)
         # 1. Retry backlogged injections (stalled cores), oldest first;
         #    stop at the first packet that still does not fit.
         for router_id, backlog in enumerate(backlogs):
@@ -279,13 +335,19 @@ class PearlNetwork:
                 )
             on_link_sample(router._link_busy_this_cycle)
         self._sequence = sequence
-        # 6. Arrivals.
+        # 6. Arrivals.  Photonic arrivals are CRC-checked when a bit
+        #    error schedule is active; the local crossbar is electrical
+        #    and never corrupts.
         while in_flight and in_flight[0][0] <= cycle:
             _, _, transmission = heappop(in_flight)
             packet = transmission.packet
             destination = routers[packet.destination]
             if packet.source == packet.destination:
                 destination.deliver_local(packet)
+            elif fault_context is not None and fault_context.corrupts(
+                transmission.source_router, packet.size_flits, cycle
+            ):
+                self._handle_crc_error(packet, cycle)
             else:
                 destination.receive(packet)
         # 7. Ejection to cores (delivery + closed-loop responses).
@@ -293,13 +355,69 @@ class PearlNetwork:
         for router in routers:
             router.drain_ejection(cycle, on_delivered)
 
+    def _handle_crc_error(self, packet: Packet, cycle: int) -> None:
+        """One packet failed its arrival CRC: NACK + retry, or drop.
+
+        The receiver NACKs the source; after ``nack_latency_cycles``
+        plus a linear per-attempt backoff the source retransmits the
+        packet head-of-line.  A packet that exhausts ``retry_limit``
+        attempts is dropped (counted, so the conservation invariant
+        ``crc_errors == retransmissions + packets_dropped`` holds).
+        """
+        stats = self.stats
+        stats.crc_errors += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "faults/crc_errors",
+                help="packets that failed their arrival CRC check",
+            ).inc()
+        if packet.retries >= self._retry_limit:
+            stats.packets_dropped += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "faults/packets_dropped",
+                    help="packets dropped after exhausting the retry budget",
+                ).inc()
+                OBS.tracer.instant(
+                    "packet_dropped",
+                    "faults",
+                    cycle,
+                    source=packet.source,
+                    destination=packet.destination,
+                    retries=packet.retries,
+                )
+            return
+        packet.retries += 1
+        stats.retransmissions += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "faults/retransmissions",
+                help="CRC-triggered retransmission attempts scheduled",
+            ).inc()
+        ready = (
+            cycle + self._nack_latency + self._retry_backoff * packet.retries
+        )
+        self._sequence += 1
+        heapq.heappush(
+            self._retransmits, (ready, self._sequence, packet)
+        )
+
     # -- fast-forwarding (event-horizon) engine -------------------------------
 
     def _quiescent(self) -> bool:
-        """True when no packet anywhere could move this cycle."""
+        """True when no packet anywhere could move this cycle.
+
+        Retransmissions still waiting out their backoff live in the
+        heap and bound the horizon instead; ones stalled on a full pool
+        are retried every cycle, so they block quiescence outright.
+        """
         for backlog in self._injection_backlog:
             if backlog:
                 return False
+        if self._fault_context is not None and any(
+            self._retransmit_backlog
+        ):
+            return False
         for router in self.routers:
             if not router.is_quiescent():
                 return False
@@ -325,6 +443,8 @@ class PearlNetwork:
             horizon = self._responses[0][0]
         if self._in_flight and self._in_flight[0][0] < horizon:
             horizon = self._in_flight[0][0]
+        if self._retransmits and self._retransmits[0][0] < horizon:
+            horizon = self._retransmits[0][0]
         if horizon <= cycle:
             return cycle
         for router in self.routers:
@@ -509,7 +629,32 @@ class PearlNetwork:
         )
         self.stats.ml_energy_j = ml
 
+    def pending_packet_census(self) -> Dict[str, int]:
+        """Where every injected-but-undelivered packet currently lives.
+
+        Backs the conservation property of the resilience test-suite:
+        with no warm-up, ``packets_injected`` always equals delivered +
+        dropped + the sum of this census (nothing is silently lost, no
+        matter what the fault schedule did).
+        """
+        buffered = 0
+        ejecting = 0
+        for router in self.routers:
+            buffered += router.buffers.total_packets
+            ejecting += len(router._ejection_backlog)
+            for pool in router.ejection.values():
+                ejecting += len(pool)
+        return {
+            "buffered": buffered,
+            "ejecting": ejecting,
+            "in_flight": len(self._in_flight),
+            "retransmit_pending": self.retransmit_queue_size,
+        }
+
     def _result(self) -> PearlRunResult:
+        self.stats.fault_clamp_events = sum(
+            router.fault_clamp_events for router in self.routers
+        )
         total_cycles = 0
         per_state: Dict[int, int] = {
             s: 0 for s in self.routers[0].ladder.states

@@ -102,6 +102,8 @@ class Packet:
     packet_id: int = field(default_factory=_next_packet_id)
     injected_cycle: Optional[int] = None
     received_cycle: Optional[int] = None
+    #: CRC-triggered retransmission attempts so far (see repro.faults).
+    retries: int = 0
 
     def __post_init__(self) -> None:
         if self.size_flits <= 0:

@@ -24,13 +24,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum, unique
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..config import PearlConfig
 from ..core.adaptive import AdaptiveReactiveScaler
-from ..core.dba import DynamicBandwidthAllocator, FCFSAllocator
+from ..core.dba import DynamicBandwidthAllocator, FCFSAllocator, remap_wavelengths
+from ..faults.injector import RouterFaultInjector
 from ..core.ml_scaling import MLPowerScaler
 from ..core.power_scaling import LaserBank, ReactivePowerScaler, StaticPowerPolicy
 from ..core.wavelength import WavelengthLadder
@@ -203,6 +204,80 @@ class PearlRouter:
             id(allocation): label
             for allocation, label in self.dba.split_labels.items()
         }
+        # Fault-injection hooks (repro.faults).  ``_desired_state`` is
+        # the policy's *unclamped* intent, kept so a clearing fault can
+        # re-light the link without waiting for the next window.
+        self._fault_injector: Optional[RouterFaultInjector] = None
+        self._desired_state = self.laser.state
+        self.fault_clamp_events = 0
+
+    # -- fault injection -----------------------------------------------------
+
+    def attach_faults(self, injector: RouterFaultInjector) -> None:
+        """Install this router's fault-injection view (before cycle 0)."""
+        self._fault_injector = injector
+
+    def _request_laser_state(self, state: int, cycle: int) -> None:
+        """Route a policy's state request through the fault clamp.
+
+        The unclamped intent is remembered so fault transitions can
+        re-issue it: a clearing fault restores the policy's state (with
+        the usual stabilization delay), an onsetting one clamps down
+        immediately.  Without an injector this is a plain pass-through.
+        """
+        self._desired_state = state
+        injector = self._fault_injector
+        if injector is not None:
+            clamped = injector.clamp_state(state)
+            if clamped != state:
+                self.fault_clamp_events += 1
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "faults/clamp_events",
+                        help="laser-state requests clamped by active faults",
+                    ).inc()
+                    OBS.tracer.instant(
+                        "fault_clamp",
+                        "faults",
+                        cycle,
+                        router=self.router_id,
+                        requested=state,
+                        clamped=clamped,
+                    )
+                state = clamped
+        self.laser.request_state(state)
+
+    def wavelength_assignment(self) -> Dict[CoreType, Tuple[int, ...]]:
+        """The current CPU/GPU ring assignment over usable wavelengths.
+
+        Re-runs the allocator's split over the surviving rings of the
+        active state — the remapping that keeps the DBA split away from
+        trim-drifted wavelengths.  Reporting/verification helper, never
+        on the cycle path.
+        """
+        allocation = self.dba.allocate_from_buffers(self.buffers)
+        injector = self._fault_injector
+        if injector is not None:
+            rings = injector.surviving_wavelengths(limit=self.laser.state)
+        else:
+            rings = tuple(range(self.laser.state))
+        return remap_wavelengths(allocation, rings)
+
+    def reinject(self, packet: Packet) -> bool:
+        """Queue a CRC-failed packet for retransmission, head-of-line.
+
+        Returns False when the input pool cannot take the packet back
+        (the network keeps it in its retransmit backlog and retries next
+        cycle).  Run statistics are *not* touched: the packet was
+        already counted at its original injection, so a retry changes
+        delivery latency, not the injected count.
+        """
+        pool = self.buffers.pool(packet.core_type)
+        if not pool.can_accept(packet):
+            return False
+        pool.push_front(packet)
+        self.features.on_injected(packet)
+        return True
 
     # -- injection / ejection ------------------------------------------------
 
@@ -274,17 +349,24 @@ class PearlRouter:
         state_before = self.laser.state
 
         if self.reactive is not None:  # REACTIVE and ADAPTIVE policies
-            self.laser.request_state(self.reactive.close_window())
+            self._request_laser_state(self.reactive.close_window(), cycle)
         elif self.policy_kind is PowerPolicyKind.ML:
             assert self.ml_scaler is not None
             self.ml_scaler.record_label(int(label))
-            state = self.ml_scaler.decide(snapshot)
-            self.laser.request_state(state)
+            # Under faults the scaler is degradation-aware: it only
+            # considers states the surviving hardware can sustain.
+            max_state = (
+                self._fault_injector.max_usable_state
+                if self._fault_injector is not None
+                else None
+            )
+            state = self.ml_scaler.decide(snapshot, max_state=max_state)
+            self._request_laser_state(state, cycle)
             self.ml_energy_j += ML_INFERENCE_ENERGY_J
         elif self.policy_kind is PowerPolicyKind.RANDOM:
             states = self.ladder.states_without_lowest()
             state = int(self._rng.choice(states))
-            self.laser.request_state(state)
+            self._request_laser_state(state, cycle)
         # STATIC: nothing to decide.
 
         if OBS.enabled:
@@ -346,6 +428,13 @@ class PearlRouter:
 
     def tick_control(self, cycle: int) -> None:
         """Per-cycle bookkeeping: occupancies, scalers, laser power."""
+        injector = self._fault_injector
+        if injector is not None and injector.advance_to(cycle):
+            # A fault started or cleared this cycle: re-issue the
+            # policy's last intent so the clamp tracks the new capacity
+            # (down immediately on onset, re-lighting through the usual
+            # stabilization on clear).
+            self._request_laser_state(self._desired_state, cycle)
         buffers = self.buffers
         if self.reactive is not None:
             self.reactive.observe(buffers.combined_occupancy)
@@ -375,6 +464,13 @@ class PearlRouter:
         local_engine = self._local_engine
         router_id = self.router_id
         can_transmit = laser.can_transmit
+        if (
+            self._fault_injector is not None
+            and self._fault_injector.link_down
+        ):
+            # Fewer rings survive than the lowest ladder rung needs: the
+            # photonic link is dark (the local crossbar still works).
+            can_transmit = False
         serialization = self.ladder.serialization_cycles(laser.state)
         ceil = math.ceil
         link_busy = False
@@ -478,6 +574,14 @@ class PearlRouter:
                 busy_until = engine.busy_until
         if cycle < busy_until < bound:
             bound = busy_until
+        injector = self._fault_injector
+        if injector is not None:
+            # A fault start/end changes the capacity view (and possibly
+            # the laser state): that cycle must execute in full so both
+            # engines apply the transition at the same point.
+            event = injector.next_event()
+            if event is not None and event < bound:
+                bound = event if event > cycle else cycle
         return bound
 
     def fast_forward(self, cycle: int, cycles: int) -> bool:
@@ -491,7 +595,22 @@ class PearlRouter:
         counts, and the link-busy flag is constant over the span.
         Returns that flag so the caller can batch the per-cycle link
         sample into the run statistics.
+
+        A fault transition inside the span would invalidate the closed
+        forms (the laser clamp and capacity view are piecewise-constant
+        between fault events), so — like
+        :meth:`~repro.core.power_scaling.LaserBank.advance` refusing to
+        cross a stabilization completion — the span is rejected rather
+        than silently mis-integrated.  ``skip_bound`` already stops at
+        the next fault event, so a correct caller never trips this.
         """
+        injector = self._fault_injector
+        if injector is not None:
+            event = injector.next_event()
+            if event is not None and cycle < event < cycle + cycles:
+                raise ValueError(
+                    "cannot fast-forward across a fault transition"
+                )
         if self.reactive is not None:
             self.reactive.observe_idle(cycles)
         link_busy = False
@@ -518,3 +637,4 @@ class PearlRouter:
         """Clear laser/ML energy integrals (warm-up boundary)."""
         self.laser.reset_stats()
         self.ml_energy_j = 0.0
+        self.fault_clamp_events = 0

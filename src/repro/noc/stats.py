@@ -55,6 +55,12 @@ class NetworkStats:
         self.receiver_energy_j = 0.0
         self.ml_energy_j = 0.0
         self.electrical_energy_j = 0.0
+        # Fault/resilience counters (zero unless a fault schedule is
+        # active — see repro.faults):
+        self.crc_errors = 0
+        self.retransmissions = 0
+        self.packets_dropped = 0
+        self.fault_clamp_events = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -78,6 +84,10 @@ class NetworkStats:
         self.receiver_energy_j = 0.0
         self.ml_energy_j = 0.0
         self.electrical_energy_j = 0.0
+        self.crc_errors = 0
+        self.retransmissions = 0
+        self.packets_dropped = 0
+        self.fault_clamp_events = 0
 
     def finish(self, cycle: int) -> None:
         """Record the final simulated cycle."""
@@ -233,6 +243,13 @@ class NetworkStats:
         "electrical_energy_j",
     )
 
+    _FAULT_FIELDS = (
+        "crc_errors",
+        "retransmissions",
+        "packets_dropped",
+        "fault_clamp_events",
+    )
+
     def to_dict(self, include_latencies: bool = True) -> Dict[str, object]:
         """Lossless plain-dict form (the result cache persists this).
 
@@ -262,6 +279,8 @@ class NetworkStats:
         }
         for name in self._ENERGY_FIELDS:
             data[name] = getattr(self, name)
+        for name in self._FAULT_FIELDS:
+            data[name] = getattr(self, name)
         if include_latencies:
             data["latencies"] = list(self._latencies)
         return data
@@ -287,6 +306,9 @@ class NetworkStats:
         stats.final_cycle = int(data["final_cycle"])
         for name in cls._ENERGY_FIELDS:
             setattr(stats, name, float(data[name]))
+        for name in cls._FAULT_FIELDS:
+            # .get: dumps written before the fault layer carry no counters.
+            setattr(stats, name, int(data.get(name, 0)))
         stored = data.get("latencies", latencies)
         stats._latencies = [int(v) for v in stored]
         return stats
@@ -316,6 +338,10 @@ class NetworkStats:
             merged.final_cycle += part.measured_cycles
             merged._latencies.extend(part._latencies)
             for name in cls._ENERGY_FIELDS:
+                setattr(
+                    merged, name, getattr(merged, name) + getattr(part, name)
+                )
+            for name in cls._FAULT_FIELDS:
                 setattr(
                     merged, name, getattr(merged, name) + getattr(part, name)
                 )

@@ -119,6 +119,53 @@ class TestParallelMatchesSerial:
                 assert not result.ml_predictions
 
 
+class TestFaultedJobDeterminism:
+    """Fault counters (CRC, retransmissions, drops, clamps) must merge
+    identically whether jobs run serially or in a process pool."""
+
+    @pytest.fixture(scope="class")
+    def faulted_specs(self, ml_model_file):
+        from repro.faults import (
+            BitErrorFault,
+            FaultSchedule,
+            WavelengthFault,
+        )
+
+        config, _ = ml_model_file
+        total = config.simulation.total_cycles
+        schedule = FaultSchedule(
+            wavelength_faults=(
+                WavelengthFault(wavelengths=24, start=total // 3),
+            ),
+            bit_error_faults=(
+                BitErrorFault(rate=0.001, start=total // 4),
+            ),
+            seed=5,
+        )
+        pairs = experiment_pairs(quick=True)[:2]
+        return [
+            pearl_job(config, pair_spec(pair, 1 + i), seed=1 + i, faults=schedule)
+            for i, pair in enumerate(pairs)
+        ]
+
+    def test_faults_change_the_cache_key(self, ml_model_file, faulted_specs):
+        config, _ = ml_model_file
+        pair = experiment_pairs(quick=True)[0]
+        clean = pearl_job(config, pair_spec(pair, 1), seed=1)
+        assert clean.payload() != faulted_specs[0].payload()
+        assert "faults" not in clean.payload()
+        assert "faults" in faulted_specs[0].payload()
+
+    def test_faulted_jobs2_identical_to_jobs1(self, faulted_specs):
+        serial = ExperimentEngine(jobs=1).run(faulted_specs)
+        parallel = ExperimentEngine(jobs=2).run(faulted_specs)
+        for a, b in zip(serial, parallel):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+        # The schedule was actually live in the workers:
+        assert any(r.stats.crc_errors > 0 for r in serial)
+        assert any(r.stats.fault_clamp_events > 0 for r in serial)
+
+
 class TestEngineValidation:
     def test_zero_jobs_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,191 @@
+"""Unit tests for the runtime fault state (injector + network context)."""
+
+import pytest
+
+from repro.config import PearlConfig, PhotonicConfig
+from repro.core.wavelength import WavelengthLadder
+from repro.faults import (
+    BitErrorFault,
+    FaultSchedule,
+    LaserDroopFault,
+    NetworkFaultContext,
+    RouterFaultInjector,
+    WavelengthFault,
+)
+
+
+def _ladder() -> WavelengthLadder:
+    return WavelengthLadder(PhotonicConfig())
+
+
+def _injector(schedule, router_id=0):
+    return RouterFaultInjector(
+        schedule, router_id, _ladder(), max_wavelengths=64
+    )
+
+
+class TestRouterFaultInjector:
+    def test_no_faults_full_capacity(self):
+        inj = _injector(FaultSchedule())
+        assert inj.capacity == 64
+        assert inj.max_usable_state == 64
+        assert not inj.link_down
+        assert inj.next_event() is None
+        assert inj.clamp_state(64) == 64
+
+    def test_fault_applies_at_start_and_clears_at_end(self):
+        schedule = FaultSchedule(
+            wavelength_faults=(
+                WavelengthFault(wavelengths=20, start=10, end=30),
+            )
+        )
+        inj = _injector(schedule)
+        assert inj.capacity == 64
+        assert inj.advance_to(10)  # onset
+        assert inj.capacity == 44
+        assert inj.max_usable_state == 32
+        assert not inj.advance_to(29)  # nothing new
+        assert inj.advance_to(30)  # clear
+        assert inj.capacity == 64
+        assert inj.max_usable_state == 64
+
+    def test_next_event_tracks_unconsumed_boundaries(self):
+        schedule = FaultSchedule(
+            wavelength_faults=(
+                WavelengthFault(wavelengths=4, start=10, end=30),
+            )
+        )
+        inj = _injector(schedule)
+        assert inj.next_event() == 10
+        inj.advance_to(10)
+        assert inj.next_event() == 30
+        inj.advance_to(30)
+        assert inj.next_event() is None
+
+    def test_droop_caps_usable_state(self):
+        schedule = FaultSchedule(
+            droop_faults=(LaserDroopFault(max_state=16, start=0),)
+        )
+        inj = _injector(schedule)
+        inj.advance_to(0)
+        assert inj.max_usable_state == 16
+        assert inj.clamp_state(64) == 16
+        assert inj.clamp_state(8) == 8
+
+    def test_link_down_when_capacity_below_ladder_floor(self):
+        schedule = FaultSchedule(
+            wavelength_faults=(
+                WavelengthFault(wavelengths=60, start=0),
+            )
+        )
+        inj = _injector(schedule)
+        inj.advance_to(0)
+        assert inj.capacity == 4
+        assert inj.max_usable_state is None
+        assert inj.link_down
+        # The clamp parks the lasers at the ladder floor.
+        assert inj.clamp_state(64) == 8
+
+    def test_other_router_unaffected(self):
+        schedule = FaultSchedule(
+            wavelength_faults=(
+                WavelengthFault(wavelengths=32, router=5, start=0),
+            )
+        )
+        inj = _injector(schedule, router_id=0)
+        inj.advance_to(0)
+        assert inj.capacity == 64
+
+    def test_surviving_wavelengths_skips_disabled(self):
+        schedule = FaultSchedule(
+            wavelength_faults=(
+                WavelengthFault(indices=(0, 1, 2), start=0),
+            )
+        )
+        inj = _injector(schedule)
+        inj.advance_to(0)
+        assert inj.surviving_wavelengths(limit=4) == (3, 4, 5, 6)
+        assert 0 not in inj.surviving_wavelengths()
+        assert len(inj.surviving_wavelengths()) == 61
+
+
+class TestNetworkFaultContext:
+    def test_no_bit_errors_never_draws(self):
+        schedule = FaultSchedule(
+            wavelength_faults=(WavelengthFault(wavelengths=4, start=0),)
+        )
+        context = NetworkFaultContext(schedule, num_routers=17)
+        assert not context.has_bit_errors
+        state_before = context._rng.bit_generator.state
+        assert not context.corrupts(0, 5, 100)
+        assert context._rng.bit_generator.state == state_before
+
+    def test_inactive_rate_never_draws(self):
+        schedule = FaultSchedule(
+            bit_error_faults=(BitErrorFault(rate=0.5, start=100, end=200),)
+        )
+        context = NetworkFaultContext(schedule, num_routers=17)
+        state_before = context._rng.bit_generator.state
+        assert not context.corrupts(0, 5, 50)  # before onset
+        assert not context.corrupts(0, 5, 200)  # after clear
+        assert context._rng.bit_generator.state == state_before
+
+    def test_rate_one_always_corrupts(self):
+        schedule = FaultSchedule(
+            bit_error_faults=(BitErrorFault(rate=1.0, start=0),)
+        )
+        context = NetworkFaultContext(schedule, num_routers=17)
+        assert all(context.corrupts(r, 1, 5) for r in range(17))
+
+    def test_router_scoped_rate(self):
+        schedule = FaultSchedule(
+            bit_error_faults=(BitErrorFault(rate=1.0, router=2, start=0),)
+        )
+        context = NetworkFaultContext(schedule, num_routers=17)
+        assert context.error_rate(2, 0) == 1.0
+        assert context.error_rate(3, 0) == 0.0
+        assert not context.corrupts(3, 5, 0)
+
+    def test_seed_controls_outcomes(self):
+        def outcomes(seed):
+            schedule = FaultSchedule(
+                bit_error_faults=(BitErrorFault(rate=0.5, start=0),),
+                seed=seed,
+            )
+            context = NetworkFaultContext(schedule, num_routers=17)
+            return [context.corrupts(0, 1, 0) for _ in range(64)]
+
+        assert outcomes(1) == outcomes(1)
+        assert outcomes(1) != outcomes(2)
+
+
+class TestResilienceConfigRoundTrip:
+    def test_config_io_round_trip(self):
+        from repro.config import ResilienceConfig
+        from repro.config_io import config_from_dict, config_to_dict
+
+        config = PearlConfig(
+            resilience=ResilienceConfig(
+                retry_limit=7, nack_latency_cycles=3, retry_backoff_cycles=9
+            )
+        )
+        data = config_to_dict(config)
+        assert data["resilience"]["retry_limit"] == 7
+        assert config_from_dict(data) == config
+
+    def test_resilience_section_optional(self):
+        from repro.config_io import config_from_dict, config_to_dict
+
+        data = config_to_dict(PearlConfig())
+        del data["resilience"]
+        assert config_from_dict(data) == PearlConfig()
+
+    def test_validation(self):
+        from repro.config import ResilienceConfig
+
+        with pytest.raises(ValueError):
+            ResilienceConfig(retry_limit=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(nack_latency_cycles=0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(retry_backoff_cycles=-1)

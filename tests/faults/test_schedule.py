@@ -1,0 +1,147 @@
+"""Unit tests for the fault schedule: validation, round trips, loading."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    BitErrorFault,
+    FaultSchedule,
+    LaserDroopFault,
+    WavelengthFault,
+    load_fault_schedule,
+    uniform_wavelength_fault,
+)
+
+
+class TestWavelengthFault:
+    def test_count_form_fails_top_indices(self):
+        fault = WavelengthFault(wavelengths=4, start=0)
+        assert fault.failed_indices(64) == frozenset({60, 61, 62, 63})
+
+    def test_explicit_indices(self):
+        fault = WavelengthFault(indices=(0, 3, 70), start=0)
+        assert fault.failed_indices(64) == frozenset({0, 3})
+
+    def test_active_span_is_half_open(self):
+        fault = WavelengthFault(wavelengths=1, start=10, end=20)
+        assert not fault.active(9)
+        assert fault.active(10)
+        assert fault.active(19)
+        assert not fault.active(20)
+
+    def test_open_ended_fault_never_clears(self):
+        fault = WavelengthFault(wavelengths=1, start=5)
+        assert fault.active(10**9)
+
+    def test_requires_some_wavelengths(self):
+        with pytest.raises(ValueError):
+            WavelengthFault(start=0)
+
+    def test_rejects_inverted_span(self):
+        with pytest.raises(ValueError):
+            WavelengthFault(wavelengths=1, start=10, end=10)
+
+    def test_uniform_helper_scales_with_fraction(self):
+        fault = uniform_wavelength_fault(0.25, start=0)
+        assert len(fault.failed_indices(64)) == 16
+        # Tiny fractions still fail at least one ring.
+        assert len(
+            uniform_wavelength_fault(0.001, start=0).failed_indices(64)
+        ) == 1
+
+
+class TestScheduleValidation:
+    def test_bit_error_rate_bounds(self):
+        with pytest.raises(ValueError):
+            BitErrorFault(rate=1.5, start=0)
+        with pytest.raises(ValueError):
+            BitErrorFault(rate=-0.1, start=0)
+
+    def test_droop_state_positive(self):
+        with pytest.raises(ValueError):
+            LaserDroopFault(max_state=0, start=0)
+
+    def test_empty_schedule(self):
+        assert FaultSchedule().is_empty
+        assert not FaultSchedule(
+            wavelength_faults=(WavelengthFault(wavelengths=1, start=0),)
+        ).is_empty
+
+    def test_for_router_filters_targets(self):
+        schedule = FaultSchedule(
+            wavelength_faults=(
+                WavelengthFault(wavelengths=1, router=3, start=0),
+                WavelengthFault(wavelengths=2, router=None, start=0),
+            ),
+            droop_faults=(LaserDroopFault(max_state=32, router=5, start=0),),
+        )
+        wl, droop = schedule.for_router(3)
+        assert len(wl) == 2 and len(droop) == 0
+        wl, droop = schedule.for_router(5)
+        assert len(wl) == 1 and len(droop) == 1
+
+
+class TestRoundTrip:
+    def _schedule(self):
+        return FaultSchedule(
+            wavelength_faults=(
+                WavelengthFault(wavelengths=4, router=2, start=10, end=90),
+                WavelengthFault(indices=(1, 5), start=0),
+            ),
+            droop_faults=(LaserDroopFault(max_state=16, start=50),),
+            bit_error_faults=(
+                BitErrorFault(rate=0.01, router=0, start=5, end=25),
+            ),
+            seed=123,
+        )
+
+    def test_payload_from_dict_round_trip(self):
+        schedule = self._schedule()
+        assert FaultSchedule.from_dict(schedule.payload()) == schedule
+
+    def test_payload_is_json_able(self):
+        schedule = self._schedule()
+        encoded = json.dumps(schedule.payload(), sort_keys=True)
+        assert (
+            FaultSchedule.from_dict(json.loads(encoded)) == schedule
+        )
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = self._schedule().payload()
+        payload["typo"] = 1
+        with pytest.raises(ValueError):
+            FaultSchedule.from_dict(payload)
+
+
+class TestLoading:
+    def test_load_json(self, tmp_path):
+        schedule = FaultSchedule(
+            bit_error_faults=(BitErrorFault(rate=0.5, start=0),)
+        )
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(schedule.payload()))
+        assert load_fault_schedule(path) == schedule
+
+    def test_load_yaml(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        schedule = FaultSchedule(
+            wavelength_faults=(WavelengthFault(wavelengths=8, start=100),)
+        )
+        path = tmp_path / "faults.yaml"
+        path.write_text(yaml.safe_dump(schedule.payload()))
+        assert load_fault_schedule(path) == schedule
+
+    def test_example_schedule_loads(self):
+        from pathlib import Path
+
+        example = (
+            Path(__file__).resolve().parent.parent.parent
+            / "examples"
+            / "faults.yaml"
+        )
+        schedule = load_fault_schedule(example)
+        assert not schedule.is_empty
+        assert schedule.wavelength_faults
+        assert schedule.droop_faults
+        assert schedule.bit_error_faults

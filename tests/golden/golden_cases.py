@@ -1,0 +1,106 @@
+"""Shared definitions for the golden-run differential harness.
+
+One small workload (fluidanimate+dct, 200 warm-up + 1500 measured
+cycles) is simulated under every (power policy × bandwidth allocator)
+combination, and the canonical form of each run is pinned as a JSON
+snapshot under ``tests/golden/snapshots/``.  Both cycle engines are
+checked against the *same* snapshot, so the harness simultaneously
+catches unintended behavioural drift and fast/reference divergence.
+
+Regenerate snapshots with ``python scripts/update_golden.py`` after an
+*intentional* behaviour change (see ``docs/resilience.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import PearlConfig, SimulationConfig
+from repro.ml.features import NUM_FEATURES
+from repro.ml.ridge import RidgeRegression
+from repro.noc.network import PearlNetwork, PearlRunResult
+from repro.noc.router import PowerPolicyKind
+from repro.traffic.benchmarks import get_benchmark
+from repro.traffic.synthetic import generate_pair_trace
+
+GOLDEN_SEED = 11
+POLICIES = ("static", "reactive", "adaptive", "ml", "random")
+ALLOCATORS = ("dynamic", "fcfs")
+ENGINES = ("fast", "reference")
+
+
+def golden_config() -> PearlConfig:
+    """The (short) run configuration every golden case uses."""
+    return PearlConfig(
+        simulation=SimulationConfig(
+            warmup_cycles=200, measure_cycles=1500, seed=GOLDEN_SEED
+        )
+    )
+
+
+def golden_model() -> RidgeRegression:
+    """A handcrafted ridge model for the ML-policy cases.
+
+    The weights are set directly instead of fitted: a closed-form
+    lstsq/BLAS solve could differ in the last ulp across platforms,
+    while a literal weight vector is bit-identical everywhere.  Feature
+    8 (packets received from local cores last window) with a 0.5 gain
+    plus a constant bias gives predictions that actually vary with
+    load, so the selector exercises several ladder states.
+    """
+    model = RidgeRegression(lam=1.0, standardize=False)
+    weights = np.zeros(NUM_FEATURES)
+    weights[8] = 0.5
+    model.weights = weights
+    model.intercept = 4.0
+    return model
+
+
+def case_names() -> List[str]:
+    """Snapshot stems, one per (policy × allocator) combination."""
+    return [f"{policy}_{alloc}" for policy in POLICIES for alloc in ALLOCATORS]
+
+
+def canonical(result: PearlRunResult) -> Dict[str, object]:
+    """The JSON-able canonical form of one run, compared exactly.
+
+    Per-packet latencies are folded into a digest so snapshots stay
+    small while still pinning every individual latency sample.
+    """
+    stats = result.stats
+    latency_digest = hashlib.sha256(
+        ",".join(str(value) for value in stats._latencies).encode()
+    ).hexdigest()
+    return {
+        "stats": stats.to_dict(include_latencies=False),
+        "latencies_sha256": latency_digest,
+        "state_residency": {
+            str(state): fraction
+            for state, fraction in sorted(result.state_residency.items())
+        },
+        "mean_laser_power_w": result.mean_laser_power_w,
+        "laser_stall_cycles": result.laser_stall_cycles,
+    }
+
+
+def run_case(policy: str, allocator: str, engine: str) -> Dict[str, object]:
+    """Simulate one golden case and return its canonical form."""
+    config = golden_config()
+    trace = generate_pair_trace(
+        get_benchmark("fluidanimate"),
+        get_benchmark("dct"),
+        config.architecture,
+        config.simulation.total_cycles,
+        GOLDEN_SEED,
+    )
+    network = PearlNetwork(
+        config,
+        power_policy=PowerPolicyKind(policy),
+        use_dynamic_bandwidth=(allocator == "dynamic"),
+        ml_model=golden_model() if policy == "ml" else None,
+        seed=GOLDEN_SEED,
+    )
+    return canonical(network.run(trace, engine=engine))

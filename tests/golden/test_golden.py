@@ -1,0 +1,59 @@
+"""Differential golden-run tests: every policy × allocator × engine.
+
+A failure here means the simulated behaviour changed.  If the change
+is intentional, regenerate the snapshots with
+``python scripts/update_golden.py`` and commit the diff alongside the
+code; if not, it just caught a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from .golden_cases import ALLOCATORS, ENGINES, POLICIES, run_case
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+
+CASES = [(policy, alloc) for policy in POLICIES for alloc in ALLOCATORS]
+
+
+def _diff(expected: dict, actual: dict, prefix: str = "") -> list:
+    """Human-readable list of leaf-level differences."""
+    lines = []
+    for key in sorted(set(expected) | set(actual)):
+        path = f"{prefix}{key}"
+        if key not in expected:
+            lines.append(f"  {path}: unexpected key (= {actual[key]!r})")
+        elif key not in actual:
+            lines.append(f"  {path}: missing (expected {expected[key]!r})")
+        elif isinstance(expected[key], dict) and isinstance(actual[key], dict):
+            lines.extend(_diff(expected[key], actual[key], prefix=f"{path}."))
+        elif expected[key] != actual[key]:
+            lines.append(
+                f"  {path}: expected {expected[key]!r}, got {actual[key]!r}"
+            )
+    return lines
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "policy,allocator", CASES, ids=[f"{p}-{a}" for p, a in CASES]
+)
+def test_golden_run(policy: str, allocator: str, engine: str) -> None:
+    path = SNAPSHOT_DIR / f"{policy}_{allocator}.json"
+    assert path.exists(), (
+        f"missing snapshot {path.name}; run scripts/update_golden.py"
+    )
+    expected = json.loads(path.read_text())
+    actual = run_case(policy, allocator, engine)
+    if actual != expected:
+        differences = "\n".join(_diff(expected, actual))
+        pytest.fail(
+            f"golden mismatch for {policy}/{allocator} on the {engine} "
+            f"engine:\n{differences}\n"
+            "If this change is intentional, regenerate with "
+            "scripts/update_golden.py."
+        )
