@@ -6,6 +6,8 @@ Subcommands:
 * ``experiment <id>`` — regenerate one paper figure/table;
 * ``all`` — regenerate every experiment (writes a combined report);
 * ``simulate`` — run one benchmark pair under a chosen configuration;
+* ``model train|list|show|promote|eval`` — manage the versioned model
+  registry (see ``docs/ml_lifecycle.md``);
 * ``obs report <id>`` — run one experiment instrumented and print its
   telemetry summary (``--json`` for machine-readable output).
 
@@ -114,7 +116,89 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault schedule (YAML or JSON, see docs/resilience.md); "
         "an empty schedule is bit-identical to running without one",
     )
+    simp.add_argument(
+        "--quantization",
+        default=None,
+        metavar="QM.N",
+        help="run the ML predictor in fixed point (e.g. q4.12); "
+        "default: full float64",
+    )
+    simp.add_argument(
+        "--model",
+        default=None,
+        metavar="REF",
+        help="registry tag/id of the model to deploy (ml policy only); "
+        "default: train/fetch the default model",
+    )
     _add_trace_args(simp)
+
+    modelp = sub.add_parser(
+        "model", help="model registry commands (docs/ml_lifecycle.md)"
+    )
+    model_sub = modelp.add_subparsers(dest="model_command", required=True)
+
+    mtrain = model_sub.add_parser(
+        "train", help="train the default model and register it"
+    )
+    mtrain.add_argument("--window", type=int, default=500)
+    mtrain.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunken pair set and run length (CI/tests)",
+    )
+    mtrain.add_argument("--seed", type=int, default=2018)
+    mtrain.add_argument(
+        "--promote",
+        default="production",
+        metavar="TAG",
+        help="tag to point at the trained model (default: production)",
+    )
+    mtrain.add_argument(
+        "--no-promote",
+        action="store_true",
+        help="register the version without retargeting any tag",
+    )
+
+    model_sub.add_parser("list", help="list registered model versions")
+
+    mshow = model_sub.add_parser("show", help="print one version's record")
+    mshow.add_argument("ref", help="tag, model id or unique id prefix")
+
+    mpromote = model_sub.add_parser(
+        "promote", help="point a tag at a model version"
+    )
+    mpromote.add_argument("ref", help="tag, model id or unique id prefix")
+    mpromote.add_argument(
+        "--tag", default="production", help="tag to retarget (default: production)"
+    )
+
+    meval = model_sub.add_parser(
+        "eval",
+        help="score a registered model's fixed-point deployment fidelity",
+    )
+    meval.add_argument(
+        "ref",
+        nargs="?",
+        default="production",
+        help="tag, model id or unique id prefix (default: production)",
+    )
+    meval.add_argument(
+        "--quantization",
+        default="q4.12",
+        metavar="QM.N",
+        help="fixed-point format to evaluate (default: q4.12)",
+    )
+    meval.add_argument(
+        "--max-nrmse",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero when the quantized-vs-float NRMSE exceeds X",
+    )
+    meval.add_argument("--seed", type=int, default=1)
+    meval.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     return parser
 
 
@@ -260,6 +344,8 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    import dataclasses
+
     config = PearlConfig(
         simulation=SimulationConfig(
             warmup_cycles=args.warmup,
@@ -267,6 +353,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     ).with_reservation_window(args.window)
+    if args.quantization:
+        config = config.replace(
+            ml=dataclasses.replace(config.ml, quantization=args.quantization)
+        )
     trace = generate_pair_trace(
         get_benchmark(args.cpu),
         get_benchmark(args.gpu),
@@ -282,10 +372,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     }[args.policy]
     ml_model = None
     if policy is PowerPolicyKind.ML:
-        from .ml.pipeline import train_default_model
+        if args.model:
+            from .ml.lifecycle import default_registry
 
-        print("training ML model (quick mode)...")
-        ml_model = train_default_model(args.window, quick=True).model
+            try:
+                ml_model = default_registry().get(args.model)
+            except KeyError as exc:
+                raise SystemExit(f"--model {args.model}: {exc}")
+            print(f"deploying registry model {args.model!r}")
+        else:
+            from .ml.pipeline import train_default_model
+
+            print("training ML model (quick mode)...")
+            ml_model = train_default_model(args.window, quick=True).model
     faults = None
     if args.faults:
         from .faults import load_fault_schedule
@@ -323,6 +422,160 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 stats.fault_clamp_events,
             )
         )
+    if policy is PowerPolicyKind.ML:
+        print(
+            "  ml: quantization=%s drift_events=%d fallback_windows=%d "
+            "retraining_recommended=%s"
+            % (
+                result.quantization or "float64",
+                result.drift_events,
+                result.fallback_windows,
+                result.drift_retraining_recommended,
+            )
+        )
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from .ml.lifecycle import default_registry
+
+    registry = default_registry()
+    if args.model_command == "train":
+        return _cmd_model_train(args, registry)
+    if args.model_command == "list":
+        records = registry.list()
+        if not records:
+            print(f"(registry at {registry.root} is empty)")
+            return 0
+        print(f"{'MODEL ID':<18} {'CREATED':<26} {'NRMSE':>7}  KEY / TAGS")
+        for record in records:
+            key = record.training.get("key") or {}
+            nrmse = record.metrics.get("validation_nrmse")
+            key_str = (
+                f"w={key.get('reservation_window')} "
+                f"quick={key.get('quick')} seed={key.get('seed')}"
+                if key
+                else "-"
+            )
+            tags = f" [{', '.join(record.tags)}]" if record.tags else ""
+            print(
+                f"{record.model_id:<18} {record.created:<26} "
+                f"{nrmse if nrmse is None else format(nrmse, '.3f'):>7}  "
+                f"{key_str}{tags}"
+            )
+        return 0
+    if args.model_command == "show":
+        try:
+            record = registry.record(args.ref)
+        except KeyError as exc:
+            raise SystemExit(str(exc))
+        doc = {
+            "model_id": record.model_id,
+            "created": record.created,
+            "tags": record.tags,
+            "schema_hash": record.schema_hash,
+            "feature_schema": record.feature_schema,
+            "training": record.training,
+            "metrics": record.metrics,
+            "provenance": record.provenance,
+            "path": str(registry.model_path(record.model_id)),
+        }
+        print(json.dumps(doc, sort_keys=True, indent=2))
+        return 0
+    if args.model_command == "promote":
+        try:
+            record = registry.promote(args.ref, tag=args.tag)
+        except KeyError as exc:
+            raise SystemExit(str(exc))
+        print(f"{args.tag} -> {record.model_id}")
+        return 0
+    if args.model_command == "eval":
+        return _cmd_model_eval(args, registry)
+    return 2
+
+
+def _cmd_model_train(args: argparse.Namespace, registry) -> int:
+    from .ml.lifecycle.registry import feature_schema, schema_hash
+    from .ml.pipeline import _training_key, train_default_model
+
+    result = train_default_model(
+        reservation_window=args.window, quick=args.quick, seed=args.seed
+    )
+    key = _training_key(args.window, args.quick, args.seed)
+    record = registry.find_by_key(key, with_schema_hash=schema_hash())
+    assert record is not None  # train_default_model just registered it
+    if not args.no_promote and args.promote != "production":
+        # train_default_model promoted "production"; honour the override.
+        registry.promote(record.model_id, tag=args.promote)
+    print(f"registered model {record.model_id}")
+    print(f"  registry: {registry.root}")
+    print(f"  validation NRMSE: {result.validation_nrmse:.3f}")
+    print(f"  lambda: {result.lam}")
+    print(
+        f"  samples: phase1={result.phase1_samples} "
+        f"phase2={result.phase2_samples}"
+    )
+    if not args.no_promote:
+        print(f"  promoted: {args.promote}")
+    return 0
+
+
+def _cmd_model_eval(args: argparse.Namespace, registry) -> int:
+    import numpy as np
+
+    from .config import PearlConfig
+    from .ml.lifecycle.quantized import QuantizedRidge, quantization_nrmse
+    from .ml.pipeline import _quick_config, collect_pair_dataset
+    from .power.ml_overhead import MLHardwareModel
+    from .traffic.benchmarks import training_pairs
+
+    try:
+        record = registry.record(args.ref)
+        model = registry.get(args.ref)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    try:
+        quantized = QuantizedRidge.from_spec(model, args.quantization)
+    except ValueError as exc:
+        raise SystemExit(f"--quantization {args.quantization}: {exc}")
+
+    # Score on deployment-like features: one quick random-state
+    # collection run (the phase-1 distribution).
+    window = record.training.get("key", {}).get("reservation_window", 500)
+    config = _quick_config(
+        PearlConfig().with_reservation_window(int(window))
+    )
+    dataset = collect_pair_dataset(
+        training_pairs()[0], config, seed=args.seed
+    )
+    X, _ = dataset.arrays()
+    nrmse = quantization_nrmse(model, quantized, X)
+    hardware = MLHardwareModel().for_bit_width(
+        quantized.weight_format.total_bits
+    )
+    doc = {
+        "model_id": record.model_id,
+        "quantization": quantized.describe(),
+        "samples": int(X.shape[0]),
+        "quantized_vs_float_nrmse": nrmse,
+        "prediction_spread": float(np.std(model.predict(X))),
+        "inference_energy_pj": hardware.inference_energy_pj(),
+        "mean_power_uw": hardware.mean_power_uw(int(window)),
+    }
+    if args.json:
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    else:
+        print(f"model {record.model_id} under {args.quantization}:")
+        print(f"  samples: {doc['samples']}")
+        print(f"  quantized-vs-float NRMSE: {nrmse:.6f}")
+        print(f"  inference energy: {doc['inference_energy_pj']:.1f} pJ")
+        print(f"  amortised power: {doc['mean_power_uw']:.1f} uW")
+    if args.max_nrmse is not None and nrmse > args.max_nrmse:
+        print(
+            f"FAIL: NRMSE {nrmse:.6f} exceeds bound {args.max_nrmse}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -380,6 +633,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "simulate":
             with _profile_scope(args), _telemetry_scope(args):
                 return _cmd_simulate(args)
+        if args.command == "model":
+            return _cmd_model(args)
         if args.command == "obs":
             if args.obs_command == "report":
                 with _profile_scope(args):

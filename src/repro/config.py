@@ -19,8 +19,9 @@ the paper exactly:
 from __future__ import annotations
 
 import dataclasses
+import re
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -287,6 +288,18 @@ class MLConfig:
     λ (``lambda_grid``) is tuned on the validation pairs.  The 8 WL state
     is excluded during training and reintroduced at inference time
     (``reintroduce_8wl``), exactly as in Sec. IV-B.
+
+    Deployment knobs (see ``docs/ml_lifecycle.md``):
+
+    * ``quantization`` — a ``"q4.12"``-style Qm.n spec.  When set, the
+      routers run the fixed-point saturating-MAC inference path of
+      :mod:`repro.ml.lifecycle.quantized` instead of float64 NumPy,
+      matching the hardware :mod:`repro.power.ml_overhead` costs.
+    * ``drift_detection`` / ``drift_*`` — the online drift monitor of
+      :mod:`repro.ml.lifecycle.drift`.  ``drift_action="flag"`` is
+      purely observational (bit-identical results);
+      ``"fallback"`` degrades drifting routers to the reactive
+      Algorithm 1 thresholds until the signals recover.
     """
 
     reservation_window: int = 500
@@ -296,6 +309,13 @@ class MLConfig:
     collection_phases: int = 2
     random_state_seed: int = 2018
     standardize_features: bool = True
+    quantization: Optional[str] = None
+    drift_detection: bool = True
+    drift_action: str = "flag"
+    drift_ewma_alpha: float = 0.2
+    drift_z_threshold: float = 4.0
+    drift_patience: int = 3
+    drift_calibration_windows: int = 10
 
     def __post_init__(self) -> None:
         if self.reservation_window <= 0:
@@ -304,6 +324,23 @@ class MLConfig:
             raise ValueError("lambda_grid cannot be empty")
         if any(lam < 0 for lam in self.lambda_grid):
             raise ValueError("ridge λ values cannot be negative")
+        if self.quantization is not None and not re.match(
+            r"^q\d+\.\d+$", self.quantization, re.IGNORECASE
+        ):
+            raise ValueError(
+                f"quantization must look like 'q4.12', not "
+                f"{self.quantization!r}"
+            )
+        if self.drift_action not in ("flag", "fallback"):
+            raise ValueError("drift_action must be 'flag' or 'fallback'")
+        if not 0.0 < self.drift_ewma_alpha <= 1.0:
+            raise ValueError("drift_ewma_alpha must be in (0, 1]")
+        if self.drift_z_threshold <= 0:
+            raise ValueError("drift_z_threshold must be positive")
+        if self.drift_patience < 1:
+            raise ValueError("drift_patience must be at least 1")
+        if self.drift_calibration_windows < 2:
+            raise ValueError("drift_calibration_windows must be at least 2")
 
 
 @dataclass(frozen=True)

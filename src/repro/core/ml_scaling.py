@@ -15,12 +15,14 @@ windows (``allow_8wl``).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..config import MLConfig, PhotonicConfig
 from ..ml.features import NUM_FEATURES
+from ..ml.lifecycle.drift import DriftMonitor
+from ..ml.lifecycle.quantized import QuantizedRidge
 from ..ml.ridge import RidgeRegression
 from ..obs import OBS
 from .wavelength import WavelengthLadder
@@ -127,10 +129,22 @@ class MLPowerScaler:
         config: MLConfig,
         router_id: int = 0,
         stagger_cycles: int = 10,
+        quantized: Optional[QuantizedRidge] = None,
+        drift_monitor: Optional[DriftMonitor] = None,
+        fallback_thresholds: Optional[Tuple[float, float, float, float]] = None,
     ) -> None:
         if not model.is_fitted:
             raise ValueError("the ridge model must be fitted before use")
         self.model = model
+        #: Fixed-point deployment form; when set, every prediction runs
+        #: through the saturating-MAC path (the float model is kept for
+        #: reference/NRMSE comparisons only).
+        self.quantized = quantized
+        #: Online residual/feature-shift watchdog (None = unmonitored).
+        self.drift_monitor = drift_monitor
+        self.drift_action = config.drift_action
+        self.fallback_thresholds = fallback_thresholds
+        self.fallback_windows = 0
         self.selector = selector
         self.config = config
         self.offset = (router_id * stagger_cycles) % max(
@@ -142,6 +156,7 @@ class MLPowerScaler:
         self.decisions: List[int] = []
         self.labels: List[float] = []
         self._pending_label: Optional[float] = None
+        self._drift_observed = 0
 
     def window_boundary(self, cycle: int) -> bool:
         """True on this router's staggered window boundaries."""
@@ -162,8 +177,26 @@ class MLPowerScaler:
             raise ValueError(
                 f"expected {NUM_FEATURES} features, got {features.shape[0]}"
             )
-        predicted = float(self.model.predict(features))
-        state = self.selector.state_for_packets(predicted, max_state=max_state)
+        predictor = self.quantized if self.quantized is not None else self.model
+        predicted = float(predictor.predict(features))
+        self._observe_drift(features, predicted)
+        if (
+            self.drift_action == "fallback"
+            and self.drift_monitor is not None
+            and self.drift_monitor.drift_active
+            and self.fallback_thresholds is not None
+        ):
+            state = self._fallback_state(features, max_state=max_state)
+            self.fallback_windows += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "ml/fallback_windows",
+                    help="windows decided by the reactive fallback during drift",
+                ).inc()
+        else:
+            state = self.selector.state_for_packets(
+                predicted, max_state=max_state
+            )
         self.predictions.append(predicted)
         self.decisions.append(state)
         if OBS.enabled:
@@ -171,6 +204,70 @@ class MLPowerScaler:
                 "ml/inferences", help="ridge predictions made at window boundaries"
             ).inc()
             OBS.registry.counter(f"ml/decisions/{state}wl").inc()
+        return state
+
+    def _observe_drift(self, features: np.ndarray, predicted: float) -> None:
+        """Feed the drift monitor with this window's evidence.
+
+        Residuals need an aligned (prediction, label) pair; labels lag
+        predictions by a window, so the newest complete pair is used
+        exactly once and feature-only windows pass ``actual=None``.
+        """
+        monitor = self.drift_monitor
+        if monitor is None:
+            return
+        n = min(len(self.labels), len(self.predictions))
+        if n > self._drift_observed:
+            pair_predicted = self.predictions[n - 1]
+            pair_actual: Optional[float] = self.labels[n - 1]
+            self._drift_observed = n
+        else:
+            pair_predicted = predicted
+            pair_actual = None
+        fired = monitor.observe(features, pair_predicted, pair_actual)
+        if fired and OBS.enabled:
+            OBS.registry.counter(
+                "ml/drift_events",
+                help="drift excursions that crossed the patience threshold",
+            ).inc()
+            OBS.tracer.instant(
+                "ml_drift",
+                "ml",
+                self.offset + monitor.state.windows * self._window,
+                router=monitor.router_id,
+                signal=monitor.trips[-1][1] if monitor.trips else "unknown",
+                z=round(max(monitor.state.residual_z, monitor.state.feature_z), 3),
+            )
+
+    def _fallback_state(
+        self, features: np.ndarray, max_state: Optional[int] = None
+    ) -> int:
+        """Reactive-policy decision from the window's measured occupancies.
+
+        Mirrors :class:`~repro.core.power_scaling.ReactivePowerScaler
+        .select_state` with the window-mean CPU/GPU input-buffer
+        utilizations (Table III features 2 and 4) standing in for the
+        per-cycle Buf_w accumulation.
+        """
+        assert self.fallback_thresholds is not None
+        occ = 0.5 * (float(features[1]) + float(features[3]))
+        occ = min(max(occ, 0.0), 1.0)
+        upper, mid_upper, mid_lower, lower = self.fallback_thresholds
+        states = self.selector.ladder.states
+        if occ > upper:
+            state = states[0]
+        elif occ > mid_upper:
+            state = states[1]
+        elif occ > mid_lower:
+            state = states[2]
+        elif occ > lower:
+            state = states[3]
+        else:
+            state = states[4] if self.selector.allow_8wl else states[3]
+        if max_state is not None and state > max_state:
+            allowed = [s for s in states if s <= max_state]
+            if allowed:
+                state = max(allowed)
         return state
 
     def record_label(self, injected_packets: int) -> None:

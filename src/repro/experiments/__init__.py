@@ -23,6 +23,7 @@ from . import (
     fig10_window_sweep,
     fig11_turn_on,
     headline,
+    ml_lifecycle,
     ml_quality,
     resilience,
     tables,
@@ -54,6 +55,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "fig10": fig10_window_sweep.run,
     "fig11": fig11_turn_on.run,
     "ml_quality": ml_quality.run,
+    "ml_lifecycle": ml_lifecycle.run,
     "ablations": ablations.run,
     "saturation": saturation.run,
     "resilience": resilience.run,

@@ -1,0 +1,48 @@
+"""``repro.ml.lifecycle`` — train → version → deploy → monitor.
+
+The paper's ridge predictor is a long-lived artifact, not a throwaway:
+it is trained once (expensively, through the closed-loop simulator),
+deployed to every router as fixed-point MAC hardware, and must keep
+working as workloads shift.  This package supplies the three missing
+lifecycle stages:
+
+* :mod:`~repro.ml.lifecycle.registry` — a content-addressed, versioned
+  model store with provenance, feature-schema hashes and promotion
+  tags, replacing the bare ``.pearl_model_cache`` files;
+* :mod:`~repro.ml.lifecycle.quantized` — a Qm.n fixed-point inference
+  path with saturating MACs, matching the 16-bit hardware the paper
+  costs in :mod:`repro.power.ml_overhead`;
+* :mod:`~repro.ml.lifecycle.drift` — an online monitor of prediction
+  residuals and feature-distribution shift that flags (or falls back
+  on) workloads the model was never trained for.
+"""
+
+from .drift import DriftConfig, DriftMonitor, DriftState
+from .quantized import (
+    QFormat,
+    QuantizedRidge,
+    quantization_nrmse,
+    state_agreement,
+)
+from .registry import (
+    ModelRecord,
+    ModelRegistry,
+    default_registry,
+    feature_schema,
+    schema_hash,
+)
+
+__all__ = [
+    "DriftConfig",
+    "DriftMonitor",
+    "DriftState",
+    "ModelRecord",
+    "ModelRegistry",
+    "QFormat",
+    "QuantizedRidge",
+    "default_registry",
+    "feature_schema",
+    "quantization_nrmse",
+    "schema_hash",
+    "state_agreement",
+]

@@ -220,12 +220,30 @@ class PowerModelTrainer:
 _MODEL_CACHE: dict = {}
 
 
-def _disk_cache_dir():
-    """Directory for persisted models (override: PEARL_CACHE_DIR)."""
-    import os
-    from pathlib import Path
+def _training_key(
+    reservation_window: int, quick: bool, seed: int
+) -> dict:
+    """The registry lookup key for a default-pipeline training."""
+    return {
+        "pipeline": "two_phase_default",
+        "reservation_window": int(reservation_window),
+        "quick": bool(quick),
+        "seed": int(seed),
+    }
 
-    return Path(os.environ.get("PEARL_CACHE_DIR", ".pearl_model_cache"))
+
+def _result_from_record(record, model: RidgeRegression) -> TrainingResult:
+    """Rebuild a :class:`TrainingResult` from a registry record."""
+    training = record.training
+    metrics = record.metrics
+    return TrainingResult(
+        model=model,
+        lam=float(training.get("lambda", model.lam)),
+        validation_nrmse=float(metrics.get("validation_nrmse", float("nan"))),
+        phase1_samples=int(training.get("phase1_samples", 0)),
+        phase2_samples=int(training.get("phase2_samples", 0)),
+        history=list(training.get("history", [])),
+    )
 
 
 def train_default_model(
@@ -237,60 +255,71 @@ def train_default_model(
     """Train (and memoise) the deployable model for a window size.
 
     Heavy callers (benchmarks regenerating several figures) share one
-    trained model per window size through the in-process cache; a disk
-    cache under ``.pearl_model_cache/`` (or ``$PEARL_CACHE_DIR``) lets
-    separate processes — the report generator and the benchmark run —
-    share trainings too.  Collection is deterministic, so a cached
-    model is bit-identical to a retrained one.
+    trained model per window size through the in-process cache; the
+    content-addressed :class:`~repro.ml.lifecycle.registry
+    .ModelRegistry` (root governed by ``$PEARL_REGISTRY_DIR`` /
+    ``$PEARL_CACHE_DIR``) lets separate processes — the report
+    generator and the benchmark run — share trainings too.  Collection
+    is deterministic, so a cached model is bit-identical to a
+    retrained one.
+
+    A registry hit must match both the training key *and* the current
+    feature-schema hash: changing ``MLConfig`` feature flags
+    (``num_features``, ``standardize_features``) changes what the
+    stored weights mean, so such a hit is skipped and the model is
+    retrained under the new schema.  Fresh trainings are promoted to
+    the ``production`` tag.
     """
-    import json
-
-    key = (reservation_window, quick, seed)
-    if key in _MODEL_CACHE:
-        return _MODEL_CACHE[key]
-
-    stem = f"model_w{reservation_window}_q{int(quick)}_s{seed}"
-    cache_dir = _disk_cache_dir()
-    model_path = cache_dir / f"{stem}.npz"
-    meta_path = cache_dir / f"{stem}.json"
-    if use_disk_cache and model_path.exists() and meta_path.exists():
-        try:
-            meta = json.loads(meta_path.read_text())
-            result = TrainingResult(
-                model=RidgeRegression.load(model_path),
-                lam=meta["lam"],
-                validation_nrmse=meta["validation_nrmse"],
-                phase1_samples=meta["phase1_samples"],
-                phase2_samples=meta["phase2_samples"],
-                history=meta["history"],
-            )
-        except Exception:
-            # Corrupted/truncated cache entry: retrain and overwrite
-            # rather than crash (training is deterministic, so the
-            # rewritten entry is identical to an uncorrupted one).
-            pass
-        else:
-            _MODEL_CACHE[key] = result
-            return result
+    from ..obs.provenance import collect_provenance
+    from .lifecycle.registry import (
+        DEFAULT_TAG,
+        default_registry,
+        feature_schema,
+        schema_hash,
+    )
 
     config = PearlConfig().with_reservation_window(reservation_window)
+    schema = feature_schema(config.ml)
+    expected_hash = schema_hash(schema)
+    key = _training_key(reservation_window, quick, seed)
+    registry = default_registry()
+    memo_key = (str(registry.root), reservation_window, quick, seed)
+    if memo_key in _MODEL_CACHE:
+        return _MODEL_CACHE[memo_key]
+
+    if use_disk_cache:
+        record = registry.find_by_key(key, with_schema_hash=expected_hash)
+        if record is not None:
+            try:
+                model = registry.get(record.model_id)
+            except Exception:
+                # Corrupted/truncated artifact: retrain and re-put
+                # rather than crash (training is deterministic, so the
+                # rewritten version is identical to an uncorrupted one).
+                pass
+            else:
+                result = _result_from_record(record, model)
+                _MODEL_CACHE[memo_key] = result
+                return result
+
     trainer = PowerModelTrainer(config=config, seed=seed, quick=quick)
     result = trainer.train()
-    _MODEL_CACHE[key] = result
+    _MODEL_CACHE[memo_key] = result
     if use_disk_cache:
-        cache_dir.mkdir(parents=True, exist_ok=True)
-        result.model.save(model_path)
-        meta_path.write_text(
-            json.dumps(
-                {
-                    "lam": result.lam,
-                    "validation_nrmse": result.validation_nrmse,
-                    "phase1_samples": result.phase1_samples,
-                    "phase2_samples": result.phase2_samples,
-                    "history": result.history,
-                }
-            )
+        record = registry.put(
+            result.model,
+            training={
+                "key": key,
+                "lambda": result.lam,
+                "phase1_samples": result.phase1_samples,
+                "phase2_samples": result.phase2_samples,
+                "history": result.history,
+            },
+            metrics={"validation_nrmse": result.validation_nrmse},
+            schema=schema,
+            provenance=collect_provenance(config=config, seed=seed),
         )
+        registry.promote(record.model_id, DEFAULT_TAG)
     return result
 
 
@@ -303,19 +332,47 @@ def ensure_model_file(
     file path instead of pickling them, so the expensive training runs
     exactly once in the parent; :meth:`RidgeRegression.save`/``load``
     round-trips the float64 arrays bit-for-bit, making worker
-    predictions identical to the parent's.
+    predictions identical to the parent's.  The returned path points
+    into the model registry's object store and is only handed out
+    after the archive loads cleanly and its feature-schema hash
+    matches the current ``MLConfig`` contract.
     """
+    from .lifecycle.registry import (
+        default_registry,
+        feature_schema,
+        schema_hash,
+    )
+
     result = train_default_model(reservation_window, quick=quick, seed=seed)
-    stem = f"model_w{reservation_window}_q{int(quick)}_s{seed}"
-    cache_dir = _disk_cache_dir()
-    model_path = cache_dir / f"{stem}.npz"
-    if model_path.exists():
+    registry = default_registry()
+    config = PearlConfig().with_reservation_window(reservation_window)
+    expected_hash = schema_hash(feature_schema(config.ml))
+    key = _training_key(reservation_window, quick, seed)
+    record = registry.find_by_key(key, with_schema_hash=expected_hash)
+    if record is not None:
+        model_path = registry.model_path(record.model_id)
         try:
             RidgeRegression.load(model_path)
         except Exception:
-            model_path.unlink()  # corrupt on disk — rewrite below
+            # Corrupt on disk: drop the damaged version so the re-put
+            # below rebuilds it from the in-memory model.
+            import shutil
+
+            shutil.rmtree(model_path.parent, ignore_errors=True)
         else:
             return model_path
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    result.model.save(model_path)
-    return model_path
+    # The memoised training skipped the registry write (or the artifact
+    # was damaged): store the in-memory model now so the path exists.
+    record = registry.put(
+        result.model,
+        training={
+            "key": key,
+            "lambda": result.lam,
+            "phase1_samples": result.phase1_samples,
+            "phase2_samples": result.phase2_samples,
+            "history": result.history,
+        },
+        metrics={"validation_nrmse": result.validation_nrmse},
+        schema=feature_schema(config.ml),
+    )
+    return registry.model_path(record.model_id)

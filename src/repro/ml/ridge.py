@@ -104,7 +104,12 @@ class RidgeRegression:
         return out[0] if single else out
 
     def save(self, path) -> None:
-        """Persist the fitted model as an ``.npz`` archive."""
+        """Persist the fitted model as an ``.npz`` archive.
+
+        ``path`` may be a filesystem path or a writable binary
+        file-like object (the model registry hashes the serialized
+        bytes through a ``BytesIO``).
+        """
         if self.weights is None:
             raise RuntimeError("cannot save an unfitted model")
         from pathlib import Path
@@ -116,7 +121,7 @@ class RidgeRegression:
             self._scaler.scale if self._scaler is not None else np.zeros(0)
         )
         np.savez_compressed(
-            Path(path),
+            path if hasattr(path, "write") else Path(path),
             weights=self.weights,
             intercept=np.array([self.intercept]),
             lam=np.array([self.lam]),
@@ -127,10 +132,13 @@ class RidgeRegression:
 
     @classmethod
     def load(cls, path) -> "RidgeRegression":
-        """Restore a model written by :meth:`save`."""
+        """Restore a model written by :meth:`save` (path or file-like)."""
         from pathlib import Path
 
-        archive = np.load(Path(path), allow_pickle=False)
+        archive = np.load(
+            path if hasattr(path, "read") else Path(path),
+            allow_pickle=False,
+        )
         model = cls(
             lam=float(archive["lam"][0]),
             standardize=bool(int(archive["standardize"][0])),

@@ -29,6 +29,8 @@ from ..config import PearlConfig
 from ..core.ml_scaling import MLPowerScaler, StateSelector
 from ..faults import FaultSchedule, NetworkFaultContext, RouterFaultInjector
 from ..obs import OBS
+from ..ml.lifecycle.drift import DriftConfig, DriftMonitor
+from ..ml.lifecycle.quantized import QuantizedRidge
 from ..ml.ridge import RidgeRegression
 from .packet import CacheLevel, CoreType, Packet, PacketClass
 from .photonic import PhotonicLinkModel
@@ -69,6 +71,15 @@ class PearlRunResult:
     laser_stall_cycles: int
     ml_predictions: List[float] = field(default_factory=list)
     ml_labels: List[float] = field(default_factory=list)
+    #: Drift excursions that crossed the patience threshold, summed
+    #: over all routers (0 when drift detection is off or never trips).
+    drift_events: int = 0
+    #: True when any router's monitor ended the run recommending retraining.
+    drift_retraining_recommended: bool = False
+    #: Windows decided by the reactive fallback (drift_action="fallback").
+    fallback_windows: int = 0
+    #: The Qm.n spec the deployed predictor ran at (None = float64).
+    quantization: Optional[str] = None
 
     def throughput(self) -> float:
         """Network throughput in flits/cycle."""
@@ -97,13 +108,25 @@ class PearlNetwork:
         self._rng = np.random.default_rng(seed)
         arch = self.config.architecture
 
+        # ML-lifecycle deployment artefacts, shared by every router:
+        # the fixed-point form is quantized once from the float model,
+        # while drift monitors are per-router (each sees its own
+        # feature stream).
+        quantized_model: Optional[QuantizedRidge] = None
+        if power_policy is PowerPolicyKind.ML:
+            if ml_model is None:
+                raise ValueError("ML policy requires a fitted model")
+            if self.config.ml.quantization:
+                quantized_model = QuantizedRidge.from_spec(
+                    ml_model, self.config.ml.quantization
+                )
+
         self.routers: List[PearlRouter] = []
         for router_id in range(arch.num_routers):
             is_l3 = router_id == arch.l3_router_id
             ml_scaler = None
             if power_policy is PowerPolicyKind.ML:
-                if ml_model is None:
-                    raise ValueError("ML policy requires a fitted model")
+                assert ml_model is not None
                 selector = StateSelector(
                     self.config.photonic,
                     reservation_window=self.config.ml.reservation_window,
@@ -119,12 +142,35 @@ class PearlNetwork:
                     # mostly 1-flit requests plus peer data forwards.
                     avg_packet_flits=5.0 if is_l3 else 2.0,
                 )
+                drift_monitor = None
+                if self.config.ml.drift_detection:
+                    scaler = getattr(ml_model, "_scaler", None)
+                    drift_monitor = DriftMonitor(
+                        DriftConfig(
+                            ewma_alpha=self.config.ml.drift_ewma_alpha,
+                            z_threshold=self.config.ml.drift_z_threshold,
+                            patience=self.config.ml.drift_patience,
+                            calibration_windows=(
+                                self.config.ml.drift_calibration_windows
+                            ),
+                        ),
+                        feature_mean=(
+                            scaler.mean if scaler is not None else None
+                        ),
+                        feature_scale=(
+                            scaler.scale if scaler is not None else None
+                        ),
+                        router_id=router_id,
+                    )
                 ml_scaler = MLPowerScaler(
                     model=ml_model,
                     selector=selector,
                     config=self.config.ml,
                     router_id=router_id,
                     stagger_cycles=self.config.power_scaling.router_stagger_cycles,
+                    quantized=quantized_model,
+                    drift_monitor=drift_monitor,
+                    fallback_thresholds=self.config.power_scaling.thresholds(),
                 )
             self.routers.append(
                 PearlRouter(
@@ -671,12 +717,20 @@ class PearlNetwork:
         }
         predictions: List[float] = []
         labels: List[float] = []
+        drift_events = 0
+        retrain = False
+        fallback_windows = 0
         if self.power_policy is PowerPolicyKind.ML:
             for router in self.routers:
                 if router.ml_scaler is not None:
                     targets, preds = router.ml_scaler.aligned_history()
                     labels.extend(targets.tolist())
                     predictions.extend(preds.tolist())
+                    fallback_windows += router.ml_scaler.fallback_windows
+                    monitor = router.ml_scaler.drift_monitor
+                    if monitor is not None:
+                        drift_events += monitor.state.events
+                        retrain = retrain or monitor.state.retraining_recommended
         return PearlRunResult(
             stats=self.stats,
             state_residency=residency,
@@ -686,4 +740,12 @@ class PearlNetwork:
             laser_stall_cycles=stalls,
             ml_predictions=predictions,
             ml_labels=labels,
+            drift_events=drift_events,
+            drift_retraining_recommended=retrain,
+            fallback_windows=fallback_windows,
+            quantization=(
+                self.config.ml.quantization
+                if self.power_policy is PowerPolicyKind.ML
+                else None
+            ),
         )

@@ -188,6 +188,22 @@ class PearlRouter:
             self._boundary_window = self._window
             self._boundary_offset = self._offset
         self.ml_energy_j = 0.0
+        # Per-inference energy follows the deployed datapath width: the
+        # paper's 44.6 pJ assumes the 16-bit MAC unit, so a quantized
+        # model re-costs it via MLHardwareModel.for_bit_width (16-bit
+        # formats like q4.12 land exactly back on 44.6 pJ).
+        self._inference_energy_j = ML_INFERENCE_ENERGY_J
+        if self.ml_scaler is not None and self.ml_scaler.quantized is not None:
+            from ..power.ml_overhead import MLHardwareModel
+
+            self._inference_energy_j = (
+                MLHardwareModel()
+                .for_bit_width(
+                    self.ml_scaler.quantized.weight_format.total_bits
+                )
+                .inference_energy_pj()
+                * 1e-12
+            )
         self.reservations_sent = 0
         # Hook set by the network: called with (features, label) pairs
         # when running in dataset-collection mode.
@@ -362,7 +378,7 @@ class PearlRouter:
             )
             state = self.ml_scaler.decide(snapshot, max_state=max_state)
             self._request_laser_state(state, cycle)
-            self.ml_energy_j += ML_INFERENCE_ENERGY_J
+            self.ml_energy_j += self._inference_energy_j
         elif self.policy_kind is PowerPolicyKind.RANDOM:
             states = self.ladder.states_without_lowest()
             state = int(self._rng.choice(states))

@@ -68,3 +68,25 @@ class MLHardwareModel:
             add_energy_pj=self.add_energy_pj,
             mult_energy_pj=self.mult_energy_pj,
         )
+
+    def for_bit_width(self, bit_width: int) -> "MLHardwareModel":
+        """The same unit re-costed at a different datapath width.
+
+        Standard CMOS arithmetic scaling from the 16-bit anchors: an
+        array multiplier's energy grows with the partial-product count
+        (quadratic in width) while a ripple/carry-select adder grows
+        linearly, so a q4.12 (16-bit) unit keeps the paper's numbers
+        and a q8.24 (32-bit) one pays 4x the multiply energy.  The
+        ``ml_lifecycle`` experiment uses this to weigh quantization
+        fidelity against inference power.
+        """
+        if bit_width <= 0:
+            raise ValueError("bit_width must be positive")
+        ratio = bit_width / self.bit_width
+        return MLHardwareModel(
+            num_features=self.num_features,
+            bit_width=bit_width,
+            computation_time_ns=self.computation_time_ns * ratio,
+            add_energy_pj=self.add_energy_pj * ratio,
+            mult_energy_pj=self.mult_energy_pj * ratio**2,
+        )

@@ -1,6 +1,21 @@
-"""Shared fixtures: tiny configurations that keep the suite fast."""
+"""Shared fixtures and test-matrix enforcement.
+
+Fixtures are tiny configurations that keep the suite fast.  The
+collection hook below enforces the marker contract of the test matrix
+(see ``pyproject.toml`` and ``docs/ml_lifecycle.md#test-matrix``):
+
+* tests that consume an expensive training fixture must be marked
+  ``slow`` so the fast lane (``-m "not slow"``) actually is fast;
+* tests under ``tests/golden/`` must be marked ``golden``;
+* property-based tests get the ``hypothesis`` marker automatically.
+
+Violations fail collection outright rather than silently bloating the
+fast lane.
+"""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import pytest
 
@@ -13,6 +28,37 @@ from repro.config import (
 from repro.ml.pipeline import PowerModelTrainer
 from repro.traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS
 from repro.traffic.synthetic import generate_pair_trace
+
+#: Fixtures whose construction runs a real training pipeline; any test
+#: requesting one must be marked ``slow``.
+SLOW_FIXTURES = frozenset({"tiny_trained_model", "tiny_trainer"})
+
+
+def pytest_collection_modifyitems(config, items):
+    del config  # unused; hook signature is fixed
+    violations = []
+    for item in items:
+        obj = getattr(item, "obj", None)
+        if obj is not None and hasattr(obj, "hypothesis"):
+            item.add_marker(pytest.mark.hypothesis)
+        fixtures = set(getattr(item, "fixturenames", ()))
+        slow_used = sorted(SLOW_FIXTURES & fixtures)
+        if slow_used and item.get_closest_marker("slow") is None:
+            violations.append(
+                f"{item.nodeid} uses {', '.join(slow_used)} but is not "
+                "marked @pytest.mark.slow"
+            )
+        path = Path(str(item.fspath))
+        if "golden" in path.parts and item.get_closest_marker("golden") is None:
+            violations.append(
+                f"{item.nodeid} lives under tests/golden/ but is not "
+                "marked @pytest.mark.golden"
+            )
+    if violations:
+        raise pytest.UsageError(
+            "test-matrix marker contract violated "
+            "(see pyproject.toml markers):\n  " + "\n  ".join(violations)
+        )
 
 
 @pytest.fixture

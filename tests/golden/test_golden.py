@@ -15,6 +15,8 @@ import pytest
 
 from .golden_cases import ALLOCATORS, ENGINES, POLICIES, run_case
 
+pytestmark = pytest.mark.golden
+
 SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
 
 CASES = [(policy, alloc) for policy in POLICIES for alloc in ALLOCATORS]

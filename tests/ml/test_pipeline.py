@@ -9,6 +9,10 @@ import numpy as np
 import pytest
 
 from repro.config import MLConfig, PearlConfig, PowerScalingConfig, SimulationConfig
+
+# Every test here drives the real simulator through collection or
+# training — the definition of the slow tier.
+pytestmark = pytest.mark.slow
 from repro.ml.pipeline import (
     PowerModelTrainer,
     collect_datasets,
@@ -100,125 +104,137 @@ class TestTraining:
         assert len(trainer.val_pairs) == 4
 
 
-class TestDiskCache:
-    def test_disk_cache_round_trip(self, tmp_path, monkeypatch):
-        """A second process-equivalent call loads the persisted model."""
+@pytest.fixture
+def tiny_trainer(monkeypatch, tmp_path):
+    """Shrink the default training drastically and isolate the registry."""
+    from repro.ml import pipeline as pl
+
+    monkeypatch.setenv("PEARL_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("PEARL_REGISTRY_DIR", raising=False)
+    trainer_pairs = [
+        (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"])
+    ]
+    val_pairs = [(CPU_BENCHMARKS["raytrace"], GPU_BENCHMARKS["prefix_sum"])]
+
+    original_init = pl.PowerModelTrainer.__init__
+
+    def tiny_init(self, config=None, train_pairs=None, val_pairs_=None,
+                  seed=2018, quick=False, **kwargs):
+        original_init(
+            self,
+            config=_small_config(),
+            train_pairs=trainer_pairs,
+            val_pairs=val_pairs,
+            seed=seed,
+            quick=False,
+        )
+
+    monkeypatch.setattr(pl.PowerModelTrainer, "__init__", tiny_init)
+    pl._MODEL_CACHE.clear()
+    yield pl
+    pl._MODEL_CACHE.clear()
+
+
+class TestRegistryCache:
+    def test_registry_round_trip(self, tiny_trainer):
+        """A second process-equivalent call loads the registered model."""
         import numpy as np
 
-        from repro.ml import pipeline as pl
+        from repro.ml.lifecycle import default_registry
 
-        monkeypatch.setenv("PEARL_CACHE_DIR", str(tmp_path))
-        # Shrink the training drastically: patch the quick config pairs.
-        trainer_pairs = [
-            (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"])
-        ]
-        val_pairs = [(CPU_BENCHMARKS["raytrace"], GPU_BENCHMARKS["prefix_sum"])]
-
-        original_init = pl.PowerModelTrainer.__init__
-
-        def tiny_init(self, config=None, train_pairs=None, val_pairs_=None,
-                      seed=2018, quick=False, **kwargs):
-            original_init(
-                self,
-                config=_small_config(),
-                train_pairs=trainer_pairs,
-                val_pairs=val_pairs,
-                seed=seed,
-                quick=False,
-            )
-
-        monkeypatch.setattr(pl.PowerModelTrainer, "__init__", tiny_init)
-        pl._MODEL_CACHE.clear()
+        pl = tiny_trainer
         first = pl.train_default_model(200, quick=True, seed=99)
-        assert (tmp_path / "model_w200_q1_s99.npz").exists()
+        registry = default_registry()
+        records = registry.list()
+        assert len(records) == 1
+        assert "production" in records[0].tags
+        assert records[0].training["key"]["reservation_window"] == 200
+        assert records[0].metrics["validation_nrmse"] == pytest.approx(
+            first.validation_nrmse
+        )
 
         pl._MODEL_CACHE.clear()
         second = pl.train_default_model(200, quick=True, seed=99)
-        assert np.allclose(second.model.weights, first.model.weights)
+        assert np.array_equal(second.model.weights, first.model.weights)
         assert second.lam == first.lam
         assert second.validation_nrmse == pytest.approx(
             first.validation_nrmse
         )
-        pl._MODEL_CACHE.clear()
+        # The registry hit did not mint a second version.
+        assert len(registry.list()) == 1
 
-    def test_corrupt_disk_cache_retrained(self, tmp_path, monkeypatch):
-        """A mangled cache entry is retrained, not crashed on."""
+    def test_corrupt_registry_artifact_retrained(self, tiny_trainer):
+        """A mangled artifact is retrained and repaired, not crashed on."""
         import numpy as np
 
-        from repro.ml import pipeline as pl
+        from repro.ml.ridge import RidgeRegression
 
-        monkeypatch.setenv("PEARL_CACHE_DIR", str(tmp_path))
-        trainer_pairs = [
-            (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"])
-        ]
-        val_pairs = [(CPU_BENCHMARKS["raytrace"], GPU_BENCHMARKS["prefix_sum"])]
-
-        original_init = pl.PowerModelTrainer.__init__
-
-        def tiny_init(self, config=None, train_pairs=None, val_pairs_=None,
-                      seed=2018, quick=False, **kwargs):
-            original_init(
-                self,
-                config=_small_config(),
-                train_pairs=trainer_pairs,
-                val_pairs=val_pairs,
-                seed=seed,
-                quick=False,
-            )
-
-        monkeypatch.setattr(pl.PowerModelTrainer, "__init__", tiny_init)
-        pl._MODEL_CACHE.clear()
+        pl = tiny_trainer
         first = pl.train_default_model(200, quick=True, seed=99)
-        model_path = tmp_path / "model_w200_q1_s99.npz"
+        model_path = pl.ensure_model_file(200, quick=True, seed=99)
         model_path.write_bytes(b"not a zip archive")
 
         pl._MODEL_CACHE.clear()
         retrained = pl.train_default_model(200, quick=True, seed=99)
         assert np.allclose(retrained.model.weights, first.model.weights)
-        # The corrupt file was overwritten with a loadable model.
+        # ensure_model_file never hands workers an unloadable path.
         pl._MODEL_CACHE.clear()
         path = pl.ensure_model_file(200, quick=True, seed=99)
-        from repro.ml.ridge import RidgeRegression
-
         loaded = RidgeRegression.load(path)
         assert np.allclose(loaded.weights, first.model.weights)
+
+    def test_schema_mismatch_forces_retrain(self, tiny_trainer):
+        """A feature-schema change retrains instead of serving the hit.
+
+        Doctoring the stored record's schema hash simulates a model
+        trained before an MLConfig feature-flag change: the lookup key
+        still matches, but deploying it would misinterpret the inputs.
+        """
+        import json
+
+        from repro.ml.lifecycle import default_registry
+        from repro.ml.lifecycle.registry import schema_hash
+
+        pl = tiny_trainer
+        pl.train_default_model(200, quick=True, seed=99)
+        registry = default_registry()
+        record = registry.list()[0]
+        # Turn the stored version into a stale-schema one: same training
+        # key, but a feature contract that no longer matches MLConfig.
+        stale_id = "f" * 16
+        obj_dir = registry.root / "objects" / record.model_id
+        stale_dir = registry.root / "objects" / stale_id
+        obj_dir.rename(stale_dir)
+        meta = json.loads((stale_dir / "meta.json").read_text())
+        meta["model_id"] = stale_id
+        meta["schema_hash"] = "0" * 64
+        (stale_dir / "meta.json").write_text(json.dumps(meta))
+
         pl._MODEL_CACHE.clear()
+        pl.train_default_model(200, quick=True, seed=99)
+        records = registry.list()
+        # A fresh version exists alongside the stale-schema one, and
+        # the key now resolves to the current-schema model.
+        assert len(records) == 2
+        hit = registry.find_by_key(
+            {
+                "pipeline": "two_phase_default",
+                "reservation_window": 200,
+                "quick": True,
+                "seed": 99,
+            },
+            with_schema_hash=schema_hash(),
+        )
+        assert hit is not None
+        assert hit.schema_hash == schema_hash()
+        assert hit.model_id != stale_id
 
-    def test_ensure_model_file_replaces_corrupt_file(
-        self, tmp_path, monkeypatch
-    ):
-        """ensure_model_file never hands workers an unloadable path."""
-        import numpy as np
+    def test_ensure_model_file_points_into_registry(self, tiny_trainer):
+        """The worker-visible path is the registry's object store."""
+        from repro.ml.lifecycle import default_registry
 
-        from repro.ml import pipeline as pl
-        from repro.ml.ridge import RidgeRegression
-
-        monkeypatch.setenv("PEARL_CACHE_DIR", str(tmp_path))
-        trainer_pairs = [
-            (CPU_BENCHMARKS["blackscholes"], GPU_BENCHMARKS["binary_search"])
-        ]
-        val_pairs = [(CPU_BENCHMARKS["raytrace"], GPU_BENCHMARKS["prefix_sum"])]
-
-        original_init = pl.PowerModelTrainer.__init__
-
-        def tiny_init(self, config=None, train_pairs=None, val_pairs_=None,
-                      seed=2018, quick=False, **kwargs):
-            original_init(
-                self,
-                config=_small_config(),
-                train_pairs=trainer_pairs,
-                val_pairs=val_pairs,
-                seed=seed,
-                quick=False,
-            )
-
-        monkeypatch.setattr(pl.PowerModelTrainer, "__init__", tiny_init)
-        pl._MODEL_CACHE.clear()
-        # Simulate the corrupt committed artifact: model file unloadable
-        # while the in-process cache is cold.
-        (tmp_path / "model_w200_q1_s99.npz").write_bytes(b"garbage")
-        (tmp_path / "model_w200_q1_s99.json").write_text("{}")
+        pl = tiny_trainer
         path = pl.ensure_model_file(200, quick=True, seed=99)
-        loaded = RidgeRegression.load(path)
-        assert np.isfinite(loaded.weights).all()
-        pl._MODEL_CACHE.clear()
+        registry = default_registry()
+        assert registry.root in path.parents
+        assert path.name == "model.npz"

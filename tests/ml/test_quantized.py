@@ -1,0 +1,212 @@
+"""Tests for repro.ml.lifecycle.quantized — Qm.n fixed-point inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.lifecycle.quantized import (
+    QFormat,
+    QuantizedRidge,
+    quantization_nrmse,
+    state_agreement,
+)
+from repro.ml.ridge import RidgeRegression
+
+Q16 = QFormat.parse("q4.12")
+
+
+def _fitted_model(
+    n=120, d=30, seed=0, scale=1.0, standardize=True
+) -> RidgeRegression:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    t = scale * (X @ rng.normal(size=d)) + 3.0
+    return RidgeRegression(lam=1.0, standardize=standardize).fit(X, t)
+
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+qformats = st.builds(
+    QFormat,
+    int_bits=st.integers(min_value=1, max_value=16),
+    frac_bits=st.integers(min_value=0, max_value=16),
+)
+
+
+class TestQFormat:
+    def test_parse_q4_12(self):
+        fmt = QFormat.parse("q4.12")
+        assert fmt.int_bits == 4
+        assert fmt.frac_bits == 12
+        assert fmt.total_bits == 16
+        assert fmt.scale == 4096
+
+    def test_parse_case_insensitive(self):
+        assert QFormat.parse("Q2.6") == QFormat(2, 6)
+
+    @pytest.mark.parametrize("bad", ["", "4.12", "q4", "qx.y", "q-1.2"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            QFormat.parse(bad)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(17, 16)
+
+    def test_bounds(self):
+        fmt = QFormat(4, 12)
+        assert fmt.qmax == 32767
+        assert fmt.qmin == -32768
+        assert fmt.max_value == pytest.approx(8.0, abs=1e-3)
+        assert fmt.resolution == pytest.approx(1 / 4096)
+
+    def test_saturates_out_of_range(self):
+        fmt = QFormat(4, 12)
+        assert fmt.quantize(np.array([100.0]))[0] == fmt.qmax
+        assert fmt.quantize(np.array([-100.0]))[0] == fmt.qmin
+
+    def test_nan_maps_to_zero(self):
+        assert QFormat(4, 12).quantize(np.array([np.nan]))[0] == 0
+
+
+class TestQFormatProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40), fmt=qformats)
+    def test_round_trip_idempotent(self, values, fmt):
+        """quantize∘dequantize∘quantize == quantize (one-pass lossy)."""
+        x = np.array(values)
+        once = fmt.quantize(x)
+        again = fmt.quantize(fmt.dequantize(once))
+        assert np.array_equal(once, again)
+
+    @settings(max_examples=200, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=40), fmt=qformats)
+    def test_codes_always_in_range(self, values, fmt):
+        codes = fmt.quantize(np.array(values))
+        assert np.all(codes >= fmt.qmin)
+        assert np.all(codes <= fmt.qmax)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        value=st.floats(min_value=-7.9, max_value=7.9, allow_nan=False),
+    )
+    def test_in_range_error_bounded_by_half_lsb(self, value):
+        fmt = QFormat(4, 12)
+        restored = fmt.dequantize(fmt.quantize(np.array([value])))[0]
+        assert abs(restored - value) <= 0.5 * fmt.resolution + 1e-12
+
+
+class TestSaturatingMac:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        features=st.lists(
+            finite_floats, min_size=30, max_size=30
+        ),
+        seed=st.integers(min_value=0, max_value=7),
+    )
+    def test_accumulator_never_overflows(self, features, seed):
+        """Arbitrary (even adversarial) inputs stay inside the register."""
+        quantized = QuantizedRidge(_fitted_model(seed=seed), Q16)
+        acc = quantized.accumulate(
+            quantized.quantize_activations(np.array(features))
+        )
+        assert quantized.acc_min <= int(acc) <= quantized.acc_max
+        # ... and the dequantized prediction is a usable float.
+        assert np.isfinite(quantized.predict(np.array(features)))
+
+    def test_worst_case_input_clamps_not_wraps(self):
+        """All-max activations against all-max weights must clamp."""
+        model = _fitted_model(standardize=False)
+        model.weights = np.full_like(model.weights, 1e9)
+        model.intercept = 1e12
+        quantized = QuantizedRidge(model, QFormat(2, 6))
+        huge = np.full(30, 1e12)
+        acc = quantized.accumulate(quantized.quantize_activations(huge))
+        assert int(acc) == quantized.acc_max  # clamped, not wrapped negative
+
+    def test_matrix_and_vector_paths_agree(self):
+        quantized = QuantizedRidge(_fitted_model(), Q16)
+        X = np.random.default_rng(5).normal(size=(8, 30))
+        batch = quantized.predict(X)
+        singles = np.array([quantized.predict(row) for row in X])
+        assert np.array_equal(batch, singles)
+
+
+class TestFidelity:
+    def test_nrmse_converges_with_frac_bits(self):
+        """More fractional bits monotonically approach the float model."""
+        model = _fitted_model()
+        X = np.random.default_rng(9).normal(size=(200, 30))
+        errors = [
+            quantization_nrmse(model, QuantizedRidge.from_spec(model, spec), X)
+            for spec in ("q2.6", "q4.12", "q8.24")
+        ]
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-4
+
+    def test_wide_format_near_exact(self):
+        model = _fitted_model()
+        X = np.random.default_rng(9).normal(size=(50, 30))
+        nrmse = quantization_nrmse(
+            model, QuantizedRidge.from_spec(model, "q8.24"), X
+        )
+        assert nrmse < 1e-4
+
+    def test_weight_shift_rescues_big_weights(self):
+        """Weights beyond the format's range block-scale instead of clip."""
+        model = _fitted_model(scale=400.0)  # window-500-style magnitudes
+        quantized = QuantizedRidge(model, Q16)
+        assert quantized.weight_shift > 0
+        X = np.random.default_rng(11).normal(size=(100, 30))
+        assert quantization_nrmse(model, quantized, X) < 0.02
+        # Without the shift the same format would saturate badly.
+        assert float(np.max(np.abs(model.weights))) > Q16.max_value
+
+    def test_small_weights_skip_shift(self):
+        model = _fitted_model(scale=0.5)
+        assert QuantizedRidge(model, Q16).weight_shift == 0
+
+    def test_state_agreement_perfect_for_wide_format(self):
+        model = _fitted_model()
+        X = np.random.default_rng(13).normal(size=(100, 30))
+        agreement = state_agreement(
+            model,
+            QuantizedRidge.from_spec(model, "q8.24"),
+            X,
+            to_state=lambda p: 0 if p < 0 else 1,
+        )
+        assert agreement == 1.0
+
+    def test_empty_matrix_rejected(self):
+        model = _fitted_model()
+        quantized = QuantizedRidge(model, Q16)
+        with pytest.raises(ValueError):
+            quantization_nrmse(model, quantized, np.empty((0, 30)))
+
+
+class TestInterface:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizedRidge(RidgeRegression(), Q16)
+
+    def test_feature_count_enforced(self):
+        quantized = QuantizedRidge(_fitted_model(), Q16)
+        with pytest.raises(ValueError):
+            quantized.accumulate(np.zeros(29, dtype=np.int64))
+
+    def test_describe_is_jsonable(self):
+        import json
+
+        desc = QuantizedRidge(_fitted_model(), Q16).describe()
+        assert json.loads(json.dumps(desc)) == desc
+        assert desc["weight_format"] == "q4.12"
+        assert desc["accumulator_bits"] <= 62
+
+    def test_from_spec_separate_activation_format(self):
+        quantized = QuantizedRidge.from_spec(
+            _fitted_model(), "q4.12", activation_spec="q8.8"
+        )
+        assert str(quantized.weight_format) == "q4.12"
+        assert str(quantized.activation_format) == "q8.8"

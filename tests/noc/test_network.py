@@ -100,6 +100,7 @@ class TestPowerAccounting:
         assert stats.receiver_energy_j > 0
         assert stats.ml_energy_j == 0.0  # no ML policy
 
+    @pytest.mark.slow
     def test_ml_energy_charged(self, tiny_config, tiny_trace, tiny_trained_model):
         stats = (
             PearlNetwork(
@@ -113,6 +114,7 @@ class TestPowerAccounting:
         assert stats.ml_energy_j > 0
 
 
+@pytest.mark.slow
 class TestMlPolicy:
     def test_ml_run_produces_history(
         self, tiny_config, tiny_trace, tiny_trained_model

@@ -99,6 +99,7 @@ class TestPaperShapeInvariants:
             fast.mean_laser_power_w, rel=0.15
         )
 
+    @pytest.mark.slow
     def test_ml_policy_end_to_end(self, config, trace, tiny_trained_model):
         """A trained model drives the network and saves power."""
         baseline = PearlNetwork(config).run(trace)

@@ -1,0 +1,111 @@
+"""Seed-matrix regression: policy × allocator × seed, fast vs reference.
+
+The golden suite pins one workload at one seed; this matrix spreads
+thinner but wider — every power policy under both bandwidth allocators
+across three seeds, asserting the fast engine is *bit-identical* to the
+reference engine on each combination.  The ML policy's model is not
+handed over in memory: it goes through a registry put/promote/get round
+trip first, so the deployment path the workers use is the path under
+test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PearlConfig, SimulationConfig
+from repro.ml.features import NUM_FEATURES
+from repro.ml.lifecycle.registry import DEFAULT_TAG, ModelRegistry
+from repro.ml.ridge import RidgeRegression
+from repro.noc.network import PearlNetwork
+from repro.noc.router import PowerPolicyKind
+from repro.traffic.benchmarks import get_benchmark
+from repro.traffic.synthetic import generate_pair_trace
+
+# Every case drives the full simulator twice; firmly the slow tier.
+pytestmark = pytest.mark.slow
+
+SEEDS = (3, 11, 2018)
+POLICIES = ("static", "reactive", "adaptive", "ml", "random")
+ALLOCATORS = ("dynamic", "fcfs")
+
+MATRIX = [
+    (policy, alloc, seed)
+    for policy in POLICIES
+    for alloc in ALLOCATORS
+    for seed in SEEDS
+]
+
+
+def _handcrafted_model() -> RidgeRegression:
+    """Literal weights (no solver) so every platform agrees bit-for-bit."""
+    model = RidgeRegression(lam=1.0, standardize=False)
+    weights = np.zeros(NUM_FEATURES)
+    weights[8] = 0.5
+    model.weights = weights
+    model.intercept = 4.0
+    return model
+
+
+@pytest.fixture(scope="module")
+def registry_model(tmp_path_factory):
+    """The ML-policy model, deployed the way production runs get it."""
+    registry = ModelRegistry(tmp_path_factory.mktemp("seed-matrix") / "reg")
+    source = _handcrafted_model()
+    record = registry.put(
+        source, training={"key": {"pipeline": "seed_matrix_literal"}}
+    )
+    registry.promote(record.model_id)
+    model = registry.get(DEFAULT_TAG)
+    # The artifact round trip must be lossless before it drives runs.
+    assert np.array_equal(model.weights, source.weights)
+    assert model.intercept == source.intercept
+    return model
+
+
+def _run(policy: str, allocator: str, seed: int, engine: str, ml_model):
+    config = PearlConfig(
+        simulation=SimulationConfig(
+            warmup_cycles=100, measure_cycles=1_000, seed=seed
+        )
+    )
+    trace = generate_pair_trace(
+        get_benchmark("fluidanimate"),
+        get_benchmark("dct"),
+        config.architecture,
+        config.simulation.total_cycles,
+        seed,
+    )
+    network = PearlNetwork(
+        config,
+        power_policy=PowerPolicyKind(policy),
+        use_dynamic_bandwidth=(allocator == "dynamic"),
+        ml_model=ml_model if policy == "ml" else None,
+        seed=seed,
+    )
+    return network.run(trace, engine=engine)
+
+
+def _canonical(result) -> dict:
+    return {
+        "stats": result.stats.to_dict(),
+        "state_residency": dict(result.state_residency),
+        "mean_laser_power_w": result.mean_laser_power_w,
+        "laser_stall_cycles": result.laser_stall_cycles,
+        "ml_predictions": list(result.ml_predictions),
+    }
+
+
+@pytest.mark.parametrize(
+    "policy,allocator,seed",
+    MATRIX,
+    ids=[f"{p}-{a}-s{s}" for p, a, s in MATRIX],
+)
+def test_fast_engine_matches_reference(
+    policy: str, allocator: str, seed: int, registry_model
+) -> None:
+    model = registry_model if policy == "ml" else None
+    fast = _canonical(_run(policy, allocator, seed, "fast", model))
+    reference = _canonical(_run(policy, allocator, seed, "reference", model))
+    assert fast == reference
