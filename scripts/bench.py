@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Benchmark the fast-forwarding cycle engine against the reference.
+"""Benchmark the cycle engines against each other.
 
-Runs a small workload matrix (idle-heavy, mixed, saturated) under both
-the event-horizon fast engine and the reference cycle-by-cycle engine,
-verifies the results are bit-identical, and writes ``BENCH_<label>.json``
-with per-variant wall time, simulated cycles/second and speedup.
+Runs a small workload matrix (idle-heavy, mixed, saturated) under the
+reference cycle-by-cycle engine, the event-horizon fast engine and the
+struct-of-arrays array engine, verifies all three are bit-identical,
+and writes ``BENCH_<label>.json`` with per-variant wall time, simulated
+cycles/second and speedups (fast vs reference, array vs fast).
 
 Usage::
 
@@ -13,8 +14,14 @@ Usage::
 
 ``--check`` exits non-zero when any engine pair diverges, when the fast
 engine is slower than the reference on the idle-heavy workload
-(``--min-idle-speedup``, default 1.0), or when the saturated workload
-regresses by more than ``--max-saturated-regression`` (default 0.10).
+(``--min-idle-speedup``, default 1.0), when the saturated workload
+regresses by more than ``--max-saturated-regression`` (default 0.10),
+or when the array engine's saturated speedup over the fast engine drops
+below ``--min-array-saturated-speedup``.  The committed full-run
+``BENCH_*.json`` files are the performance trajectory of record (the
+array core clears 2x on saturated there); the CI default gate is a
+deliberately conservative 1.3 so shared-runner timing noise cannot
+flake the build while order-of-magnitude regressions still fail it.
 See ``docs/performance.md`` for how to read the output.
 """
 
@@ -38,7 +45,7 @@ from repro.traffic.synthetic import (  # noqa: E402
     uniform_random_trace,
 )
 
-ENGINES = ("reference", "fast")
+ENGINES = ("reference", "fast", "array")
 
 POLICIES = {
     "static": PowerPolicyKind.STATIC,
@@ -138,13 +145,17 @@ def run_matrix(quick: bool, repeats: int) -> dict:
                     wall = time.perf_counter() - start
                     walls[engine] = min(walls[engine], wall)
                     outputs[engine] = _canonical(network, result)
-            identical = outputs["reference"] == outputs["fast"]
+            identical = all(
+                outputs[engine] == outputs["reference"]
+                for engine in ENGINES[1:]
+            )
             entries[f"{workload}/{policy_name}"] = {
                 "workload": workload,
                 "policy": policy_name,
                 "cycles": cycles,
                 "identical": identical,
                 "speedup": walls["reference"] / walls["fast"],
+                "array_speedup": walls["fast"] / walls["array"],
                 **{
                     engine: {
                         "wall_s": walls[engine],
@@ -157,13 +168,21 @@ def run_matrix(quick: bool, repeats: int) -> dict:
             print(
                 f"{workload:11s} {policy_name:9s} "
                 f"ref={walls['reference']:.3f}s fast={walls['fast']:.3f}s "
-                f"x{entry['speedup']:.2f} identical={identical}",
+                f"array={walls['array']:.3f}s "
+                f"x{entry['speedup']:.2f} "
+                f"array_x{entry['array_speedup']:.2f} "
+                f"identical={identical}",
                 flush=True,
             )
     return entries
 
 
-def check(entries: dict, min_idle_speedup: float, max_sat_regression: float):
+def check(
+    entries: dict,
+    min_idle_speedup: float,
+    max_sat_regression: float,
+    min_array_sat_speedup: float,
+):
     """The CI gate: equivalence always, speed on the trajectory axes."""
     failures = []
     for name, entry in entries.items():
@@ -177,13 +196,17 @@ def check(entries: dict, min_idle_speedup: float, max_sat_regression: float):
                 f"{name}: speedup {entry['speedup']:.2f} < "
                 f"required {min_idle_speedup:.2f}"
             )
-        if entry["workload"] == "saturated" and entry["speedup"] < (
-            1.0 - max_sat_regression
-        ):
-            failures.append(
-                f"{name}: saturated regression "
-                f"{1.0 - entry['speedup']:.1%} > {max_sat_regression:.0%}"
-            )
+        if entry["workload"] == "saturated":
+            if entry["speedup"] < (1.0 - max_sat_regression):
+                failures.append(
+                    f"{name}: saturated regression "
+                    f"{1.0 - entry['speedup']:.1%} > {max_sat_regression:.0%}"
+                )
+            if entry["array_speedup"] < min_array_sat_speedup:
+                failures.append(
+                    f"{name}: array speedup {entry['array_speedup']:.2f} < "
+                    f"required {min_array_sat_speedup:.2f}"
+                )
     return failures
 
 
@@ -208,6 +231,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--min-idle-speedup", type=float, default=1.0)
     parser.add_argument("--max-saturated-regression", type=float, default=0.10)
+    parser.add_argument(
+        "--min-array-saturated-speedup",
+        type=float,
+        default=1.3,
+        help="array-vs-fast floor on the saturated workload; kept below "
+        "the ~2x shown in the committed full-run BENCH jsons so CI "
+        "timing noise cannot flake the gate",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
@@ -225,7 +256,10 @@ def main(argv=None) -> int:
 
     if args.check:
         failures = check(
-            entries, args.min_idle_speedup, args.max_saturated_regression
+            entries,
+            args.min_idle_speedup,
+            args.max_saturated_regression,
+            args.min_array_saturated_speedup,
         )
         if failures:
             for failure in failures:

@@ -3,8 +3,9 @@
 
 Run after an *intentional* simulator behaviour change and commit the
 resulting diff together with the code change.  Each case is simulated
-on both cycle engines and the script refuses to write a snapshot the
-engines disagree on — a divergence means a bug, not a new golden.
+on every cycle engine (reference, fast, array) and the script refuses
+to write a snapshot the engines disagree on — a divergence means a
+bug, not a new golden.
 
 Usage: python scripts/update_golden.py
 """
@@ -21,6 +22,7 @@ sys.path.insert(0, str(ROOT))
 
 from tests.golden.golden_cases import (  # noqa: E402
     ALLOCATORS,
+    ENGINES,
     POLICIES,
     run_case,
 )
@@ -31,18 +33,29 @@ def main() -> int:
     outdir.mkdir(parents=True, exist_ok=True)
     for policy in POLICIES:
         for allocator in ALLOCATORS:
-            fast = run_case(policy, allocator, "fast")
-            reference = run_case(policy, allocator, "reference")
-            if fast != reference:
+            results = {
+                engine: run_case(policy, allocator, engine)
+                for engine in ENGINES
+            }
+            baseline_engine = ENGINES[0]
+            baseline = results[baseline_engine]
+            diverged = [
+                engine
+                for engine in ENGINES[1:]
+                if results[engine] != baseline
+            ]
+            if diverged:
                 print(
-                    f"ENGINE DIVERGENCE for {policy}_{allocator}: refusing "
-                    "to write a snapshot (fix the engines first)",
+                    f"ENGINE DIVERGENCE for {policy}_{allocator}: "
+                    f"{', '.join(diverged)} disagree with "
+                    f"{baseline_engine}; refusing to write a snapshot "
+                    "(fix the engines first)",
                     file=sys.stderr,
                 )
                 return 1
             path = outdir / f"{policy}_{allocator}.json"
             path.write_text(
-                json.dumps(fast, indent=2, sort_keys=True) + "\n"
+                json.dumps(baseline, indent=2, sort_keys=True) + "\n"
             )
             print(f"wrote {path.relative_to(ROOT)}")
     return 0

@@ -105,9 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
     simp.add_argument(
         "--sim-engine",
         default="fast",
-        choices=["fast", "reference"],
-        help="cycle engine: event-horizon fast-forwarding (default) or "
-        "plain cycle-by-cycle stepping (bit-identical results)",
+        choices=["fast", "reference", "array"],
+        help="cycle engine: event-horizon fast-forwarding (default), "
+        "plain cycle-by-cycle stepping, or the struct-of-arrays batch "
+        "core (all bit-identical results)",
     )
     simp.add_argument(
         "--faults",

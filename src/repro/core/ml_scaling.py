@@ -162,8 +162,32 @@ class MLPowerScaler:
         """True on this router's staggered window boundaries."""
         return (cycle - self.offset) % self._window == 0
 
+    def predict_window_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """One batched inference for several same-cycle feature rows.
+
+        ``matrix`` is ``(k, NUM_FEATURES)``; the float path runs a
+        single ``matrix @ weights`` matmul and the quantized path one
+        row-parallel saturating-MAC sweep.  This is the *defining*
+        inference semantics for routers whose windows close on the same
+        cycle: a ``(k, n)`` GEMV is not guaranteed bitwise equal to k
+        separate ``(1, n)`` calls on every BLAS, so every engine must
+        group identically and feed groups through this one kernel
+        (``decide(..., precomputed=row)`` then consumes the rows).
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != NUM_FEATURES:
+            raise ValueError(
+                f"expected a (k, {NUM_FEATURES}) feature matrix, got "
+                f"{matrix.shape}"
+            )
+        predictor = self.quantized if self.quantized is not None else self.model
+        return np.asarray(predictor.predict(matrix), dtype=float).ravel()
+
     def decide(
-        self, features: np.ndarray, max_state: Optional[int] = None
+        self,
+        features: np.ndarray,
+        max_state: Optional[int] = None,
+        precomputed: Optional[float] = None,
     ) -> int:
         """Predict next-window injections and pick the wavelength state.
 
@@ -171,14 +195,23 @@ class MLPowerScaler:
         the sustainable state set (the router passes its fault
         injector's ``max_usable_state``), making the scaler fault-aware
         rather than clamped after the fact.
+
+        ``precomputed`` supplies this router's row of a batched
+        :meth:`predict_window_batch` inference (grouped same-cycle
+        closers); everything downstream of the prediction is unchanged.
         """
         features = np.asarray(features, dtype=float).ravel()
         if features.shape[0] != NUM_FEATURES:
             raise ValueError(
                 f"expected {NUM_FEATURES} features, got {features.shape[0]}"
             )
-        predictor = self.quantized if self.quantized is not None else self.model
-        predicted = float(predictor.predict(features))
+        if precomputed is not None:
+            predicted = float(precomputed)
+        else:
+            predictor = (
+                self.quantized if self.quantized is not None else self.model
+            )
+            predicted = float(predictor.predict(features))
         self._observe_drift(features, predicted)
         if (
             self.drift_action == "fallback"

@@ -44,6 +44,9 @@ CACHE_LEVEL_ORDER = (
     CacheLevel.GPU_L2_DOWN,
     CacheLevel.L3,
 )
+# Engines index per-level counters by ``CacheLevel.table_index``; pin it
+# to this tuple so the two orders can never drift apart.
+assert all(lvl.table_index == i for i, lvl in enumerate(CACHE_LEVEL_ORDER))
 
 FEATURE_NAMES: List[str] = (
     [

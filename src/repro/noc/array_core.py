@@ -1,0 +1,1270 @@
+"""Struct-of-arrays cycle engine (``engine="array"``).
+
+The scalar engines walk 17 :class:`~repro.noc.router.PearlRouter`
+objects every cycle; this engine keeps the per-router *cycle-path*
+state in flat arrays indexed by router id and replaces the per-router
+Python calls with a handful of vectorized operations plus tightly
+masked scalar loops over only the routers that can actually do work
+this cycle.  Everything it computes is **bit-identical** to the
+reference engine — the differential harness in
+``tests/noc/test_array_engine.py`` enforces array == fast == reference
+across every policy, allocator, fault schedule and quantization format.
+
+State layout (indexed by router id, ``n = num_routers``; numpy arrays
+carry the vectorized integrals, plain Python lists carry the scalars
+the per-packet hot path touches):
+
+=========================  ====================================================
+``_s_* / _caps (4, n)``    occupied/capacity slots (cpu, ej-cpu, gpu, ej-gpu)
+``_occ_frac (4, n)``       cached occupancy fractions (``_slots_dirty`` guard)
+``_comb_frac (n,)``        cached combined input occupancy (reactive Buf_w)
+``feat_occ (4, n)``        window occupancy sums (features 2-5 numerators)
+``occ_base/link_base``     lazy sample counters: ``samples = cycle - base``
+``_feat_link_busy``        link-busy cycles settled into the open window
+``_emax / _cpu_free ...``  per-pool transmit-engine busy caches
+``_f_* lists``             Table III event counters (features 7-29)
+``state_idx (n,)``         active wavelength-state index (ladder order)
+``pending_idx (n,)``       pending state index (-1 = none)
+``stab_end (n,)``          integral flip cycle of the pending transition
+``seg_start (n,)``         start of the open laser-ledger segment
+``in_state/at_power``      ``(n, n_states)`` integer laser cycle ledgers
+=========================  ====================================================
+
+Three ideas make the vector step cheap *and* exact:
+
+* **Lazy segment settlement.**  Laser residency/power/stall ledgers,
+  occupancy/link sample counters and the link-busy integral are all
+  piecewise constant between events, so they are settled in closed
+  form only when something changes (a state flip, a dispatch, a window
+  close) — per-cycle cost is a couple of integer compares.  Every
+  closed form is integer arithmetic or an IEEE-exact ``+0.0`` no-op,
+  which is exactly the invariant the fast engine's
+  :meth:`~repro.core.power_scaling.LaserBank.advance` already relies
+  on.
+* **Candidate masking.**  A router is a transmit candidate only when a
+  pool head can actually move: a photonic engine is free, or the head
+  packet is local and the crossbar is free.  Head-locality flags are
+  maintained at push/pop time, and excluded routers are provably
+  side-effect-free (the allocator is pure, link/feature sampling is
+  lazy).
+* **Sync-at-closure.**  Window closes are rare (once per router per
+  window) and full of policy/RNG/feature logic, so the engine settles
+  the closing rows back into their router objects and reuses the
+  *same* :meth:`~repro.noc.network.PearlNetwork._close_windows`
+  grouped path as the scalar engines — including the batched
+  ``(k, n_features)`` ML matmul, which is the defining inference
+  semantics shared by every engine.
+
+What stays scalar: packet movement (FIFO pushes/pops, heap events,
+responder/fault RNG draws) and everything at window cadence.  Per-packet
+work is irreducible and order-sensitive; the array core inlines the
+per-packet counter updates (features, stats, slot accounting) and
+removes the per-cycle *per-router* overhead around them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..ml.features import CACHE_LEVEL_ORDER
+from ..traffic.trace import Trace, TraceCursor
+from .packet import CoreType, PacketClass
+from .router import (
+    EJECTION_DRAIN_PER_CYCLE,
+    LOCAL_CROSSBAR_CYCLES,
+    PIPELINE_OVERHEAD_CYCLES,
+    Transmission,
+)
+
+#: Sentinel "never" cycle for event minima (far beyond any horizon).
+_FAR = 1 << 62
+
+
+class ArrayCore:
+    """Struct-of-arrays engine over an existing :class:`PearlNetwork`.
+
+    Construction *exports* the cycle-path state of every router into
+    arrays (identity for a network of any cluster count — all arrays
+    are sized from ``len(network.routers)``); :meth:`sync_to_objects`
+    settles it back, and the export/import pair is the identity for
+    arbitrary mid-window states (property-tested).  ``start_cycle`` is
+    the cycle about to execute, so a core may be constructed around a
+    half-run network.
+    """
+
+    def __init__(self, network, start_cycle: int = 0) -> None:
+        self.net = network
+        routers = network.routers
+        self.routers = routers
+        n = len(routers)
+        self.n = n
+        self._cycle = start_cycle
+
+        # -- shared lookups ------------------------------------------------
+        ladder = routers[0].ladder
+        self._states = tuple(ladder.states)
+        self._sidx = {s: i for i, s in enumerate(self._states)}
+        self._ser_by_idx = [
+            ladder.serialization_cycles(s) for s in self._states
+        ]
+        n_states = len(self._states)
+
+        # -- object hoists (packet movement stays on these) ----------------
+        self._buffers = [r.buffers for r in routers]
+        self._cpu_pool = [r.buffers.cpu for r in routers]
+        self._gpu_pool = [r.buffers.gpu for r in routers]
+        self._ej_cpu = [r._ejection_cpu for r in routers]
+        self._ej_gpu = [r._ejection_gpu for r in routers]
+        self._q_cpu = [p._queue for p in self._cpu_pool]
+        self._q_gpu = [p._queue for p in self._gpu_pool]
+        self._q_ejc = [p._queue for p in self._ej_cpu]
+        self._q_ejg = [p._queue for p in self._ej_gpu]
+        self._ej_info = [
+            ((self._ej_cpu[r], True), (self._ej_gpu[r], False))
+            for r in range(n)
+        ]
+        self._cpu_eng = [r._engines[CoreType.CPU] for r in routers]
+        self._gpu_eng = [r._engines[CoreType.GPU] for r in routers]
+        self._local_eng = [r._local_engine for r in routers]
+        self._tx_info = [
+            (
+                (self._cpu_pool[r], self._cpu_eng[r], True),
+                (self._gpu_pool[r], self._gpu_eng[r], False),
+            )
+            for r in range(n)
+        ]
+        stats = network.stats
+        self._stats = stats
+        self._cnt_cpu = stats.counters[CoreType.CPU]
+        self._cnt_gpu = stats.counters[CoreType.GPU]
+
+        # -- allocator constants (the DBA decision is inlined per row) -----
+        from ..core.dba import DynamicBandwidthAllocator
+
+        dbas = [r.dba for r in routers]
+        self._dba_dyn = [
+            isinstance(d, DynamicBandwidthAllocator) for d in dbas
+        ]
+        self._dba_minor = [getattr(d, "_minor", 0.0) for d in dbas]
+        self._dba_major = [getattr(d, "_major", 0.0) for d in dbas]
+        self._dba_gub = [d.config.gpu_upper_bound for d in dbas]
+        self._dba_cub = [d.config.cpu_upper_bound for d in dbas]
+        self._dbas = dbas
+
+        # -- slot accounting (occupancy fractions are cached/vectorized) ---
+        self._cap_cpu = [p.capacity_slots for p in self._cpu_pool]
+        self._cap_gpu = [p.capacity_slots for p in self._gpu_pool]
+        self._s_cpu = [p._occupied_slots for p in self._cpu_pool]
+        self._s_gpu = [p._occupied_slots for p in self._gpu_pool]
+        self._s_ejc = [p._occupied_slots for p in self._ej_cpu]
+        self._s_ejg = [p._occupied_slots for p in self._ej_gpu]
+        self._caps = np.array(
+            [
+                self._cap_cpu,
+                [p.capacity_slots for p in self._ej_cpu],
+                self._cap_gpu,
+                [p.capacity_slots for p in self._ej_gpu],
+            ],
+            dtype=np.int64,
+        )
+        self._tot = np.array(
+            [b._total_slots for b in self._buffers], dtype=np.int64
+        )
+        self._occ_int = np.empty((4, n), dtype=np.int64)
+        self._occ_frac = np.zeros((4, n), dtype=np.float64)
+        self._comb_frac = np.zeros(n, dtype=np.float64)
+        self._slots_dirty = True
+
+        # -- queue-head flags and work counter ------------------------------
+        self._cpu_has = [False] * n
+        self._gpu_has = [False] * n
+        self._cpu_hl = [False] * n
+        self._gpu_hl = [False] * n
+        self._ej_rows: set = set()
+        work = 0
+        for r in range(n):
+            q = self._q_cpu[r]
+            if q:
+                self._cpu_has[r] = True
+                h = q[0]
+                self._cpu_hl[r] = h.source == h.destination
+            q = self._q_gpu[r]
+            if q:
+                self._gpu_has[r] = True
+                h = q[0]
+                self._gpu_hl[r] = h.source == h.destination
+            ej = (
+                len(self._q_ejc[r])
+                + len(self._q_ejg[r])
+                + len(routers[r]._ejection_backlog)
+            )
+            if ej:
+                self._ej_rows.add(r)
+            work += len(self._q_cpu[r]) + len(self._q_gpu[r]) + ej
+        for backlog in network._injection_backlog:
+            work += len(backlog)
+        for backlog in network._retransmit_backlog:
+            work += len(backlog)
+        #: Packets that could move next cycle (pools + backlogs); the
+        #: O(1) quiescence probe of the event-horizon skipper.
+        self._work = work
+        self._backlogs = network._injection_backlog
+        #: Rows whose injection backlog is worth retrying.  A blocked
+        #: head can only start fitting again after a transmit pop frees
+        #: slots in its pool (nothing else shrinks an input pool), so
+        #: rows enter this set there and leave it once re-blocked —
+        #: turning the scalar engine's every-cycle all-router retry
+        #: sweep into a usually-empty set check.  Seeded conservatively
+        #: with every backlogged row (a spurious retry is a no-op).
+        self._bl_ready = {
+            r for r, b in enumerate(network._injection_backlog) if b
+        }
+
+        # -- window accumulators (lazy sample counters) ---------------------
+        self.feat_occ = np.zeros((4, n), dtype=np.float64)
+        self._feat_link_busy = [0] * n
+        self.occ_base = np.zeros(n, dtype=np.int64)
+        self.link_base = np.zeros(n, dtype=np.int64)
+        self.r_sum = np.zeros(n, dtype=np.float64)
+        self.r_base = np.zeros(n, dtype=np.int64)
+        self._has_reactive = routers[0].reactive is not None
+        self._f_core = [0] * n
+        self._f_other = [0] * n
+        self._f_cores = [0] * n
+        self._f_netinj = [0] * n
+        self._f_qs = [0] * n
+        self._f_ps = [0] * n
+        self._f_qr = [0] * n
+        self._f_pr = [0] * n
+        self._f_qlvl: List[List[int]] = [[0] * 8 for _ in range(n)]
+        self._f_plvl: List[List[int]] = [[0] * 8 for _ in range(n)]
+        for r, router in enumerate(routers):
+            fc = router.features
+            sums = fc._occupancy_sums
+            self.feat_occ[0, r] = sums["cpu_core"]
+            self.feat_occ[1, r] = sums["cpu_other"]
+            self.feat_occ[2, r] = sums["gpu_core"]
+            self.feat_occ[3, r] = sums["gpu_other"]
+            self._feat_link_busy[r] = fc._link_busy_cycles
+            # Lazy counters: ``samples = cycle - base``.  Occupancy is
+            # observed *before* a close on the boundary cycle (so that
+            # cycle counts into the closing window) while the link is
+            # sampled after it — hence the off-by-one between the two.
+            self.occ_base[r] = start_cycle - fc._occupancy_samples - 1
+            self.link_base[r] = start_cycle - fc._link_samples
+            if router.reactive is not None:
+                self.r_sum[r] = router.reactive._occupancy_sum
+                self.r_base[r] = start_cycle - router.reactive._samples - 1
+            self._f_core[r] = fc._sent_to_core
+            self._f_other[r] = fc._incoming_other
+            self._f_cores[r] = fc._incoming_cores
+            self._f_netinj[r] = fc._network_injected
+            self._f_qs[r] = fc._requests_sent
+            self._f_ps[r] = fc._responses_sent
+            self._f_qr[r] = fc._requests_received
+            self._f_pr[r] = fc._responses_received
+            self._f_qlvl[r] = [
+                fc._requests_by_level[lvl] for lvl in CACHE_LEVEL_ORDER
+            ]
+            self._f_plvl[r] = [
+                fc._responses_by_level[lvl] for lvl in CACHE_LEVEL_ORDER
+            ]
+
+        # -- transmit engines / link-busy integral --------------------------
+        self._cpu_free = [0] * n
+        self._gpu_free = [0] * n
+        self._loc_busy = [0] * n
+        self._emax = [0] * n
+        for r in range(n):
+            self._refresh_engines(r)
+            self._loc_busy[r] = self._local_eng[r].busy_until
+        self._link_settled = [start_cycle] * n
+        self._stats_link_base = start_cycle
+
+        # -- laser ledgers (segment-settled) --------------------------------
+        self.state_idx = np.zeros(n, dtype=np.int64)
+        self.pending_idx = np.full(n, -1, dtype=np.int64)
+        self.stab_end = np.zeros(n, dtype=np.int64)
+        self.seg_start = np.full(n, start_cycle, dtype=np.int64)
+        self.in_state = np.zeros((n, n_states), dtype=np.int64)
+        self.at_power = np.zeros((n, n_states), dtype=np.int64)
+        self.stall = np.zeros(n, dtype=np.int64)
+        for r, router in enumerate(routers):
+            bank = router.laser
+            self.state_idx[r] = self._sidx[bank._state]
+            if bank._pending_state is not None:
+                self.pending_idx[r] = self._sidx[bank._pending_state]
+                self.stab_end[r] = start_cycle + bank._stabilize_remaining
+            for state, cycles in bank.cycles_in_state.items():
+                self.in_state[r, self._sidx[state]] = cycles
+            for state, cycles in bank._cycles_at_power.items():
+                self.at_power[r, self._sidx[state]] = cycles
+            self.stall[r] = bank.stall_cycles
+        self._recompute_next_flip()
+
+        # -- window cadence --------------------------------------------------
+        self.win = np.array(
+            [r._boundary_window for r in routers], dtype=np.int64
+        )
+        self.off = np.array(
+            [r._boundary_offset for r in routers], dtype=np.int64
+        )
+        rem = (start_cycle - self.off) % self.win
+        nxt = np.where(rem == 0, start_cycle, start_cycle + self.win - rem)
+        self._next_boundary = int(nxt.min())
+
+        # -- fault schedule ---------------------------------------------------
+        self._has_faults = network._fault_context is not None
+        self._fault_next = np.full(n, _FAR, dtype=np.int64)
+        self._link_down = [False] * n
+        if self._has_faults:
+            for r, router in enumerate(routers):
+                injector = router._fault_injector
+                if injector is None:
+                    continue
+                event = injector.next_event()
+                self._fault_next[r] = _FAR if event is None else event
+                self._link_down[r] = injector.link_down
+        self._next_fault = int(self._fault_next.min()) if n else _FAR
+
+        # -- hot-path mirrors of the laser/fault view -------------------------
+        self._tx_ok = [
+            int(self.stab_end[r]) == 0 and not self._link_down[r]
+            for r in range(n)
+        ]
+        self._ser_now = [
+            self._ser_by_idx[int(self.state_idx[r])] for r in range(n)
+        ]
+
+    # -- engine caches ------------------------------------------------------
+
+    def _refresh_engines(self, r: int) -> None:
+        """Recompute the per-pool free/max busy cache for one router."""
+        cpu = self._cpu_eng[r]
+        gpu = self._gpu_eng[r]
+        lo = hi = cpu[0].busy_until
+        for engine in cpu[1:]:
+            b = engine.busy_until
+            if b < lo:
+                lo = b
+            elif b > hi:
+                hi = b
+        self._cpu_free[r] = lo
+        lo_g = hi_g = gpu[0].busy_until
+        for engine in gpu[1:]:
+            b = engine.busy_until
+            if b < lo_g:
+                lo_g = b
+            elif b > hi_g:
+                hi_g = b
+        self._gpu_free[r] = lo_g
+        self._emax[r] = hi if hi > hi_g else hi_g
+
+    # -- occupancy cache ----------------------------------------------------
+
+    def _refresh_fracs(self) -> None:
+        """Recompute the cached occupancy fractions from the slot shadows.
+
+        The divisions are exactly those of the ``occupancy`` properties
+        the scalar observe path reads (int64/int64 true division is the
+        same correctly-rounded float64 for any slot count < 2^53), so
+        the accumulated sums are bit-identical.
+        """
+        arr = self._occ_int
+        arr[0] = self._s_cpu
+        arr[1] = self._s_ejc
+        arr[2] = self._s_gpu
+        arr[3] = self._s_ejg
+        np.divide(arr, self._caps, out=self._occ_frac)
+        np.divide(arr[0] + arr[2], self._tot, out=self._comb_frac)
+        self._slots_dirty = False
+
+    # -- laser ledger settlement --------------------------------------------
+
+    def _settle_laser_row(self, r: int, to: int) -> None:
+        seg = int(self.seg_start[r])
+        d = to - seg
+        if d < 0:
+            raise ValueError("laser ledger settled backwards")
+        if d > 0:
+            si = int(self.state_idx[r])
+            pi = int(self.pending_idx[r])
+            self.in_state[r, si] += d
+            self.at_power[r, pi if pi >= 0 else si] += d
+            if pi >= 0:
+                self.stall[r] += d
+        self.seg_start[r] = to
+
+    def _settle_lasers_all(self, to: int) -> None:
+        d = to - self.seg_start
+        rows = np.arange(self.n)
+        self.in_state[rows, self.state_idx] += d
+        powered = np.where(self.pending_idx >= 0, self.pending_idx, self.state_idx)
+        self.at_power[rows, powered] += d
+        self.stall += np.where(self.pending_idx >= 0, d, 0)
+        self.seg_start[:] = to
+
+    def _recompute_next_flip(self) -> None:
+        pending = self.stab_end[self.stab_end > 0]
+        self._next_flip = int(pending.min()) if pending.size else _FAR
+
+    def _apply_flips(self, through: int) -> None:
+        """Land every pending transition whose flip cycle is <= ``through``.
+
+        The ledger segment is split exactly at the flip cycle, so a
+        flip may be applied late (after a quiescent span skipped over
+        it) without error: the cycles before the flip settle under the
+        old state with the pending lasers powered, the cycles after it
+        under the new state.
+        """
+        for r in np.nonzero((self.stab_end > 0) & (self.stab_end <= through))[
+            0
+        ].tolist():
+            flip = int(self.stab_end[r])
+            self._settle_laser_row(r, flip)
+            self.state_idx[r] = self.pending_idx[r]
+            self.pending_idx[r] = -1
+            self.stab_end[r] = 0
+            self._ser_now[r] = self._ser_by_idx[int(self.state_idx[r])]
+            self._tx_ok[r] = not self._link_down[r]
+        self._recompute_next_flip()
+
+    # -- laser bank sync ------------------------------------------------------
+
+    def _laser_to_bank(self, r: int, cycle: int) -> None:
+        """Project a row's pre-tick laser view into its bank object."""
+        bank = self.routers[r].laser
+        bank._state = self._states[int(self.state_idx[r])]
+        pi = int(self.pending_idx[r])
+        if pi >= 0:
+            bank._pending_state = self._states[pi]
+            bank._stabilize_remaining = int(self.stab_end[r]) - cycle
+        else:
+            bank._pending_state = None
+            bank._stabilize_remaining = 0
+
+    def _laser_from_bank(self, r: int, cycle: int) -> None:
+        bank = self.routers[r].laser
+        self.state_idx[r] = self._sidx[bank._state]
+        if bank._pending_state is not None:
+            self.pending_idx[r] = self._sidx[bank._pending_state]
+            self.stab_end[r] = cycle + bank._stabilize_remaining
+            self._tx_ok[r] = False
+        else:
+            self.pending_idx[r] = -1
+            self.stab_end[r] = 0
+            self._tx_ok[r] = not self._link_down[r]
+        self._ser_now[r] = self._ser_by_idx[int(self.state_idx[r])]
+
+    # -- link-busy settlement --------------------------------------------------
+
+    def _settle_links_all(self, to: int) -> None:
+        emax = self._emax
+        settled = self._link_settled
+        busy = self._feat_link_busy
+        total = 0
+        for r in range(self.n):
+            hi = emax[r]
+            if hi > to:
+                hi = to
+            d = hi - settled[r]
+            if d > 0:
+                busy[r] += d
+                total += d
+            settled[r] = to
+        stats = self._stats
+        stats.link_busy_cycles += total
+        stats.link_total_cycles += self.n * (to - self._stats_link_base)
+        self._stats_link_base = to
+
+    # -- fault events -----------------------------------------------------------
+
+    def _fault_prepass(self, cycle: int) -> None:
+        """Consume every fault event due at ``cycle`` (scalar path).
+
+        ``RouterFaultInjector.advance_to`` only changes state when an
+        event <= cycle exists, so calling it lazily at exactly those
+        cycles is equivalent to the scalar engine's every-cycle call.
+        """
+        for r in np.nonzero(self._fault_next <= cycle)[0].tolist():
+            router = self.routers[r]
+            injector = router._fault_injector
+            self._settle_laser_row(r, cycle)
+            self._laser_to_bank(r, cycle)
+            if injector.advance_to(cycle):
+                router._request_laser_state(router._desired_state, cycle)
+            self._laser_from_bank(r, cycle)
+            event = injector.next_event()
+            self._fault_next[r] = _FAR if event is None else event
+            self._link_down[r] = injector.link_down
+            self._tx_ok[r] = (
+                int(self.stab_end[r]) == 0 and not injector.link_down
+            )
+        self._next_fault = int(self._fault_next.min())
+        self._recompute_next_flip()
+
+    # -- feature counters ---------------------------------------------------------
+
+    def _counters_to_object(self, r: int) -> None:
+        """Write a row's event counters into its FeatureCollector."""
+        fc = self.routers[r].features
+        fc._sent_to_core = self._f_core[r]
+        fc._incoming_other = self._f_other[r]
+        fc._incoming_cores = self._f_cores[r]
+        fc._network_injected = self._f_netinj[r]
+        fc._requests_sent = self._f_qs[r]
+        fc._responses_sent = self._f_ps[r]
+        fc._requests_received = self._f_qr[r]
+        fc._responses_received = self._f_pr[r]
+        ql = fc._requests_by_level
+        pl = fc._responses_by_level
+        row_q = self._f_qlvl[r]
+        row_p = self._f_plvl[r]
+        for i, lvl in enumerate(CACHE_LEVEL_ORDER):
+            ql[lvl] = row_q[i]
+            pl[lvl] = row_p[i]
+
+    # -- window boundary ----------------------------------------------------------
+
+    def _close_boundary(self, cycle: int) -> None:
+        """Settle closing rows into their routers and run the shared close.
+
+        The grouped :meth:`PearlNetwork._close_windows` is the same
+        code the scalar engines run, so policy/RNG/ML behaviour
+        (including the batched same-cycle inference) is identical by
+        construction rather than by reimplementation.
+        """
+        rows = np.nonzero((cycle - self.off) % self.win == 0)[0].tolist()
+        self._settle_links_all(cycle)
+        closers: List = []
+        for r in rows:
+            router = self.routers[r]
+            self._settle_laser_row(r, cycle)
+            self._laser_to_bank(r, cycle)
+            fc = router.features
+            sums = fc._occupancy_sums
+            sums["cpu_core"] = float(self.feat_occ[0, r])
+            sums["cpu_other"] = float(self.feat_occ[1, r])
+            sums["gpu_core"] = float(self.feat_occ[2, r])
+            sums["gpu_other"] = float(self.feat_occ[3, r])
+            fc._occupancy_samples = cycle - int(self.occ_base[r])
+            fc._link_busy_cycles = self._feat_link_busy[r]
+            fc._link_samples = cycle - int(self.link_base[r])
+            self._counters_to_object(r)
+            reactive = router.reactive
+            if reactive is not None:
+                reactive._occupancy_sum = float(self.r_sum[r])
+                reactive._samples = cycle - int(self.r_base[r])
+            closers.append(router)
+        self.net._close_windows(closers, cycle)
+        for r in rows:
+            self._laser_from_bank(r, cycle)
+            # ``snapshot`` reset the collector; restart the window rows.
+            self.feat_occ[:, r] = 0.0
+            self._feat_link_busy[r] = 0
+            self.occ_base[r] = cycle
+            self.link_base[r] = cycle
+            if self._has_reactive:
+                self.r_sum[r] = 0.0
+                self.r_base[r] = cycle
+            self._f_core[r] = 0
+            self._f_other[r] = 0
+            self._f_cores[r] = 0
+            self._f_netinj[r] = 0
+            self._f_qs[r] = 0
+            self._f_ps[r] = 0
+            self._f_qr[r] = 0
+            self._f_pr[r] = 0
+            self._f_qlvl[r] = [0] * 8
+            self._f_plvl[r] = [0] * 8
+        self._recompute_next_flip()
+        nxt = cycle + self.win - (cycle - self.off) % self.win
+        self._next_boundary = int(nxt.min())
+
+    # -- packet plumbing -----------------------------------------------------------
+
+    def _inject(self, r: int, packet, cycle: int) -> bool:
+        """Inlined router.inject + stats.on_injected (bit-identical)."""
+        flits = packet.size_flits
+        if packet.core_type is CoreType.CPU:
+            pool = self._cpu_pool[r]
+            if flits > pool.capacity_slots - pool._occupied_slots:
+                return False
+            queue = pool._queue
+            if not queue:
+                self._cpu_has[r] = True
+                self._cpu_hl[r] = packet.source == packet.destination
+            queue.append(packet)
+            pool._occupied_slots += flits
+            self._s_cpu[r] += flits
+            counter = self._cnt_cpu
+        else:
+            pool = self._gpu_pool[r]
+            if flits > pool.capacity_slots - pool._occupied_slots:
+                return False
+            queue = pool._queue
+            if not queue:
+                self._gpu_has[r] = True
+                self._gpu_hl[r] = packet.source == packet.destination
+            queue.append(packet)
+            pool._occupied_slots += flits
+            self._s_gpu[r] += flits
+            counter = self._cnt_gpu
+        packet.injected_cycle = cycle
+        # features.on_injected, inlined:
+        self._f_cores[r] += 1
+        if packet.source != packet.destination:
+            self._f_netinj[r] += 1
+        if packet.packet_class is PacketClass.REQUEST:
+            self._f_qs[r] += 1
+            self._f_qlvl[r][packet.cache_level.table_index] += 1
+        else:
+            self._f_ps[r] += 1
+            self._f_plvl[r][packet.cache_level.table_index] += 1
+        # stats.on_injected, inlined:
+        counter.packets_injected += 1
+        counter.flits_injected += flits
+        self._slots_dirty = True
+        return True
+
+    def _reinject(self, r: int, packet) -> bool:
+        """Inlined router.reinject: head-of-line retry, no run stats."""
+        flits = packet.size_flits
+        if packet.core_type is CoreType.CPU:
+            pool = self._cpu_pool[r]
+            if flits > pool.capacity_slots - pool._occupied_slots:
+                return False
+            pool._queue.appendleft(packet)
+            pool._occupied_slots += flits
+            self._s_cpu[r] += flits
+            self._cpu_has[r] = True
+            self._cpu_hl[r] = packet.source == packet.destination
+        else:
+            pool = self._gpu_pool[r]
+            if flits > pool.capacity_slots - pool._occupied_slots:
+                return False
+            pool._queue.appendleft(packet)
+            pool._occupied_slots += flits
+            self._s_gpu[r] += flits
+            self._gpu_has[r] = True
+            self._gpu_hl[r] = packet.source == packet.destination
+        self._f_cores[r] += 1
+        if packet.source != packet.destination:
+            self._f_netinj[r] += 1
+        if packet.packet_class is PacketClass.REQUEST:
+            self._f_qs[r] += 1
+            self._f_qlvl[r][packet.cache_level.table_index] += 1
+        else:
+            self._f_ps[r] += 1
+            self._f_plvl[r][packet.cache_level.table_index] += 1
+        self._slots_dirty = True
+        return True
+
+    # -- one cycle -------------------------------------------------------------------
+
+    def step(self, cycle: int, cursor: Optional[TraceCursor] = None) -> None:
+        """Advance the network by one cycle (array semantics).
+
+        Phase order matches :meth:`PearlNetwork.step` exactly; phases
+        that the scalar engine runs per-router become masked loops or
+        lazy settlements here.
+        """
+        net = self.net
+        routers = self.routers
+        backlogs = net._injection_backlog
+        responses = net._responses
+        in_flight = net._in_flight
+        heappop = heapq.heappop
+        fault_context = net._fault_context
+        # 0. CRC retransmissions re-enter their source pool head-of-line.
+        if fault_context is not None:
+            retransmits = net._retransmits
+            retry_backlogs = net._retransmit_backlog
+            for r, retry_backlog in enumerate(retry_backlogs):
+                if retry_backlog:
+                    while retry_backlog and self._reinject(
+                        r, retry_backlog[0]
+                    ):
+                        retry_backlog.popleft()
+            while retransmits and retransmits[0][0] <= cycle:
+                _, _, packet = heappop(retransmits)
+                r = packet.source
+                retry_backlog = retry_backlogs[r]
+                if retry_backlog or not self._reinject(r, packet):
+                    retry_backlog.append(packet)
+                self._work += 1
+        # 1. Retry backlogged injections (net-zero for the work counter).
+        #    Only rows whose pool lost slots since the head last blocked
+        #    (``_bl_ready``) are visited; everyone else would fail the
+        #    same capacity check they failed before.  The slot shadows
+        #    precheck the head so even a visited-but-still-blocked row
+        #    costs a couple of compares instead of a failed inject call.
+        inject = self._inject
+        bl_ready = self._bl_ready
+        if bl_ready:
+            CPU = CoreType.CPU
+            s_cpu = self._s_cpu
+            s_gpu = self._s_gpu
+            cap_cpu = self._cap_cpu
+            cap_gpu = self._cap_gpu
+            for r in sorted(bl_ready):
+                backlog = backlogs[r]
+                while backlog:
+                    head = backlog[0]
+                    if head.core_type is CPU:
+                        if head.size_flits > cap_cpu[r] - s_cpu[r]:
+                            break
+                    elif head.size_flits > cap_gpu[r] - s_gpu[r]:
+                        break
+                    inject(r, head, cycle)
+                    backlog.popleft()
+            bl_ready.clear()
+        # 2. Ready responses.
+        while responses and responses[0][0] <= cycle:
+            _, _, r, packet = heappop(responses)
+            backlog = backlogs[r]
+            if backlog or not inject(r, packet, cycle):
+                backlog.append(packet)
+            self._work += 1
+        # 3. New trace events.
+        if cursor is not None:
+            for event in cursor.pop_ready(cycle):
+                packet = event.to_packet()
+                r = packet.source
+                backlog = backlogs[r]
+                if backlog or not inject(r, packet, cycle):
+                    backlog.append(packet)
+                self._work += 1
+        # 4. Control planes.  Pending laser flips whose integral
+        #    boundary has passed land first (they are the pre-tick
+        #    state view the closes and fault clamps read)...
+        if self._next_flip <= cycle:
+            self._apply_flips(cycle)
+        if self._has_faults and self._next_fault <= cycle:
+            self._fault_prepass(cycle)
+        #    ... then the per-cycle occupancy observations (an idle
+        #    network adds exact +0.0 everywhere, so they are skipped)...
+        if self._work:
+            if self._slots_dirty:
+                self._refresh_fracs()
+            self.feat_occ += self._occ_frac
+            if self._has_reactive:
+                self.r_sum += self._comb_frac
+        #    ... then the window closes on this cycle's boundary...
+        if cycle == self._next_boundary:
+            self._close_boundary(cycle)
+        #    ... and finally the transitions that complete during this
+        #    cycle's (lazy) laser tick: the transmit phase below must
+        #    already see the new state, exactly as after the scalar
+        #    ``laser.tick()``.
+        if self._next_flip == cycle + 1:
+            self._apply_flips(cycle + 1)
+        # 5. Transmissions, masked to routers whose pool head can move:
+        #    a photonic engine is free, or the head is local and the
+        #    crossbar is free.  Blocked heads (busy engines, zero
+        #    fraction, stabilizing laser) are provably no-ops.
+        if self._work:
+            rows = []
+            append = rows.append
+            cpu_has = self._cpu_has
+            gpu_has = self._gpu_has
+            cpu_free = self._cpu_free
+            gpu_free = self._gpu_free
+            cpu_hl = self._cpu_hl
+            gpu_hl = self._gpu_hl
+            loc = self._loc_busy
+            for r in range(self.n):
+                if cpu_has[r] and (
+                    cpu_free[r] <= cycle or (cpu_hl[r] and loc[r] <= cycle)
+                ):
+                    append(r)
+                elif gpu_has[r] and (
+                    gpu_free[r] <= cycle or (gpu_hl[r] and loc[r] <= cycle)
+                ):
+                    append(r)
+            if rows:
+                self._transmit_rows(rows, cycle, in_flight)
+        # 6. Arrivals (CRC-checked when a bit-error schedule is active).
+        if in_flight and in_flight[0][0] <= cycle:
+            f_other = self._f_other
+            f_qr = self._f_qr
+            f_pr = self._f_pr
+            f_qlvl = self._f_qlvl
+            f_plvl = self._f_plvl
+            REQ = PacketClass.REQUEST
+            CPU = CoreType.CPU
+            ej_cpu = self._ej_cpu
+            ej_gpu = self._ej_gpu
+            s_ejc = self._s_ejc
+            s_ejg = self._s_ejg
+            ej_rows = self._ej_rows
+            pushed = 0
+            while in_flight and in_flight[0][0] <= cycle:
+                entry = heappop(in_flight)
+                if len(entry) == 4:
+                    _, _, packet, src = entry
+                else:
+                    transmission = entry[2]
+                    packet = transmission.packet
+                    src = transmission.source_router
+                r = packet.destination
+                if packet.source != r:
+                    if fault_context is not None and fault_context.corrupts(
+                        src, packet.size_flits, cycle
+                    ):
+                        net._handle_crc_error(packet, cycle)
+                        continue
+                    # features.on_received, inlined:
+                    f_other[r] += 1
+                    if packet.packet_class is REQ:
+                        f_qr[r] += 1
+                        f_qlvl[r][packet.cache_level.table_index] += 1
+                    else:
+                        f_pr[r] += 1
+                        f_plvl[r][packet.cache_level.table_index] += 1
+                # _push_ej, inlined (local delivery skips CRC/features):
+                flits = packet.size_flits
+                if packet.core_type is CPU:
+                    pool = ej_cpu[r]
+                    if flits <= pool.capacity_slots - pool._occupied_slots:
+                        pool._queue.append(packet)
+                        pool._occupied_slots += flits
+                        s_ejc[r] += flits
+                        self._slots_dirty = True
+                    else:
+                        routers[r]._ejection_backlog.append(packet)
+                else:
+                    pool = ej_gpu[r]
+                    if flits <= pool.capacity_slots - pool._occupied_slots:
+                        pool._queue.append(packet)
+                        pool._occupied_slots += flits
+                        s_ejg[r] += flits
+                        self._slots_dirty = True
+                    else:
+                        routers[r]._ejection_backlog.append(packet)
+                pushed += 1
+                ej_rows.add(r)
+            self._work += pushed
+        # 7. Ejection to cores, masked to routers with ejection work.
+        if self._ej_rows:
+            self._drain_rows(cycle)
+
+    def _transmit_rows(self, rows, cycle: int, in_flight) -> None:
+        """Scalar :meth:`PearlRouter.transmit` over the candidate rows.
+
+        Non-candidate routers are provably no-ops: an empty pool pops
+        nothing, a busy engine blocks the photonic head, the allocator
+        is pure, and the link-busy sample they would have recorded is
+        reconstructed lazily from the engine-busy maxima.  The DBA
+        decision is inlined (same branch order as
+        :meth:`DynamicBandwidthAllocator._decide` on the same int/int
+        occupancy divisions, so the fractions are bit-identical).
+        """
+        net = self.net
+        ceil = math.ceil
+        heappush = heapq.heappush
+        sequence = net._sequence
+        lvl = LOCAL_CROSSBAR_CYCLES
+        overhead = PIPELINE_OVERHEAD_CYCLES
+        s_cpu = self._s_cpu
+        s_gpu = self._s_gpu
+        cap_cpu = self._cap_cpu
+        cap_gpu = self._cap_gpu
+        dba_dyn = self._dba_dyn
+        dba_gub = self._dba_gub
+        dba_cub = self._dba_cub
+        dba_major = self._dba_major
+        dba_minor = self._dba_minor
+        tx_ok = self._tx_ok
+        ser_now = self._ser_now
+        local_engs = self._local_eng
+        routers = self.routers
+        tx_info = self._tx_info
+        emax = self._emax
+        q_cpu = self._q_cpu
+        q_gpu = self._q_gpu
+        cpu_has = self._cpu_has
+        cpu_hl = self._cpu_hl
+        gpu_has = self._gpu_has
+        gpu_hl = self._gpu_hl
+        backlogs = self._backlogs
+        bl_ready = self._bl_ready
+        link_settled = self._link_settled
+        feat_link_busy = self._feat_link_busy
+        stats = self._stats
+        cpu_engs = self._cpu_eng
+        gpu_engs = self._gpu_eng
+        cpu_free = self._cpu_free
+        gpu_free = self._gpu_free
+        for r in rows:
+            if dba_dyn[r]:
+                co = s_cpu[r] / cap_cpu[r]
+                go = s_gpu[r] / cap_gpu[r]
+                if go == 0.0 and co > 0.0:
+                    cf = 1.0
+                    gf = 0.0
+                elif co == 0.0 and go > 0.0:
+                    cf = 0.0
+                    gf = 1.0
+                elif go < dba_gub[r]:
+                    cf = dba_major[r]
+                    gf = dba_minor[r]
+                elif co < dba_cub[r]:
+                    cf = dba_minor[r]
+                    gf = dba_major[r]
+                else:
+                    cf = 0.5
+                    gf = 0.5
+            else:
+                cf = gf = 0.5
+            can_transmit = tx_ok[r]
+            serialization = ser_now[r]
+            local_engine = local_engs[r]
+            router = routers[r]
+            old_max = emax[r]
+            popped = 0
+            dispatched = False
+            local_used = False
+            for pool, engines, is_cpu in tx_info[r]:
+                queue = pool._queue
+                while queue:
+                    head = queue[0]
+                    if head.source == head.destination:
+                        if cycle < local_engine.busy_until:
+                            break
+                        queue.popleft()
+                        flits = head.size_flits
+                        pool._occupied_slots -= flits
+                        if is_cpu:
+                            s_cpu[r] -= flits
+                        else:
+                            s_gpu[r] -= flits
+                        popped += 1
+                        local_used = True
+                        local_engine.busy_until = cycle + 1
+                        sequence += 1
+                        heappush(
+                            in_flight, (cycle + lvl, sequence, head, r)
+                        )
+                        continue
+                    fraction = cf if is_cpu else gf
+                    if fraction <= 0.0 or not can_transmit:
+                        break
+                    engine = None
+                    for candidate in engines:
+                        if candidate.busy_until <= cycle:
+                            engine = candidate
+                            break
+                    if engine is None:
+                        break
+                    queue.popleft()
+                    flits = head.size_flits
+                    pool._occupied_slots -= flits
+                    if is_cpu:
+                        s_cpu[r] -= flits
+                    else:
+                        s_gpu[r] -= flits
+                    popped += 1
+                    dispatched = True
+                    serialize = int(ceil(serialization * flits / fraction))
+                    engine.busy_until = cycle + serialize
+                    router.reservations_sent += 1
+                    sequence += 1
+                    heappush(
+                        in_flight,
+                        (cycle + serialize + overhead, sequence, head, r),
+                    )
+            if popped:
+                self._work -= popped
+                self._slots_dirty = True
+                if backlogs[r]:
+                    bl_ready.add(r)
+                queue = q_cpu[r]
+                if queue:
+                    head = queue[0]
+                    cpu_has[r] = True
+                    cpu_hl[r] = head.source == head.destination
+                else:
+                    cpu_has[r] = False
+                queue = q_gpu[r]
+                if queue:
+                    head = queue[0]
+                    gpu_has[r] = True
+                    gpu_hl[r] = head.source == head.destination
+                else:
+                    gpu_has[r] = False
+            if dispatched:
+                # _settle_link_row, inlined:
+                settled = link_settled[r]
+                span = old_max if old_max < cycle else cycle
+                if span > settled:
+                    count = span - settled
+                    feat_link_busy[r] += count
+                    stats.link_busy_cycles += count
+                link_settled[r] = cycle
+                # _refresh_engines, inlined (single-engine fast path):
+                pool_engines = cpu_engs[r]
+                lo = hic = pool_engines[0].busy_until
+                if len(pool_engines) > 1:
+                    for engine in pool_engines[1:]:
+                        b = engine.busy_until
+                        if b < lo:
+                            lo = b
+                        elif b > hic:
+                            hic = b
+                cpu_free[r] = lo
+                pool_engines = gpu_engs[r]
+                lo = hig = pool_engines[0].busy_until
+                if len(pool_engines) > 1:
+                    for engine in pool_engines[1:]:
+                        b = engine.busy_until
+                        if b < lo:
+                            lo = b
+                        elif b > hig:
+                            hig = b
+                gpu_free[r] = lo
+                emax[r] = hic if hic > hig else hig
+            if local_used:
+                self._loc_busy[r] = local_engine.busy_until
+        net._sequence = sequence
+
+    def _drain_rows(self, cycle: int) -> None:
+        """Scalar :meth:`PearlRouter.drain_ejection` over active rows.
+
+        ``stats.on_delivered`` and ``features.on_delivered_to_core``
+        are inlined; the latency list is re-fetched per call because
+        ``begin_measurement`` *replaces* it.
+        """
+        stats = self._stats
+        lat_append = stats._latencies.append
+        cnt_cpu = self._cnt_cpu
+        cnt_gpu = self._cnt_gpu
+        schedule = self.net._schedule_response
+        CPU = CoreType.CPU
+        REQ = PacketClass.REQUEST
+        routers = self.routers
+        ej_cpu = self._ej_cpu
+        ej_gpu = self._ej_gpu
+        s_ejc = self._s_ejc
+        s_ejg = self._s_ejg
+        q_ejc = self._q_ejc
+        q_ejg = self._q_ejg
+        ej_info = self._ej_info
+        f_core = self._f_core
+        active = self._ej_rows
+        rows = tuple(active) if len(active) == 1 else sorted(active)
+        done = []
+        for r in rows:
+            router = routers[r]
+            backlog = router._ejection_backlog
+            if backlog:
+                remaining: List = []
+                for packet in backlog:
+                    flits = packet.size_flits
+                    if packet.core_type is CPU:
+                        pool = ej_cpu[r]
+                        if flits <= pool.capacity_slots - pool._occupied_slots:
+                            pool._queue.append(packet)
+                            pool._occupied_slots += flits
+                            s_ejc[r] += flits
+                            self._slots_dirty = True
+                        else:
+                            remaining.append(packet)
+                    else:
+                        pool = ej_gpu[r]
+                        if flits <= pool.capacity_slots - pool._occupied_slots:
+                            pool._queue.append(packet)
+                            pool._occupied_slots += flits
+                            s_ejg[r] += flits
+                            self._slots_dirty = True
+                        else:
+                            remaining.append(packet)
+                router._ejection_backlog = remaining
+            drained = 0
+            for pool, is_cpu in ej_info[r]:
+                queue = pool._queue
+                budget = EJECTION_DRAIN_PER_CYCLE
+                while budget and queue:
+                    budget -= 1
+                    packet = queue.popleft()
+                    flits = packet.size_flits
+                    pool._occupied_slots -= flits
+                    if is_cpu:
+                        s_ejc[r] -= flits
+                    else:
+                        s_ejg[r] -= flits
+                    # features.on_delivered_to_core, inlined:
+                    f_core[r] += 1
+                    # stats.on_delivered, inlined:
+                    packet.received_cycle = cycle
+                    counter = cnt_cpu if packet.core_type is CPU else cnt_gpu
+                    counter.packets_delivered += 1
+                    counter.flits_delivered += flits
+                    latency = cycle - packet.created_cycle
+                    counter.total_latency += latency
+                    lat_append(latency)
+                    if packet.source == packet.destination:
+                        stats.local_packets_delivered += 1
+                    else:
+                        stats.network_flits_delivered += flits
+                    if packet.packet_class is REQ:
+                        schedule(packet, cycle)
+                    drained += 1
+            if drained:
+                self._work -= drained
+                self._slots_dirty = True
+            if not q_ejc[r] and not q_ejg[r] and not router._ejection_backlog:
+                done.append(r)
+        for r in done:
+            self._ej_rows.discard(r)
+
+    # -- event-horizon skipping --------------------------------------------------
+
+    def _skip_horizon(
+        self, cycle: int, end: int, cursor: Optional[TraceCursor]
+    ) -> int:
+        """First cycle in [cycle, end] that must execute in full.
+
+        Only *externally scheduled* events bound the horizon: heap
+        arrivals, trace events, window boundaries and fault
+        transitions.  Laser flips and engine drains — which bound the
+        scalar fast engine — are integrated lazily here (segment
+        ledgers, link-busy spans), so a quiescent span may skip
+        straight over them.
+        """
+        net = self.net
+        horizon = end
+        if cursor is not None:
+            nxt = cursor.next_cycle()
+            if nxt is not None and nxt < horizon:
+                horizon = nxt
+        if net._responses and net._responses[0][0] < horizon:
+            horizon = net._responses[0][0]
+        if net._in_flight and net._in_flight[0][0] < horizon:
+            horizon = net._in_flight[0][0]
+        if net._retransmits and net._retransmits[0][0] < horizon:
+            horizon = net._retransmits[0][0]
+        if self._next_boundary < horizon:
+            horizon = self._next_boundary
+        if self._has_faults and self._next_fault < horizon:
+            horizon = self._next_fault
+        return horizon if horizon > cycle else cycle
+
+    def _advance(
+        self, start: int, end: int, cursor: Optional[TraceCursor]
+    ) -> None:
+        """Advance cycles [start, end) with event-horizon skipping.
+
+        Because every per-cycle integral is lazy, fast-forwarding a
+        quiescent span costs *nothing* — the cycle counter jumps and
+        the next settlement's closed form covers the gap exactly, so
+        the quiescence probe (``work == 0``) runs every cycle without
+        the scalar engine's backoff machinery.
+        """
+        step = self.step
+        cycle = start
+        while cycle < end:
+            step(cycle, cursor)
+            cycle += 1
+            if self._work == 0 and cycle < end:
+                horizon = self._skip_horizon(cycle, end, cursor)
+                if horizon > cycle:
+                    cycle = horizon
+        self._cycle = end
+
+    # -- full-state import back into the router objects ---------------------------
+
+    def sync_to_objects(self, cycle: Optional[int] = None) -> None:
+        """Settle every array back into the router objects.
+
+        After this call the network objects are exactly what the
+        reference engine would have produced at the same point —
+        ``ArrayCore(net, c).sync_to_objects(c)`` is the identity for
+        any reachable (and any hypothesis-randomized) state.  In-flight
+        heap entries are rebuilt in :class:`Transmission` form in place
+        (their ``(arrival, sequence)`` keys are unchanged and sequences
+        are unique, so the heap invariant is preserved without a
+        re-heapify).
+        """
+        if cycle is None:
+            cycle = self._cycle
+        self._settle_links_all(cycle)
+        self._settle_lasers_all(cycle)
+        in_flight = self.net._in_flight
+        for i, entry in enumerate(in_flight):
+            if len(entry) == 4:
+                arrival, seq, packet, src = entry
+                in_flight[i] = (
+                    arrival,
+                    seq,
+                    Transmission(
+                        packet=packet,
+                        arrival_cycle=arrival,
+                        source_router=src,
+                    ),
+                )
+        for r, router in enumerate(self.routers):
+            self._laser_to_bank(r, cycle)
+            bank = router.laser
+            bank.cycles_in_state = {
+                s: int(self.in_state[r, i]) for i, s in enumerate(self._states)
+            }
+            bank._cycles_at_power = {
+                s: int(self.at_power[r, i])
+                for i, s in enumerate(self._states)
+                if self.at_power[r, i]
+            }
+            bank.stall_cycles = int(self.stall[r])
+            fc = router.features
+            sums = fc._occupancy_sums
+            sums["cpu_core"] = float(self.feat_occ[0, r])
+            sums["cpu_other"] = float(self.feat_occ[1, r])
+            sums["gpu_core"] = float(self.feat_occ[2, r])
+            sums["gpu_other"] = float(self.feat_occ[3, r])
+            fc._occupancy_samples = cycle - int(self.occ_base[r]) - 1
+            fc._link_busy_cycles = self._feat_link_busy[r]
+            fc._link_samples = cycle - int(self.link_base[r])
+            self._counters_to_object(r)
+            reactive = router.reactive
+            if reactive is not None:
+                reactive._occupancy_sum = float(self.r_sum[r])
+                reactive._samples = cycle - int(self.r_base[r]) - 1
+
+    # -- run ------------------------------------------------------------------------
+
+    def run(self, trace: Trace):
+        """Simulate warm-up plus measurement (mirrors ``_run_bare``)."""
+        net = self.net
+        sim = net.config.simulation
+        cursor = TraceCursor(trace)
+        self._advance(0, sim.warmup_cycles, cursor)
+        self._begin_measurement(sim.warmup_cycles)
+        self._advance(sim.warmup_cycles, sim.total_cycles, cursor)
+        self._finish(sim.total_cycles)
+        return net._result()
+
+    def _begin_measurement(self, warmup: int) -> None:
+        """Warm-up boundary: settle, reset integrals, re-anchor bases."""
+        net = self.net
+        self._settle_links_all(warmup)
+        self._settle_lasers_all(warmup)
+        net.stats.begin_measurement(warmup)
+        for router in self.routers:
+            router.reset_power_stats()
+        net.memory.stats.busy_cycles = 0
+        # ``begin_measurement``/``reset_power_stats`` zeroed the object
+        # counters; zero the array ledgers to match (state/pending and
+        # the open feature windows carry across, as in the scalar run).
+        self.in_state[:] = 0
+        self.at_power[:] = 0
+        self.stall[:] = 0
+        self._stats_link_base = warmup
+
+    def _finish(self, total: int) -> None:
+        self.sync_to_objects(total)
+        self.net.stats.finish(total)
+        self.net._integrate_energy()

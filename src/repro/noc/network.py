@@ -257,51 +257,44 @@ class PearlNetwork:
     def _schedule_response(self, request: Packet, cycle: int) -> None:
         """Generate the closed-loop response to a delivered request."""
         arch = self.config.architecture
-        if request.destination == arch.l3_router_id:
+        responder = self.responder
+        requester = request.source
+        source = request.destination
+        local = requester == source
+        if source == arch.l3_router_id:
             miss_rate = (
-                self.responder.cpu_l3_miss_rate
+                responder.cpu_l3_miss_rate
                 if request.core_type is CoreType.CPU
-                else self.responder.gpu_l3_miss_rate
+                else responder.gpu_l3_miss_rate
             )
-            ready = cycle + self.responder.l3_hit_latency
+            ready = cycle + responder.l3_hit_latency
             if self._rng.random() < miss_rate:
-                line = request.source * 131 + request.created_cycle
+                line = requester * 131 + request.created_cycle
                 ready = self.memory.request(
                     line * arch.cache_line_bytes, ready
                 )
             level = CacheLevel.L3
-            source = arch.l3_router_id
-        elif request.is_local:
-            ready = cycle + self.responder.local_l2_latency
-            level = (
-                CacheLevel.CPU_L2_UP
-                if request.core_type is CoreType.CPU
-                else CacheLevel.GPU_L2_UP
-            )
-            source = request.destination
         else:
-            ready = cycle + self.responder.peer_latency
+            ready = cycle + (
+                responder.local_l2_latency if local else responder.peer_latency
+            )
             level = (
                 CacheLevel.CPU_L2_UP
                 if request.core_type is CoreType.CPU
                 else CacheLevel.GPU_L2_UP
             )
-            source = request.destination
         response = Packet(
-            source=source,
-            destination=request.source,
-            core_type=request.core_type,
-            packet_class=PacketClass.RESPONSE,
-            cache_level=level,
-            size_flits=(
-                1 if request.is_local else self.responder.response_flits
-            ),
-            created_cycle=ready,
+            source,
+            requester,
+            request.core_type,
+            PacketClass.RESPONSE,
+            level,
+            1 if local else responder.response_flits,
+            ready,
         )
-        self._sequence += 1
-        heapq.heappush(
-            self._responses, (ready, self._sequence, source, response)
-        )
+        sequence = self._sequence + 1
+        self._sequence = sequence
+        heapq.heappush(self._responses, (ready, sequence, source, response))
 
     def _on_delivered(self, packet: Packet, cycle: int) -> None:
         self.stats.on_delivered(packet, cycle)
@@ -367,8 +360,20 @@ class PearlNetwork:
                 ):
                     backlog.append(packet)
         # 4. Control planes (DBA sampling, window boundaries, laser power).
+        #    Routers on their window boundary defer the close so all
+        #    same-cycle closers share one batched ML inference; their
+        #    laser tick stays *after* the close, exactly as in
+        #    ``tick_control``.
+        closers: Optional[List[PearlRouter]] = None
         for router in routers:
-            router.tick_control(cycle)
+            if router.tick_pre_close(cycle):
+                if closers is None:
+                    closers = []
+                closers.append(router)
+        if closers is not None:
+            self._close_windows(closers, cycle)
+            for router in closers:
+                router.laser.tick()
         # 5. Transmissions.
         on_link_sample = self.stats.on_link_sample
         sequence = self._sequence
@@ -400,6 +405,36 @@ class PearlNetwork:
         on_delivered = self._on_delivered
         for router in routers:
             router.drain_ejection(cycle, on_delivered)
+
+    def _close_windows(self, closers: List[PearlRouter], cycle: int) -> None:
+        """Close every router window that falls on ``cycle``.
+
+        Non-ML policies (and a lone ML closer) take the unchanged
+        scalar path.  When several ML routers close on the same cycle
+        (an unstaggered configuration), their feature snapshots are
+        stacked into one ``(k, n_features)`` matrix and predicted with
+        a *single* matmul (or one batched saturating-MAC sweep on the
+        quantized path) — the defining semantics every engine shares,
+        so batch-sensitive BLAS kernels can never split the engines.
+        Per-router ordering (snapshot, dataset hook, label recording,
+        then decision) is exactly that of sequential ``close_window``
+        calls.
+        """
+        if len(closers) == 1 or self.power_policy is not PowerPolicyKind.ML:
+            for router in closers:
+                router.close_window(cycle)
+            return
+        pre = [router.begin_window_close(cycle) for router in closers]
+        matrix = np.stack([snapshot for _, snapshot, _ in pre])
+        scaler = closers[0].ml_scaler
+        assert scaler is not None
+        predictions = scaler.predict_window_batch(matrix)
+        for router, (label, snapshot, before), predicted in zip(
+            closers, pre, predictions
+        ):
+            router.finish_window_close(
+                cycle, label, snapshot, before, float(predicted)
+            )
 
     def _handle_crc_error(self, packet: Packet, cycle: int) -> None:
         """One packet failed its arrival CRC: NACK + retry, or drop.
@@ -557,15 +592,29 @@ class PearlNetwork:
             for cycle in range(start, end):
                 step(cycle, cursor)
 
+    #: Engines accepted by :meth:`run`; all three are bit-identical.
+    ENGINES = ("fast", "reference", "array")
+
     def run(self, trace: Trace, engine: str = "fast") -> PearlRunResult:
         """Simulate warm-up plus measurement over a trace.
 
         ``engine`` selects ``"fast"`` (event-horizon skipping, the
-        default) or ``"reference"`` (plain cycle-by-cycle stepping);
-        both produce bit-identical results.
+        default), ``"reference"`` (plain cycle-by-cycle stepping) or
+        ``"array"`` (the struct-of-arrays core in
+        :mod:`repro.noc.array_core`); all three produce bit-identical
+        results.
         """
-        if engine not in ("fast", "reference"):
+        if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
+        if engine == "array":
+            if OBS.enabled:
+                # The per-cycle telemetry hooks live on the scalar
+                # path; results are bit-identical on every engine, so
+                # instrumented runs take the fast engine instead.
+                return self._run_instrumented(trace, fast=True)
+            from .array_core import ArrayCore
+
+            return ArrayCore(self).run(trace)
         fast = engine == "fast"
         if OBS.enabled:
             return self._run_instrumented(trace, fast)

@@ -57,11 +57,23 @@ class CacheLevel(Enum):
     @property
     def core_type(self) -> Optional[CoreType]:
         """Core type implied by the cache level (None for the shared L3)."""
-        if self.value.startswith("cpu"):
-            return CoreType.CPU
-        if self.value.startswith("gpu"):
-            return CoreType.GPU
-        return None
+        return self.implied_core
+
+
+# Per-member caches, precomputed once: the implied core type is on the
+# per-packet constructor path (so no string inspection per packet) and
+# ``table_index`` is the member's position in the Table III feature
+# order (= definition order; pinned by an assert in repro.ml.features).
+for _index, _level in enumerate(CacheLevel):
+    _level.implied_core = (
+        CoreType.CPU
+        if _level.value.startswith("cpu")
+        else CoreType.GPU
+        if _level.value.startswith("gpu")
+        else None
+    )
+    _level.table_index = _index
+del _index, _level
 
 
 CPU_CACHE_LEVELS = (
@@ -78,9 +90,9 @@ GPU_CACHE_LEVELS = (
 
 _packet_ids = itertools.count()
 
-
-def _next_packet_id() -> int:
-    return next(_packet_ids)
+#: Fresh packet id; the bound ``__next__`` avoids a wrapper frame on the
+#: per-packet constructor path.
+_next_packet_id = _packet_ids.__next__
 
 
 @dataclass(slots=True)
@@ -110,7 +122,7 @@ class Packet:
             raise ValueError("packet must contain at least one flit")
         if self.created_cycle < 0:
             raise ValueError("created_cycle cannot be negative")
-        implied = self.cache_level.core_type
+        implied = self.cache_level.implied_core
         if implied is not None and implied is not self.core_type:
             raise ValueError(
                 f"cache level {self.cache_level.value} does not belong to "

@@ -357,18 +357,12 @@ class PearlRouter:
 
     def close_window(self, cycle: int) -> None:
         """Reservation-window boundary: pick the next wavelength state."""
-        label = float(self.features.network_injected_this_window)
-        snapshot = self.features.snapshot(self.laser.state)
-        if self.collection_hook is not None and self._prev_features is not None:
-            self.collection_hook(self._prev_features, label)
-        self._prev_features = snapshot
-        state_before = self.laser.state
+        label, snapshot, state_before = self.begin_window_close(cycle)
 
         if self.reactive is not None:  # REACTIVE and ADAPTIVE policies
             self._request_laser_state(self.reactive.close_window(), cycle)
         elif self.policy_kind is PowerPolicyKind.ML:
             assert self.ml_scaler is not None
-            self.ml_scaler.record_label(int(label))
             # Under faults the scaler is degradation-aware: it only
             # considers states the surviving hardware can sustain.
             max_state = (
@@ -385,6 +379,56 @@ class PearlRouter:
             self._request_laser_state(state, cycle)
         # STATIC: nothing to decide.
 
+        if OBS.enabled:
+            self._record_window_telemetry(cycle, label, state_before)
+
+    def begin_window_close(self, cycle: int) -> Tuple[float, np.ndarray, int]:
+        """First half of a window close: freeze the feature window.
+
+        Returns ``(label, snapshot, state_before)``.  Splitting the
+        close lets the network batch the ML inference of every router
+        closing on the *same* cycle into one matmul (see
+        :meth:`~repro.noc.network.PearlNetwork._close_windows`) without
+        changing any per-router ordering: the label, snapshot, dataset
+        hook and label bookkeeping all happen here exactly as they do
+        at the top of :meth:`close_window`.
+        """
+        label = float(self.features.network_injected_this_window)
+        snapshot = self.features.snapshot(self.laser.state)
+        if self.collection_hook is not None and self._prev_features is not None:
+            self.collection_hook(self._prev_features, label)
+        self._prev_features = snapshot
+        if self.ml_scaler is not None:
+            self.ml_scaler.record_label(int(label))
+        return label, snapshot, self.laser.state
+
+    def finish_window_close(
+        self,
+        cycle: int,
+        label: float,
+        snapshot: np.ndarray,
+        state_before: int,
+        predicted: float,
+    ) -> None:
+        """Second half of a *grouped ML* window close.
+
+        ``predicted`` is this router's row of the batched inference the
+        network ran over all same-cycle closers; everything after the
+        prediction (drift observation, fallback, Eq. 7 selection, the
+        state request, energy accounting, telemetry) is the unchanged
+        scalar path.
+        """
+        assert self.ml_scaler is not None
+        max_state = (
+            self._fault_injector.max_usable_state
+            if self._fault_injector is not None
+            else None
+        )
+        state = self.ml_scaler.decide(
+            snapshot, max_state=max_state, precomputed=predicted
+        )
+        self._request_laser_state(state, cycle)
+        self.ml_energy_j += self._inference_energy_j
         if OBS.enabled:
             self._record_window_telemetry(cycle, label, state_before)
 
@@ -444,6 +488,19 @@ class PearlRouter:
 
     def tick_control(self, cycle: int) -> None:
         """Per-cycle bookkeeping: occupancies, scalers, laser power."""
+        if self.tick_pre_close(cycle):
+            self.close_window(cycle)
+            self.laser.tick()
+
+    def tick_pre_close(self, cycle: int) -> bool:
+        """Everything :meth:`tick_control` does up to the window close.
+
+        Returns True on this router's window boundary with the close
+        (and the trailing laser tick) still owed — the network defers
+        them so same-cycle closers can be grouped for batched ML
+        inference.  On a non-boundary cycle the full control tick has
+        run and False is returned.
+        """
         injector = self._fault_injector
         if injector is not None and injector.advance_to(cycle):
             # A fault started or cleared this cycle: re-issue the
@@ -461,8 +518,9 @@ class PearlRouter:
             gpu_other=self._ejection_gpu.occupancy,
         )
         if (cycle - self._boundary_offset) % self._boundary_window == 0:
-            self.close_window(cycle)
+            return True
         self.laser.tick()
+        return False
 
     def transmit(self, cycle: int) -> List[Transmission]:
         """Dispatch head packets onto the local and photonic paths."""

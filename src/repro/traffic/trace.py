@@ -48,13 +48,13 @@ class InjectionEvent:
     def to_packet(self) -> Packet:
         """Materialise the event as a network packet."""
         return Packet(
-            source=self.source,
-            destination=self.destination,
-            core_type=self.core_type,
-            packet_class=self.packet_class,
-            cache_level=self.cache_level,
-            size_flits=self.size_flits,
-            created_cycle=self.cycle,
+            self.source,
+            self.destination,
+            self.core_type,
+            self.packet_class,
+            self.cache_level,
+            self.size_flits,
+            self.cycle,
         )
 
 

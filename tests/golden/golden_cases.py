@@ -29,7 +29,7 @@ from repro.traffic.synthetic import generate_pair_trace
 GOLDEN_SEED = 11
 POLICIES = ("static", "reactive", "adaptive", "ml", "random")
 ALLOCATORS = ("dynamic", "fcfs")
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "reference", "array")
 
 
 def golden_config() -> PearlConfig:

@@ -1,20 +1,29 @@
-"""Seed-matrix regression: policy × allocator × seed, fast vs reference.
+"""Seed-matrix regression: policy × allocator × seed across engines.
 
 The golden suite pins one workload at one seed; this matrix spreads
 thinner but wider — every power policy under both bandwidth allocators
-across three seeds, asserting the fast engine is *bit-identical* to the
-reference engine on each combination.  The ML policy's model is not
-handed over in memory: it goes through a registry put/promote/get round
-trip first, so the deployment path the workers use is the path under
-test.
+across three seeds, asserting the fast *and* array engines are
+bit-identical to the reference engine on each combination, plus a
+faulted and a q4.12-quantized configuration per seed on the array
+engine.  The ML policy's model is not handed over in memory: it goes
+through a registry put/promote/get round trip first, so the deployment
+path the workers use is the path under test.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
 
 from repro.config import PearlConfig, SimulationConfig
+from repro.faults import (
+    BitErrorFault,
+    FaultSchedule,
+    LaserDroopFault,
+    WavelengthFault,
+)
 from repro.ml.features import NUM_FEATURES
 from repro.ml.lifecycle.registry import DEFAULT_TAG, ModelRegistry
 from repro.ml.ridge import RidgeRegression
@@ -64,12 +73,24 @@ def registry_model(tmp_path_factory):
     return model
 
 
-def _run(policy: str, allocator: str, seed: int, engine: str, ml_model):
+def _run(
+    policy: str,
+    allocator: str,
+    seed: int,
+    engine: str,
+    ml_model,
+    quantization: str | None = None,
+    faults: FaultSchedule | None = None,
+):
     config = PearlConfig(
         simulation=SimulationConfig(
             warmup_cycles=100, measure_cycles=1_000, seed=seed
         )
     )
+    if quantization is not None:
+        config = config.replace(
+            ml=replace(config.ml, quantization=quantization)
+        )
     trace = generate_pair_trace(
         get_benchmark("fluidanimate"),
         get_benchmark("dct"),
@@ -83,6 +104,7 @@ def _run(policy: str, allocator: str, seed: int, engine: str, ml_model):
         use_dynamic_bandwidth=(allocator == "dynamic"),
         ml_model=ml_model if policy == "ml" else None,
         seed=seed,
+        faults=faults,
     )
     return network.run(trace, engine=engine)
 
@@ -102,10 +124,58 @@ def _canonical(result) -> dict:
     MATRIX,
     ids=[f"{p}-{a}-s{s}" for p, a, s in MATRIX],
 )
-def test_fast_engine_matches_reference(
+def test_engines_match_reference(
     policy: str, allocator: str, seed: int, registry_model
 ) -> None:
     model = registry_model if policy == "ml" else None
-    fast = _canonical(_run(policy, allocator, seed, "fast", model))
-    reference = _canonical(_run(policy, allocator, seed, "reference", model))
-    assert fast == reference
+    reference = _canonical(
+        _run(policy, allocator, seed, "reference", model)
+    )
+    for engine in ("fast", "array"):
+        engine_result = _canonical(
+            _run(policy, allocator, seed, engine, model)
+        )
+        assert engine_result == reference, f"{engine} diverged"
+
+
+def _seed_faults(seed: int) -> FaultSchedule:
+    """A per-seed fault mix (offsets keyed to the seed so the three
+    seeds exercise different overlap patterns)."""
+    return FaultSchedule(
+        wavelength_faults=(
+            WavelengthFault(
+                wavelengths=24,
+                router=seed % 16,
+                start=200 + seed % 97,
+                end=800 + seed % 97,
+            ),
+        ),
+        droop_faults=(
+            LaserDroopFault(max_state=32, router=(seed + 5) % 16, start=400),
+        ),
+        bit_error_faults=(BitErrorFault(rate=0.02, start=150, end=900),),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=[f"s{s}" for s in SEEDS])
+@pytest.mark.parametrize("variant", ["faulted", "q4.12"])
+def test_array_engine_hardened_configs(
+    variant: str, seed: int, registry_model
+) -> None:
+    """Per-seed faulted and quantized configs on the array engine."""
+    quantization = "q4.12" if variant == "q4.12" else None
+    faults = _seed_faults(seed) if variant == "faulted" else None
+    results = {}
+    for engine in ("fast", "array"):
+        results[engine] = _canonical(
+            _run(
+                "ml",
+                "dynamic",
+                seed,
+                engine,
+                registry_model,
+                quantization=quantization,
+                faults=faults,
+            )
+        )
+    assert results["array"] == results["fast"]
