@@ -25,10 +25,10 @@ from repro.traffic.synthetic import generate_pair_trace
 OVERHEAD_BUDGET = 1.05
 
 #: Timing repetitions; best-of-N suppresses one-off scheduler stalls.
-REPEATS = 5
+REPEATS = 7
 
 
-def _workload():
+def _workload(engine="fast"):
     config = PearlConfig(
         simulation=SimulationConfig(
             warmup_cycles=200, measure_cycles=4_000, seed=5
@@ -46,34 +46,65 @@ def _workload():
         network = PearlNetwork(
             config, power_policy=PowerPolicyKind.REACTIVE, seed=5
         )
-        network.run(trace)
+        network.run(trace, engine=engine)
 
     return run
 
 
-def test_telemetry_overhead_within_budget():
-    run = _workload()
+def _measure_ratio(run):
     run()  # warm caches and JIT-able paths before timing
 
     def instrumented():
         with obs.session():
             run()
 
-    bare_times, instrumented_times = [], []
-    for _ in range(REPEATS):  # interleave so drift hits both sides
+    # Each repeat times one bare/instrumented pair back to back (order
+    # alternates to cancel any systematic first-runner advantage) and
+    # contributes its own ratio.  Taking the *minimum pair ratio* makes
+    # the canary robust to clock-speed drift on busy hosts: a thermal
+    # or scheduler slowdown inflates both halves of the pair it lands
+    # on, while a genuine instrumentation regression inflates the
+    # instrumented half of every pair.
+    ratios, pairs = [], []
+    for repeat in range(REPEATS):
+        first, second = (
+            (run, instrumented) if repeat % 2 == 0 else (instrumented, run)
+        )
         start = time.perf_counter()
-        run()
-        bare_times.append(time.perf_counter() - start)
+        first()
+        first_elapsed = time.perf_counter() - start
         start = time.perf_counter()
-        instrumented()
-        instrumented_times.append(time.perf_counter() - start)
+        second()
+        second_elapsed = time.perf_counter() - start
+        if repeat % 2 == 0:
+            bare, on = first_elapsed, second_elapsed
+        else:
+            bare, on = second_elapsed, first_elapsed
+        ratios.append(on / bare)
+        pairs.append((bare, on))
+    best = min(range(REPEATS), key=lambda i: ratios[i])
+    bare, on = pairs[best]
+    return bare, on, ratios[best]
 
-    bare = min(bare_times)
-    on = min(instrumented_times)
-    ratio = on / bare
+
+def test_telemetry_overhead_within_budget():
+    bare, on, ratio = _measure_ratio(_workload())
     print(f"bare={bare:.4f}s instrumented={on:.4f}s ratio={ratio:.4f}")
     assert ratio <= OVERHEAD_BUDGET, (
         f"telemetry overhead {ratio:.3f}x exceeds the "
+        f"{OVERHEAD_BUDGET:.2f}x budget"
+    )
+
+
+def test_array_engine_telemetry_overhead_within_budget():
+    """The array engine is a first-class instrumented path: the lazy
+    DBA settlement and window-series hooks must fit the same budget."""
+    bare, on, ratio = _measure_ratio(_workload(engine="array"))
+    print(
+        f"array bare={bare:.4f}s instrumented={on:.4f}s ratio={ratio:.4f}"
+    )
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"array-engine telemetry overhead {ratio:.3f}x exceeds the "
         f"{OVERHEAD_BUDGET:.2f}x budget"
     )
 

@@ -4,12 +4,18 @@
 Usage::
 
     python scripts/check_trace.py RUN.jsonl RUN.trace.json
-    python scripts/check_trace.py RUN            # checks both artifacts
+    python scripts/check_trace.py RUN.series.npz
+    python scripts/check_trace.py RUN            # checks every artifact
 
 Checks the JSONL stream against the ``pearl-obs-1`` record shapes (one
-provenance header line, then metric and event lines) and the Chrome
-``trace_event`` document for viewer-loadable structure.  Exits non-zero
-with one message per violation, so CI logs point at the broken record.
+provenance header line, then metric and event lines), the Chrome
+``trace_event`` document for viewer-loadable structure, and the
+``pearl-series-1`` window-series npz for schema/column integrity
+(numpy is imported lazily, only when a series artifact is checked).
+Exits non-zero with one message per violation, so CI logs point at the
+broken record.  A truncated trace stream (the header reports ring
+overflow) is a WARNING, not a failure: the artifact is still valid,
+just incomplete.
 """
 
 from __future__ import annotations
@@ -20,6 +26,34 @@ from pathlib import Path
 from typing import Dict, List
 
 EXPECTED_SCHEMA = "pearl-obs-1"
+EXPECTED_SERIES_SCHEMA = "pearl-series-1"
+
+#: Column layout of a ``pearl-series-1`` artifact (must match
+#: ``repro.obs.series.COLUMNS`` — this script stays stdlib-importable,
+#: so the contract is duplicated here and pinned by a test).
+SERIES_INT_COLUMNS = (
+    "cycle",
+    "router",
+    "state_before",
+    "state_target",
+    "drift_active",
+    "fallback",
+    "clamp_events",
+    "crc_errors",
+    "retransmissions",
+)
+SERIES_FLOAT_COLUMNS = (
+    "injected",
+    "predicted",
+    "occ_cpu",
+    "occ_gpu",
+    "ej_cpu",
+    "ej_gpu",
+    "laser_power_w",
+    "dba_cpu",
+    "dba_gpu",
+)
+SERIES_COLUMNS = SERIES_INT_COLUMNS + SERIES_FLOAT_COLUMNS
 
 METRIC_KINDS = {
     "counter": {"value"},
@@ -63,6 +97,8 @@ def check_jsonl(path: Path) -> List[str]:
         )
     if not isinstance(header.get("provenance"), dict):
         errors.append(f"{path}:1: provenance must be an object")
+    if "trace" in header and not isinstance(header["trace"], dict):
+        errors.append(f"{path}:1: 'trace' must be an object")
 
     seen_event = False
     for number, record in enumerate(records[1:], start=2):
@@ -100,6 +136,33 @@ def check_jsonl(path: Path) -> List[str]:
     return errors
 
 
+def jsonl_warnings(path: Path) -> List[str]:
+    """Non-fatal findings: a valid-but-truncated trace stream.
+
+    The JSONL header carries the tracer's drop accounting; ring
+    overflow means the oldest events were pushed out before export, so
+    the event list is incomplete even though every record is valid.
+    """
+    try:
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+    except (OSError, json.JSONDecodeError):
+        return []  # check_jsonl already reports unreadable files
+    if not isinstance(header, dict):
+        return []
+    trace_stats = header.get("trace")
+    if not isinstance(trace_stats, dict):
+        return []
+    overflow = trace_stats.get("dropped_overflow", 0)
+    if isinstance(overflow, int) and overflow > 0:
+        return [
+            f"{path}: WARNING: truncated trace stream — {overflow} "
+            "event(s) pushed out of the ring buffer (raise the capacity "
+            "or use --sample-every)"
+        ]
+    return []
+
+
 def check_chrome(path: Path) -> List[str]:
     errors: List[str] = []
     try:
@@ -132,6 +195,63 @@ def check_chrome(path: Path) -> List[str]:
     return errors
 
 
+def check_series(path: Path) -> List[str]:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - CI always has numpy
+        return [f"{path}: numpy unavailable, cannot validate series"]
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+
+    errors: List[str] = []
+    if "schema" not in arrays:
+        return [f"{path}: not a pearl series artifact (no schema marker)"]
+    schema = str(arrays["schema"])
+    if schema != EXPECTED_SERIES_SCHEMA:
+        errors.append(
+            f"{path}: schema {schema!r} != {EXPECTED_SERIES_SCHEMA!r}"
+        )
+    missing = [
+        name for name in SERIES_COLUMNS + ("stream",) if name not in arrays
+    ]
+    if missing:
+        errors.append(f"{path}: missing columns: {', '.join(missing)}")
+        return errors
+    lengths = {
+        name: len(arrays[name]) for name in SERIES_COLUMNS + ("stream",)
+    }
+    if len(set(lengths.values())) > 1:
+        errors.append(
+            f"{path}: ragged column lengths: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(lengths.items()))
+        )
+        return errors
+    for name in SERIES_INT_COLUMNS:
+        if arrays[name].dtype.kind not in "iu":
+            errors.append(
+                f"{path}: column {name!r} must be integer, got "
+                f"{arrays[name].dtype}"
+            )
+    for name in SERIES_FLOAT_COLUMNS:
+        if arrays[name].dtype.kind != "f":
+            errors.append(
+                f"{path}: column {name!r} must be float, got "
+                f"{arrays[name].dtype}"
+            )
+    if "provenance" in arrays:
+        try:
+            doc = json.loads(str(arrays["provenance"]))
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}: provenance is not JSON: {exc}")
+        else:
+            if not isinstance(doc, dict):
+                errors.append(f"{path}: provenance must be an object")
+    return errors
+
+
 def main(argv: List[str]) -> int:
     if not argv:
         print(__doc__)
@@ -141,17 +261,26 @@ def main(argv: List[str]) -> int:
         path = Path(arg)
         if path.suffix:  # explicit artifact file
             paths.append(path)
-        else:  # bare stem: check the standard artifact pair
+        else:  # bare stem: check the standard artifact set
             paths.append(path.with_name(path.name + ".jsonl"))
             paths.append(path.with_name(path.name + ".trace.json"))
+            series = path.with_name(path.name + ".series.npz")
+            if series.exists():
+                paths.append(series)
 
     errors: List[str] = []
+    warnings: List[str] = []
     for path in paths:
         if path.name.endswith(".trace.json"):
             errors.extend(check_chrome(path))
+        elif path.name.endswith(".npz"):
+            errors.extend(check_series(path))
         else:
             errors.extend(check_jsonl(path))
+            warnings.extend(jsonl_warnings(path))
 
+    for message in warnings:
+        print(message, file=sys.stderr)
     for message in errors:
         print(message, file=sys.stderr)
     if errors:

@@ -87,6 +87,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_args(rep)
 
+    ser = obs_sub.add_parser(
+        "series",
+        help="summarize a window-series artifact (<stem>.series.npz)",
+    )
+    ser.add_argument(
+        "path",
+        help="series artifact or trace stem (any artifact spelling works)",
+    )
+    ser.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+
     simp = sub.add_parser("simulate", help="run one benchmark pair")
     simp.add_argument("--cpu", default="fluidanimate", choices=sorted(CPU_BENCHMARKS))
     simp.add_argument("--gpu", default="dct", choices=sorted(GPU_BENCHMARKS))
@@ -233,6 +245,16 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
         help="keep every Nth trace event per event name (default 1: all)",
     )
     parser.add_argument(
+        "--series-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "record every Nth window close per router into "
+            "<PATH>.series.npz (default 1: all; 0 disables the series)"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         default=None,
         metavar="PATH",
@@ -287,17 +309,34 @@ def _telemetry_scope(args: argparse.Namespace):
 
     if args.sample_every < 1:
         raise SystemExit("--sample-every must be at least 1")
-    with obs.session(sample_every=args.sample_every):
+    if args.series_every < 0:
+        raise SystemExit("--series-every must be >= 0 (0 disables)")
+    with obs.session(
+        sample_every=args.sample_every, series_every=args.series_every
+    ):
         yield
+        extra: dict = {}
+        requested = getattr(args, "_engine_requested", None)
+        if requested is not None:
+            extra["engine_requested"] = requested
+            extra["engine_used"] = getattr(args, "_engine_used", None)
+        if obs.OBS.engines:
+            extra["engines_used"] = dict(obs.OBS.engines)
         provenance = obs.collect_provenance(
             seed=getattr(args, "seed", None),
             command=args.command,
             sample_every=args.sample_every,
+            series_every=args.series_every,
+            **extra,
         )
         jsonl_path, chrome_path = obs.write_trace_artifacts(
             trace, obs.OBS.registry, obs.OBS.tracer, provenance
         )
-        print(f"wrote {jsonl_path} and {chrome_path}", file=sys.stderr)
+        written = f"wrote {jsonl_path} and {chrome_path}"
+        if obs.OBS.series.enabled:
+            npz_path = obs.write_series(trace, obs.OBS.series, provenance)
+            written = f"wrote {jsonl_path}, {chrome_path} and {npz_path}"
+        print(written, file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -404,6 +443,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults=faults,
     )
     result = network.run(trace, engine=args.sim_engine)
+    # Provenance for --trace: which engine was asked for and which ran
+    # (always equal — run() has no silent downgrade).
+    args._engine_requested = network.last_engine_requested
+    args._engine_used = network.last_engine_used
     print(f"pair: {args.cpu}+{args.gpu} policy={args.policy} window={args.window}")
     for key, value in result.stats.summary().items():
         print(f"  {key}: {value:.4g}")
@@ -591,9 +634,13 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         raise SystemExit("--jobs must be at least 1")
     if args.sample_every < 1:
         raise SystemExit("--sample-every must be at least 1")
+    if args.series_every < 0:
+        raise SystemExit("--series-every must be >= 0 (0 disables)")
     from .experiments.parallel import engine_scope
 
-    with obs.session(sample_every=args.sample_every):
+    with obs.session(
+        sample_every=args.sample_every, series_every=args.series_every
+    ):
         # Cache off: the report must describe a live instrumented run,
         # not whatever telemetry an earlier cache entry happened to hold.
         with engine_scope(jobs=args.jobs, use_cache=False):
@@ -603,19 +650,59 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             experiment=args.id,
             quick=not args.full,
             sample_every=args.sample_every,
+            series_every=args.series_every,
+            engines_used=dict(obs.OBS.engines),
         )
         if args.trace:
             jsonl_path, chrome_path = obs.write_trace_artifacts(
                 args.trace, obs.OBS.registry, obs.OBS.tracer, provenance
             )
-            print(f"wrote {jsonl_path} and {chrome_path}", file=sys.stderr)
+            written = f"wrote {jsonl_path} and {chrome_path}"
+            if obs.OBS.series.enabled:
+                npz_path = obs.write_series(
+                    args.trace, obs.OBS.series, provenance
+                )
+                written = f"wrote {jsonl_path}, {chrome_path} and {npz_path}"
+            print(written, file=sys.stderr)
         if args.json:
-            doc = obs.report_doc(obs.OBS.registry, obs.OBS.tracer, provenance)
+            doc = obs.report_doc(
+                obs.OBS.registry,
+                obs.OBS.tracer,
+                provenance,
+                series=obs.OBS.series,
+                engines=obs.OBS.engines,
+            )
             print(json.dumps(doc, sort_keys=True, indent=2))
         else:
             print(
-                obs.render_report(obs.OBS.registry, obs.OBS.tracer, provenance)
+                obs.render_report(
+                    obs.OBS.registry,
+                    obs.OBS.tracer,
+                    provenance,
+                    series=obs.OBS.series,
+                    engines=obs.OBS.engines,
+                )
             )
+    return 0
+
+
+def _cmd_obs_series(args: argparse.Namespace) -> int:
+    from . import obs
+
+    path = obs.series_path(args.path)
+    if not path.exists():
+        print(f"no series artifact at {path}", file=sys.stderr)
+        return 2
+    try:
+        arrays = obs.load_series(path)
+    except ValueError as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        return 2
+    doc = obs.series_summary(arrays)
+    if args.json:
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    else:
+        print(obs.render_series_report(doc))
     return 0
 
 
@@ -640,6 +727,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.obs_command == "report":
                 with _profile_scope(args):
                     return _cmd_obs_report(args)
+            if args.obs_command == "series":
+                return _cmd_obs_series(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0

@@ -145,6 +145,9 @@ class MLPowerScaler:
         self.drift_action = config.drift_action
         self.fallback_thresholds = fallback_thresholds
         self.fallback_windows = 0
+        #: Whether the *most recent* decision came from the reactive
+        #: fallback (read by the window-series recorder at each close).
+        self.last_window_fallback = False
         self.selector = selector
         self.config = config
         self.offset = (router_id * stagger_cycles) % max(
@@ -221,6 +224,7 @@ class MLPowerScaler:
         ):
             state = self._fallback_state(features, max_state=max_state)
             self.fallback_windows += 1
+            self.last_window_fallback = True
             if OBS.enabled:
                 OBS.registry.counter(
                     "ml/fallback_windows",
@@ -230,6 +234,7 @@ class MLPowerScaler:
             state = self.selector.state_for_packets(
                 predicted, max_state=max_state
             )
+            self.last_window_fallback = False
         self.predictions.append(predicted)
         self.decisions.append(state)
         if OBS.enabled:

@@ -71,6 +71,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..ml.features import CACHE_LEVEL_ORDER
+from ..obs import OBS
 from ..traffic.trace import Trace, TraceCursor
 from .packet import CoreType, PacketClass
 from .router import (
@@ -82,6 +83,16 @@ from .router import (
 
 #: Sentinel "never" cycle for event minima (far beyond any horizon).
 _FAR = 1 << 62
+
+# DBA split labels in _decide branch order; telemetry tallies credit a
+# small-int index on the hot path and resolve the string only when the
+# per-row counts are flushed into the router's split dict.
+_DBA_LABELS = ("all_cpu", "all_gpu", "cpu_major", "gpu_major", "even")
+_DBA_ALL_CPU = 0
+_DBA_ALL_GPU = 1
+_DBA_CPU_MAJOR = 2
+_DBA_GPU_MAJOR = 3
+_DBA_EVEN = 4
 
 
 class ArrayCore:
@@ -340,7 +351,88 @@ class ArrayCore:
             self._ser_by_idx[int(self.state_idx[r])] for r in range(n)
         ]
 
+        # -- DBA split tallies (lazy, telemetry only) -----------------------
+        # The scalar engines tally one split label per router per cycle.
+        # The DBA decision is a pure function of the input-pool slot
+        # counts, which are piecewise constant between pool mutations —
+        # so under instrumentation the tally is settled in closed form
+        # right *before* each mutation (and at boundaries/sync), which
+        # replays the per-cycle tallies exactly without per-cycle work.
+        self._obs_tally = OBS.enabled
+        # ``_FAR`` sentinel when telemetry is off: the injection path
+        # guards on ``settled < cycle`` alone, so a bare run skips the
+        # tally with the same single compare and no extra branch.
+        self._dba_settled = [start_cycle if self._obs_tally else _FAR] * n
+        # Tally dicts by row: _record_window_telemetry flushes them
+        # with dict.clear(), so the identity is stable for the run.
+        self._dba_counts = [
+            router._dba_split_counts for router in self.routers
+        ]
+        # Hot-path tallies go into per-row int lists indexed by label
+        # (no string hashing per credit); _flush_dba_row folds them
+        # into the router's split dict at boundaries and syncs.
+        self._dba_icnt = [[0] * len(_DBA_LABELS) for _ in range(n)]
+        # Label an idle router settles to (co == go == 0.0 through the
+        # _decide branch order) — the common case when the first packet
+        # after a quiet span lands, precomputed to skip the divisions.
+        self._dba_empty_idx = [
+            (
+                _DBA_CPU_MAJOR
+                if 0.0 < self._dba_gub[r]
+                else (
+                    _DBA_GPU_MAJOR if 0.0 < self._dba_cub[r] else _DBA_EVEN
+                )
+            )
+            if self._dba_dyn[r]
+            else _DBA_EVEN
+            for r in range(n)
+        ]
+
     # -- engine caches ------------------------------------------------------
+
+    def _settle_dba_row(self, r: int, to: int) -> None:
+        """Credit the current DBA split with cycles [settled, to).
+
+        ``to`` is the first cycle whose tally is *not* yet decided —
+        callers settle to ``cycle`` before mutating a pool (the mutation
+        affects cycle ``cycle`` onward) and to ``cycle + 1`` at transmit
+        time (the scalar engine tallies cycle ``cycle`` with the
+        post-injection, pre-pop occupancy this row sees there).
+        """
+        settled = self._dba_settled[r]
+        if to <= settled:
+            return
+        self._dba_settled[r] = to
+        self._dba_icnt[r][self._dba_label_idx(r)] += to - settled
+
+    def _dba_label_idx(self, r: int) -> int:
+        """Split-label index for row ``r``'s *current* pool occupancy."""
+        if not self._dba_dyn[r]:
+            return _DBA_EVEN
+        if not (self._s_cpu[r] or self._s_gpu[r]):
+            return self._dba_empty_idx[r]
+        co = self._s_cpu[r] / self._cap_cpu[r]
+        go = self._s_gpu[r] / self._cap_gpu[r]
+        if go == 0.0 and co > 0.0:
+            return _DBA_ALL_CPU
+        if co == 0.0 and go > 0.0:
+            return _DBA_ALL_GPU
+        if go < self._dba_gub[r]:
+            return _DBA_CPU_MAJOR
+        if co < self._dba_cub[r]:
+            return _DBA_GPU_MAJOR
+        return _DBA_EVEN
+
+    def _flush_dba_row(self, r: int) -> None:
+        """Fold the int tallies into the router's split dict (the form
+        :meth:`PearlRouter._record_window_telemetry` flushes)."""
+        icnt = self._dba_icnt[r]
+        counts = self._dba_counts[r]
+        for i, n in enumerate(icnt):
+            if n:
+                label = _DBA_LABELS[i]
+                counts[label] = counts.get(label, 0) + n
+                icnt[i] = 0
 
     def _refresh_engines(self, r: int) -> None:
         """Recompute the per-pool free/max busy cache for one router."""
@@ -543,6 +635,12 @@ class ArrayCore:
         closers: List = []
         for r in rows:
             router = self.routers[r]
+            if self._obs_tally:
+                # The close flushes the split dict; the scalar engine
+                # tallies cycle ``cycle`` *after* its close (transmit
+                # phase), so credit only up to ``cycle`` here.
+                self._settle_dba_row(r, cycle)
+                self._flush_dba_row(r)
             self._settle_laser_row(r, cycle)
             self._laser_to_bank(r, cycle)
             fc = router.features
@@ -589,6 +687,36 @@ class ArrayCore:
 
     def _inject(self, r: int, packet, cycle: int) -> bool:
         """Inlined router.inject + stats.on_injected (bit-identical)."""
+        # Settle the DBA tally before the pool mutation: the split
+        # for cycle ``cycle`` is decided by the *post*-injection
+        # occupancy (transmit-phase view), so credit stops here.
+        # Fully inlined _settle_dba_row/_dba_label_idx for the
+        # injection hot path; the empty-pool case (first packet
+        # after a quiet span) skips the label divisions entirely,
+        # and a bare run never passes the guard (_FAR sentinel).
+        settled = self._dba_settled[r]
+        if settled < cycle:
+            self._dba_settled[r] = cycle
+            sc = self._s_cpu[r]
+            sg = self._s_gpu[r]
+            if not (sc or sg):
+                idx = self._dba_empty_idx[r]
+            elif not self._dba_dyn[r]:
+                idx = 4  # even
+            else:
+                co = sc / self._cap_cpu[r]
+                go = sg / self._cap_gpu[r]
+                if go == 0.0 and co > 0.0:
+                    idx = 0  # all_cpu
+                elif co == 0.0 and go > 0.0:
+                    idx = 1  # all_gpu
+                elif go < self._dba_gub[r]:
+                    idx = 2  # cpu_major
+                elif co < self._dba_cub[r]:
+                    idx = 3  # gpu_major
+                else:
+                    idx = 4  # even
+            self._dba_icnt[r][idx] += cycle - settled
         flits = packet.size_flits
         if packet.core_type is CoreType.CPU:
             pool = self._cpu_pool[r]
@@ -631,8 +759,17 @@ class ArrayCore:
         self._slots_dirty = True
         return True
 
-    def _reinject(self, r: int, packet) -> bool:
+    def _reinject(self, r: int, packet, cycle: int) -> bool:
         """Inlined router.reinject: head-of-line retry, no run stats."""
+        # Same settle-before-mutate as _inject (_FAR sentinel when off).
+        settled = self._dba_settled[r]
+        if settled < cycle:
+            self._dba_settled[r] = cycle
+            if self._s_cpu[r] or self._s_gpu[r]:
+                idx = self._dba_label_idx(r)
+            else:
+                idx = self._dba_empty_idx[r]
+            self._dba_icnt[r][idx] += cycle - settled
         flits = packet.size_flits
         if packet.core_type is CoreType.CPU:
             pool = self._cpu_pool[r]
@@ -687,14 +824,14 @@ class ArrayCore:
             for r, retry_backlog in enumerate(retry_backlogs):
                 if retry_backlog:
                     while retry_backlog and self._reinject(
-                        r, retry_backlog[0]
+                        r, retry_backlog[0], cycle
                     ):
                         retry_backlog.popleft()
             while retransmits and retransmits[0][0] <= cycle:
                 _, _, packet = heappop(retransmits)
                 r = packet.source
                 retry_backlog = retry_backlogs[r]
-                if retry_backlog or not self._reinject(r, packet):
+                if retry_backlog or not self._reinject(r, packet, cycle):
                     retry_backlog.append(packet)
                 self._work += 1
         # 1. Retry backlogged injections (net-zero for the work counter).
@@ -900,27 +1037,49 @@ class ArrayCore:
         gpu_engs = self._gpu_eng
         cpu_free = self._cpu_free
         gpu_free = self._gpu_free
+        obs_tally = self._obs_tally
+        dba_settled = self._dba_settled
+        dba_icnt = self._dba_icnt
+        cycle_next = cycle + 1
         for r in rows:
+            # The branch also labels the decision for the DBA split
+            # tally (idx indexes _DBA_LABELS) so the instrumented path
+            # never re-runs these comparisons.
             if dba_dyn[r]:
                 co = s_cpu[r] / cap_cpu[r]
                 go = s_gpu[r] / cap_gpu[r]
                 if go == 0.0 and co > 0.0:
                     cf = 1.0
                     gf = 0.0
+                    idx = 0  # all_cpu
                 elif co == 0.0 and go > 0.0:
                     cf = 0.0
                     gf = 1.0
+                    idx = 1  # all_gpu
                 elif go < dba_gub[r]:
                     cf = dba_major[r]
                     gf = dba_minor[r]
+                    idx = 2  # cpu_major
                 elif co < dba_cub[r]:
                     cf = dba_minor[r]
                     gf = dba_major[r]
+                    idx = 3  # gpu_major
                 else:
                     cf = 0.5
                     gf = 0.5
+                    idx = 4  # even
             else:
                 cf = gf = 0.5
+                idx = 4  # even
+            if obs_tally:
+                # Transmit is where the scalar engine tallies cycle
+                # ``cycle`` (post-injection, pre-pop occupancy — the
+                # very co/go this row just computed), so credit
+                # through ``cycle`` inclusive before any pops.
+                settled = dba_settled[r]
+                if settled < cycle_next:
+                    dba_settled[r] = cycle_next
+                    dba_icnt[r][idx] += cycle_next - settled
             can_transmit = tx_ok[r]
             serialization = ser_now[r]
             local_engine = local_engs[r]
@@ -1208,6 +1367,9 @@ class ArrayCore:
                     ),
                 )
         for r, router in enumerate(self.routers):
+            if self._obs_tally:
+                self._settle_dba_row(r, cycle)
+                self._flush_dba_row(r)
             self._laser_to_bank(r, cycle)
             bank = router.laser
             bank.cycles_in_state = {

@@ -185,6 +185,13 @@ class PearlNetwork:
                 )
             )
         self.stats = NetworkStats()
+        for router in self.routers:
+            router._net_stats = self.stats
+        # Which engine the last run() call was asked for / executed on
+        # (always equal — there is no silent downgrade); recorded into
+        # trace provenance by the CLI.
+        self.last_engine_requested: Optional[str] = None
+        self.last_engine_used: Optional[str] = None
         self.memory = MemoryController(
             num_controllers=arch.memory_controllers,
             line_bytes=arch.cache_line_bytes,
@@ -606,15 +613,17 @@ class PearlNetwork:
         """
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
+        self.last_engine_requested = engine
+        self.last_engine_used = engine
+        if OBS.enabled:
+            OBS.note_engine(engine)
         if engine == "array":
-            if OBS.enabled:
-                # The per-cycle telemetry hooks live on the scalar
-                # path; results are bit-identical on every engine, so
-                # instrumented runs take the fast engine instead.
-                return self._run_instrumented(trace, fast=True)
             from .array_core import ArrayCore
 
-            return ArrayCore(self).run(trace)
+            core = ArrayCore(self)
+            if OBS.enabled:
+                return self._run_instrumented_array(core, trace)
+            return core.run(trace)
         fast = engine == "fast"
         if OBS.enabled:
             return self._run_instrumented(trace, fast)
@@ -658,6 +667,29 @@ class PearlNetwork:
         self.stats.finish(sim.total_cycles)
         with tracer.wall_span("sim/integrate_energy", "sim"):
             self._integrate_energy()
+        self._record_run_telemetry()
+        return self._result()
+
+    def _run_instrumented_array(self, core, trace: Trace) -> PearlRunResult:
+        """The array engine under the same profiling spans.
+
+        The array core is a first-class instrumented path: window
+        boundaries funnel through the shared ``_close_windows`` flow
+        (and so through each router's ``_record_window_telemetry``),
+        and the core's lazy DBA settlement replays the scalar per-cycle
+        split tallies exactly — the simulated result stays bit-identical
+        to an uninstrumented array run.
+        """
+        sim = self.config.simulation
+        cursor = TraceCursor(trace)
+        tracer = OBS.tracer
+        with tracer.wall_span("sim/warmup", "sim", trace=trace.name):
+            core._advance(0, sim.warmup_cycles, cursor)
+        core._begin_measurement(sim.warmup_cycles)
+        with tracer.wall_span("sim/measure", "sim", trace=trace.name):
+            core._advance(sim.warmup_cycles, sim.total_cycles, cursor)
+        with tracer.wall_span("sim/integrate_energy", "sim"):
+            core._finish(sim.total_cycles)
         self._record_run_telemetry()
         return self._result()
 

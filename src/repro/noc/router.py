@@ -220,6 +220,9 @@ class PearlRouter:
             id(allocation): label
             for allocation, label in self.dba.split_labels.items()
         }
+        # Network-level fault counters (attached by PearlNetwork) read
+        # by the window-series recorder; None for a standalone router.
+        self._net_stats = None
         # Fault-injection hooks (repro.faults).  ``_desired_state`` is
         # the policy's *unclamped* intent, kept so a clearing fault can
         # re-light the link without waiting for the next window.
@@ -484,6 +487,45 @@ class PearlRouter:
                 router=self.router_id,
                 from_state=state_before,
                 to_state=state_target,
+            )
+        series = OBS.series
+        if series.enabled:
+            scaler = self.ml_scaler
+            if scaler is not None and scaler.predictions:
+                # decide() for this boundary already ran (close_window /
+                # finish_window_close order), so predictions[-1] is the
+                # forecast paired with the window that just opened.
+                predicted = scaler.predictions[-1]
+                drift = (
+                    scaler.drift_monitor is not None
+                    and scaler.drift_monitor.drift_active
+                )
+                fallback = scaler.last_window_fallback
+            else:
+                predicted = float("nan")
+                drift = False
+                fallback = False
+            allocation = self.dba.allocate_from_buffers(self.buffers)
+            stats = self._net_stats
+            series.record(
+                cycle,
+                self.router_id,
+                injected=injected_label,
+                predicted=predicted,
+                occ_cpu=self.buffers.cpu_occupancy,
+                occ_gpu=self.buffers.gpu_occupancy,
+                ej_cpu=self._ejection_cpu.occupancy,
+                ej_gpu=self._ejection_gpu.occupancy,
+                state_before=state_before,
+                state_target=state_target,
+                laser_power_w=self.laser._power_w[state_target],
+                dba_cpu=allocation.cpu_fraction,
+                dba_gpu=allocation.gpu_fraction,
+                drift_active=drift,
+                fallback=fallback,
+                clamp_events=self.fault_clamp_events,
+                crc_errors=0 if stats is None else stats.crc_errors,
+                retransmissions=0 if stats is None else stats.retransmissions,
             )
 
     def tick_control(self, cycle: int) -> None:

@@ -1,6 +1,6 @@
-"""Trace/metric exporters: JSONL and Chrome ``trace_event`` format.
+"""Trace/metric exporters: JSONL, Chrome ``trace_event``, series npz.
 
-Two artifacts per instrumented run, derived from one stem:
+Three artifacts per instrumented run, derived from one stem:
 
 * ``<stem>.jsonl`` — line-delimited records: one ``provenance`` header
   line, one ``metric`` line per instrument, one ``event`` line per
@@ -10,6 +10,8 @@ Two artifacts per instrumented run, derived from one stem:
   (``{"traceEvents": [...]}``), loadable in Perfetto or
   ``about://tracing``.  Simulation events use one microsecond per
   simulated cycle; wall-clock phases live under a separate process row.
+* ``<stem>.series.npz`` — the per-window, per-router time series (see
+  :mod:`repro.obs.series`), written when series recording is enabled.
 """
 
 from __future__ import annotations
@@ -19,29 +21,42 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .registry import MetricsRegistry
+from .series import WindowSeriesRecorder, save_series
 from .tracer import EventTracer, TraceEvent
 
 #: JSONL schema identifier, bumped when record shapes change.
 JSONL_SCHEMA = "pearl-obs-1"
 
 
-def trace_paths(path: Union[str, Path]) -> Tuple[Path, Path]:
-    """Resolve a user-given ``--trace`` path to (jsonl, chrome) paths.
-
-    Known suffixes (``.jsonl``, ``.json``) are stripped so every
-    spelling of the same stem maps to the same artifact pair.
-    """
+def _stem(path: Union[str, Path]) -> Path:
+    """Strip any known artifact suffix so spellings share one stem."""
     path = Path(path)
     name = path.name
-    for suffix in (".trace.json", ".jsonl", ".json"):
+    for suffix in (".trace.json", ".series.npz", ".jsonl", ".json", ".npz"):
         if name.endswith(suffix):
             name = name[: -len(suffix)]
             break
-    stem = path.with_name(name or "trace")
+    return path.with_name(name or "trace")
+
+
+def trace_paths(path: Union[str, Path]) -> Tuple[Path, Path]:
+    """Resolve a user-given ``--trace`` path to (jsonl, chrome) paths.
+
+    Known suffixes (``.jsonl``, ``.json``, ``.series.npz``) are
+    stripped so every spelling of the same stem maps to the same
+    artifact set.
+    """
+    stem = _stem(path)
     return (
         stem.with_name(stem.name + ".jsonl"),
         stem.with_name(stem.name + ".trace.json"),
     )
+
+
+def series_path(path: Union[str, Path]) -> Path:
+    """The window-series artifact path for a ``--trace`` stem."""
+    stem = _stem(path)
+    return stem.with_name(stem.name + ".series.npz")
 
 
 # ---------------------------------------------------------------------------
@@ -54,12 +69,22 @@ def jsonl_records(
     tracer: EventTracer,
     provenance: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
-    """All JSONL records for one run, header first."""
+    """All JSONL records for one run, header first.
+
+    The header carries the tracer's drop accounting so a consumer (and
+    ``scripts/check_trace.py``) can tell a complete event stream from a
+    truncated one without trusting the event count alone.
+    """
     records: List[Dict[str, object]] = [
         {
             "type": "provenance",
             "schema": JSONL_SCHEMA,
             "provenance": provenance or {},
+            "trace": {
+                "buffered": len(tracer),
+                "dropped_sampling": tracer.dropped_sampling,
+                "dropped_overflow": tracer.dropped_overflow,
+            },
         }
     ]
     for name, data in registry.snapshot().items():
@@ -192,3 +217,12 @@ def write_trace_artifacts(
     write_jsonl(jsonl_path, registry, tracer, provenance)
     write_chrome_trace(chrome_path, tracer, provenance)
     return jsonl_path, chrome_path
+
+
+def write_series(
+    path: Union[str, Path],
+    series: WindowSeriesRecorder,
+    provenance: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the window-series npz for ``--trace PATH``; returns its path."""
+    return save_series(series_path(path), series, provenance=provenance)

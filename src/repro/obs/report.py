@@ -11,6 +11,7 @@ import json
 from typing import Dict, List, Optional
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .series import WindowSeriesRecorder, series_summary
 from .tracer import EventTracer
 
 
@@ -58,18 +59,38 @@ def wall_phase_rows(tracer: EventTracer) -> List[Dict[str, object]]:
     return rows
 
 
+def _series_doc(
+    series: Optional[WindowSeriesRecorder],
+) -> Optional[Dict[str, object]]:
+    """Summarize a live recorder (None when nothing was recorded)."""
+    if series is None or len(series) == 0:
+        return None
+    doc = series_summary(series.arrays())
+    # A live recorder's arrays carry no drop/cadence metadata (those
+    # are embedded only in the saved artifact); report its own state.
+    doc["dropped"] = series.dropped
+    doc["series_every"] = series.series_every
+    return doc
+
+
 def report_doc(
     registry: MetricsRegistry,
     tracer: EventTracer,
     provenance: Optional[Dict[str, object]] = None,
+    series: Optional[WindowSeriesRecorder] = None,
+    engines: Optional[Dict[str, int]] = None,
 ) -> Dict[str, object]:
     """The machine-readable report (``obs report --json``)."""
     return {
         "provenance": provenance or {},
+        "engines": dict(engines or {}),
         "metrics": metrics_rows(registry),
         "wall_phases": wall_phase_rows(tracer),
         "trace_events": len(tracer),
         "trace_dropped": tracer.dropped,
+        "trace_dropped_sampling": tracer.dropped_sampling,
+        "trace_dropped_overflow": tracer.dropped_overflow,
+        "series": _series_doc(series),
     }
 
 
@@ -106,6 +127,8 @@ def render_report(
     registry: MetricsRegistry,
     tracer: EventTracer,
     provenance: Optional[Dict[str, object]] = None,
+    series: Optional[WindowSeriesRecorder] = None,
+    engines: Optional[Dict[str, int]] = None,
 ) -> str:
     """The human-readable run summary."""
     lines: List[str] = ["# provenance"]
@@ -114,6 +137,11 @@ def render_report(
             value = json.dumps(value, sort_keys=True)
         lines.append(f"  {key}: {value}")
     lines.append("")
+    if engines:
+        lines.append("# engines")
+        for engine, count in sorted(engines.items()):
+            lines.append(f"  {engine}: {count} run(s)")
+        lines.append("")
     lines.append(f"# metrics ({len(registry)})")
     lines.extend(_table(metrics_rows(registry), ["name", "kind", "value", "peak", "count", "mean", "p50", "p95"]))
     lines.append("")
@@ -123,6 +151,81 @@ def render_report(
     lines.append("")
     lines.append(
         f"# trace: {len(tracer)} buffered events"
-        f" ({tracer.dropped} dropped by sampling/ring)"
+        f" ({tracer.dropped_sampling} dropped by sampling,"
+        f" {tracer.dropped_overflow} by ring overflow)"
+    )
+    doc = _series_doc(series)
+    if doc is not None:
+        lines.append("")
+        lines.append(
+            f"# window series: {doc['rows']} records over"
+            f" {doc['routers']} routers"
+            f" (every {doc['series_every']} window(s),"
+            f" {doc['dropped']} dropped)"
+        )
+    return "\n".join(lines)
+
+
+def render_series_report(doc: Dict[str, object]) -> str:
+    """The human-readable ``obs series`` summary for one artifact."""
+    lines: List[str] = [
+        f"# window series: {doc['rows']} records over"
+        f" {doc['routers']} routers"
+        f" (every {doc['series_every']} window(s), {doc['dropped']} dropped)"
+    ]
+    if doc["cycle_range"]:
+        lo, hi = doc["cycle_range"]  # type: ignore[misc]
+        lines.append(f"  cycles: {lo} .. {hi}")
+    lines.append(
+        f"  drift windows: {doc['drift_windows']}"
+        f"  fallback windows: {doc['fallback_windows']}"
+    )
+    faults = doc["faults"]
+    lines.append(
+        "  faults: clamp_events=%d crc_errors=%d retransmissions=%d"
+        % (
+            faults["clamp_events"],  # type: ignore[index]
+            faults["crc_errors"],  # type: ignore[index]
+            faults["retransmissions"],  # type: ignore[index]
+        )
+    )
+    lines.append("")
+    lines.append("# per-router")
+    lines.extend(
+        _table(
+            doc["per_router"],  # type: ignore[arg-type]
+            [
+                "router",
+                "windows",
+                "injected_mean",
+                "occ_cpu_mean",
+                "occ_gpu_mean",
+                "dba_cpu_mean",
+                "laser_power_mean_w",
+                "prediction_mae",
+            ],
+        )
+    )
+    lines.append("")
+    prediction = doc["prediction"]
+    if prediction is None:
+        lines.append("# prediction error: (no ML predictions recorded)")
+    else:
+        lines.append(
+            "# prediction error: windows=%d mae=%.4g rmse=%.4g bias=%.4g"
+            % (
+                prediction["windows"],  # type: ignore[index]
+                prediction["mae"],  # type: ignore[index]
+                prediction["rmse"],  # type: ignore[index]
+                prediction["bias"],  # type: ignore[index]
+            )
+        )
+    lines.append("")
+    lines.append("# laser duty")
+    lines.extend(
+        _table(
+            doc["laser_duty"],  # type: ignore[arg-type]
+            ["state", "windows", "duty", "power_mean_w"],
+        )
     )
     return "\n".join(lines)

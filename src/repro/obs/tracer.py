@@ -101,7 +101,13 @@ class EventTracer:
         self._sample_counts: Dict[str, int] = {}
         self._seq = 0
         self._epoch = time.perf_counter()
-        self.dropped = 0  # events rejected by sampling or ring overflow
+        self.dropped_sampling = 0  # events rejected by the sampling knob
+        self.dropped_overflow = 0  # events pushed out of the full ring
+
+    @property
+    def dropped(self) -> int:
+        """Total events lost, for any reason (sampling + ring overflow)."""
+        return self.dropped_sampling + self.dropped_overflow
 
     def __len__(self) -> int:
         return len(self._events)
@@ -113,13 +119,13 @@ class EventTracer:
         count = self._sample_counts.get(name, 0)
         self._sample_counts[name] = count + 1
         if count % self.sample_every:
-            self.dropped += 1
+            self.dropped_sampling += 1
             return False
         return True
 
     def _append(self, event: TraceEvent) -> None:
         if len(self._events) == self.capacity:
-            self.dropped += 1
+            self.dropped_overflow += 1
         self._seq += 1
         event.seq = self._seq
         event.stream = self.stream
@@ -206,7 +212,7 @@ class EventTracer:
             event.seq = self._seq
             event.stream = stream
             if len(self._events) == self.capacity:
-                self.dropped += 1
+                self.dropped_overflow += 1
             self._events.append(event)
 
     def reset(self) -> None:
@@ -214,5 +220,6 @@ class EventTracer:
         self._events.clear()
         self._sample_counts.clear()
         self._seq = 0
-        self.dropped = 0
+        self.dropped_sampling = 0
+        self.dropped_overflow = 0
         self._epoch = time.perf_counter()

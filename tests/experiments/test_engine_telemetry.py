@@ -12,6 +12,7 @@ The contract under test:
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro import obs
@@ -93,6 +94,44 @@ class TestParallelMergeIdentity:
         assert {e.stream for e in events} == {
             f"job{i}" for i in range(len(specs))
         }
+
+    def test_window_series_identical_serial_and_parallel(self, specs):
+        """Worker series snapshots merge in submission order, so an
+        instrumented ``--jobs N`` sweep reproduces the serial series
+        column-for-column (including the per-job stream tags)."""
+
+        def _series(jobs):
+            with obs.session(series_every=1):
+                results = ExperimentEngine(jobs=jobs).run(specs)
+                return OBS.series.arrays(), [
+                    r.mean_laser_power_w for r in results
+                ]
+
+        serial, results_serial = _series(jobs=1)
+        parallel, results_parallel = _series(jobs=2)
+        assert results_serial == results_parallel
+        assert len(serial["cycle"]) > 0
+        assert set(serial) == set(parallel)
+        for column in serial:
+            a, b = serial[column], parallel[column]
+            if a.dtype.kind == "f":
+                assert np.array_equal(a, b, equal_nan=True), column
+            else:
+                assert np.array_equal(a, b), column
+        assert set(serial["stream"].tolist()) == {
+            f"job{i}" for i in range(len(specs))
+        }
+
+    def test_series_cadence_propagates_to_workers(self, specs):
+        def _rows(series_every):
+            with obs.session(series_every=series_every):
+                ExperimentEngine(jobs=2).run(specs)
+                return len(OBS.series)
+
+        full = _rows(1)
+        halved = _rows(2)
+        assert full > 0
+        assert 0 < halved < full
 
 
 class TestResultDeterminism:

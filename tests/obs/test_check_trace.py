@@ -8,8 +8,12 @@ from pathlib import Path
 
 import pytest
 
+import numpy as np
+
+import repro.obs.series as series_mod
 from repro.obs.export import write_trace_artifacts
 from repro.obs.registry import MetricsRegistry
+from repro.obs.series import WindowSeriesRecorder, save_series
 from repro.obs.tracer import EventTracer
 
 SCRIPT = (
@@ -40,6 +44,26 @@ def artifacts(tmp_path):
     )
 
 
+def _series(tmp_path, name="run.series.npz"):
+    series = WindowSeriesRecorder()
+    series.record(
+        500,
+        0,
+        injected=3.0,
+        predicted=2.5,
+        occ_cpu=0.25,
+        occ_gpu=0.5,
+        ej_cpu=0.1,
+        ej_gpu=0.0,
+        state_before=64,
+        state_target=48,
+        laser_power_w=0.871,
+        dba_cpu=0.7,
+        dba_gpu=0.3,
+    )
+    return save_series(tmp_path / name, series, provenance={"seed": 1})
+
+
 class TestAcceptsRealArtifacts:
     def test_jsonl_valid(self, checker, artifacts):
         jsonl, _ = artifacts
@@ -49,10 +73,31 @@ class TestAcceptsRealArtifacts:
         _, chrome = artifacts
         assert checker.check_chrome(chrome) == []
 
+    def test_series_valid(self, checker, tmp_path):
+        path = _series(tmp_path)
+        assert checker.check_series(path) == []
+
     def test_main_accepts_stem(self, checker, artifacts, capsys):
         jsonl, _ = artifacts
         stem = str(jsonl)[: -len(".jsonl")]
         assert checker.main([stem]) == 0
+
+    def test_main_stem_includes_series(self, checker, artifacts, capsys):
+        jsonl, _ = artifacts
+        _series(jsonl.parent, name="run.series.npz")
+        stem = str(jsonl)[: -len(".jsonl")]
+        assert checker.main([stem]) == 0
+        assert "3 artifact(s) valid" in capsys.readouterr().out
+
+    def test_main_dispatches_npz_suffix(self, checker, tmp_path, capsys):
+        path = _series(tmp_path)
+        assert checker.main([str(path)]) == 0
+
+    def test_series_columns_pinned_to_recorder(self, checker):
+        """The stdlib duplicate of the column contract must not drift."""
+        assert checker.SERIES_INT_COLUMNS == series_mod.INT_COLUMNS
+        assert checker.SERIES_FLOAT_COLUMNS == series_mod.FLOAT_COLUMNS
+        assert checker.EXPECTED_SERIES_SCHEMA == series_mod.SERIES_SCHEMA
 
 
 class TestRejectsBrokenArtifacts:
@@ -108,3 +153,61 @@ class TestRejectsBrokenArtifacts:
         path = tmp_path / "bad.jsonl"
         path.write_text("not json\n")
         assert checker.main([str(path)]) == 1
+
+    def test_series_wrong_schema(self, checker, tmp_path):
+        path = tmp_path / "bad.series.npz"
+        np.savez(path, schema=np.asarray("pearl-series-0"))
+        assert any("schema" in e for e in checker.check_series(path))
+
+    def test_series_missing_column(self, checker, tmp_path):
+        path = _series(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: data[name] for name in data.files}
+        payload.pop("dba_gpu")
+        np.savez(path, **payload)
+        errors = checker.check_series(path)
+        assert any("dba_gpu" in e for e in errors)
+
+    def test_series_ragged_columns(self, checker, tmp_path):
+        path = _series(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: data[name] for name in data.files}
+        payload["cycle"] = payload["cycle"][:0]
+        np.savez(path, **payload)
+        assert any("ragged" in e for e in checker.check_series(path))
+
+
+class TestTruncationWarnings:
+    def _truncated(self, artifacts):
+        jsonl, _ = artifacts
+        lines = jsonl.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["trace"] = {
+            "buffered": 2,
+            "dropped_sampling": 0,
+            "dropped_overflow": 17,
+        }
+        lines[0] = json.dumps(header)
+        jsonl.write_text("\n".join(lines) + "\n")
+        return jsonl
+
+    def test_overflow_warns_but_still_valid(self, checker, artifacts):
+        jsonl = self._truncated(artifacts)
+        assert checker.check_jsonl(jsonl) == []
+        warnings = checker.jsonl_warnings(jsonl)
+        assert len(warnings) == 1
+        assert "truncated" in warnings[0]
+        assert "17" in warnings[0]
+
+    def test_main_warns_on_stderr_exit_zero(
+        self, checker, artifacts, capsys
+    ):
+        jsonl = self._truncated(artifacts)
+        assert checker.main([str(jsonl)]) == 0
+        captured = capsys.readouterr()
+        assert "WARNING" in captured.err
+        assert "valid" in captured.out
+
+    def test_clean_export_does_not_warn(self, checker, artifacts):
+        jsonl, _ = artifacts
+        assert checker.jsonl_warnings(jsonl) == []

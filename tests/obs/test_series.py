@@ -1,0 +1,226 @@
+"""Window-series recorder: cadence, capacity, merge, save/load, summary."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import OBS
+from repro.obs.series import (
+    COLUMNS,
+    DEFAULT_SERIES_CAPACITY,
+    SERIES_SCHEMA,
+    WindowSeriesRecorder,
+    load_series,
+    save_series,
+    series_provenance,
+    series_summary,
+)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _record(series, cycle=500, router=0, **overrides):
+    kwargs = dict(
+        injected=3.0,
+        predicted=2.5,
+        occ_cpu=0.25,
+        occ_gpu=0.5,
+        ej_cpu=0.1,
+        ej_gpu=0.0,
+        state_before=64,
+        state_target=48,
+        laser_power_w=0.871,
+        dba_cpu=0.7,
+        dba_gpu=0.3,
+        drift_active=False,
+        fallback=False,
+        clamp_events=0,
+        crc_errors=0,
+        retransmissions=0,
+    )
+    kwargs.update(overrides)
+    series.record(cycle, router, **kwargs)
+
+
+class TestRecorder:
+    def test_defaults(self):
+        series = WindowSeriesRecorder()
+        assert series.enabled
+        assert series.series_every == 1
+        assert series.capacity == DEFAULT_SERIES_CAPACITY
+        assert len(series) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSeriesRecorder(series_every=-1)
+        with pytest.raises(ValueError):
+            WindowSeriesRecorder(capacity=0)
+
+    def test_zero_cadence_disables(self):
+        series = WindowSeriesRecorder(series_every=0)
+        assert not series.enabled
+        _record(series)
+        assert len(series) == 0
+
+    def test_record_and_arrays(self):
+        series = WindowSeriesRecorder()
+        _record(series, cycle=500, router=3)
+        _record(series, cycle=700, router=4, predicted=float("nan"))
+        arrays = series.arrays()
+        assert set(arrays) == set(COLUMNS) | {"stream"}
+        assert arrays["cycle"].tolist() == [500, 700]
+        assert arrays["router"].tolist() == [3, 4]
+        assert arrays["cycle"].dtype == np.int64
+        assert arrays["occ_cpu"].dtype == np.float64
+        assert np.isnan(arrays["predicted"][1])
+        assert arrays["stream"].tolist() == ["main", "main"]
+
+    def test_cadence_is_per_router(self):
+        series = WindowSeriesRecorder(series_every=2)
+        for cycle in (500, 1000, 1500, 2000):
+            _record(series, cycle=cycle, router=0)
+            _record(series, cycle=cycle, router=1)
+        arrays = series.arrays()
+        # Each router keeps its own 1st and 3rd closes.
+        assert arrays["cycle"].tolist() == [500, 500, 1500, 1500]
+        assert arrays["router"].tolist() == [0, 1, 0, 1]
+        assert series.dropped == 0  # cadence skips are not drops
+
+    def test_capacity_keeps_head_and_counts_drops(self):
+        series = WindowSeriesRecorder(capacity=3)
+        for cycle in (500, 1000, 1500, 2000, 2500):
+            _record(series, cycle=cycle)
+        assert len(series) == 3
+        assert series.dropped == 2
+        assert series.arrays()["cycle"].tolist() == [500, 1000, 1500]
+
+
+class TestMerge:
+    def test_merge_retags_stream_in_order(self):
+        parent = WindowSeriesRecorder()
+        worker = WindowSeriesRecorder()
+        _record(worker, cycle=500)
+        _record(worker, cycle=1000)
+        _record(parent, cycle=700)
+        parent.merge_snapshot(worker.snapshot(), stream="job1")
+        arrays = parent.arrays()
+        assert arrays["cycle"].tolist() == [700, 500, 1000]
+        assert arrays["stream"].tolist() == ["main", "job1", "job1"]
+
+    def test_merge_respects_capacity_and_carries_drops(self):
+        parent = WindowSeriesRecorder(capacity=2)
+        worker = WindowSeriesRecorder(capacity=2)
+        for cycle in (500, 1000, 1500):
+            _record(worker, cycle=cycle)
+        assert worker.dropped == 1
+        _record(parent, cycle=700)
+        parent.merge_snapshot(worker.snapshot(), stream="job0")
+        assert len(parent) == 2
+        # worker's own drop + one worker row past the parent cap
+        assert parent.dropped == 2
+
+    def test_merge_none_is_noop(self):
+        parent = WindowSeriesRecorder()
+        parent.merge_snapshot(None, stream="job0")
+        assert len(parent) == 0
+
+
+class TestSaveLoad:
+    def test_roundtrip_with_provenance(self, tmp_path):
+        series = WindowSeriesRecorder(series_every=2)
+        _record(series, cycle=500)
+        path = save_series(
+            tmp_path / "run.series.npz", series, provenance={"seed": 7}
+        )
+        arrays = load_series(path)
+        assert str(arrays["schema"]) == SERIES_SCHEMA
+        assert int(arrays["series_every"]) == 2
+        assert arrays["cycle"].tolist() == [500]
+        assert series_provenance(arrays) == {"seed": 7}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, schema=np.asarray("pearl-series-0"))
+        with pytest.raises(ValueError, match="schema"):
+            load_series(path)
+
+    def test_load_rejects_missing_column(self, tmp_path):
+        series = WindowSeriesRecorder()
+        _record(series)
+        payload = series.arrays()
+        payload.pop("dba_gpu")
+        payload["schema"] = np.asarray(SERIES_SCHEMA)
+        path = tmp_path / "bad.npz"
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="dba_gpu"):
+            load_series(path)
+
+    def test_load_rejects_ragged_columns(self, tmp_path):
+        series = WindowSeriesRecorder()
+        _record(series)
+        _record(series, cycle=1000)
+        payload = series.arrays()
+        payload["cycle"] = payload["cycle"][:1]
+        payload["schema"] = np.asarray(SERIES_SCHEMA)
+        path = tmp_path / "bad.npz"
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="ragged"):
+            load_series(path)
+
+
+class TestSummary:
+    def test_empty(self):
+        doc = series_summary(WindowSeriesRecorder().arrays())
+        assert doc["rows"] == 0
+        assert doc["per_router"] == []
+        assert doc["prediction"] is None
+
+    def test_aggregates(self):
+        series = WindowSeriesRecorder()
+        _record(series, cycle=500, router=0, predicted=4.0, injected=3.0)
+        _record(series, cycle=1000, router=0, predicted=2.0, injected=3.0)
+        _record(
+            series,
+            cycle=500,
+            router=1,
+            predicted=float("nan"),
+            state_target=64,
+            laser_power_w=1.16,
+            drift_active=True,
+            fallback=True,
+            crc_errors=5,
+            retransmissions=2,
+        )
+        doc = series_summary(series.arrays())
+        assert doc["rows"] == 3
+        assert doc["routers"] == 2
+        assert doc["cycle_range"] == [500, 1000]
+        assert doc["drift_windows"] == 1
+        assert doc["fallback_windows"] == 1
+        assert doc["faults"]["crc_errors"] == 5
+        assert doc["faults"]["retransmissions"] == 2
+        prediction = doc["prediction"]
+        assert prediction["windows"] == 2  # NaN rows excluded
+        assert prediction["mae"] == 1.0
+        assert prediction["bias"] == 0.0
+        by_router = {row["router"]: row for row in doc["per_router"]}
+        assert by_router[0]["windows"] == 2
+        assert by_router[0]["prediction_mae"] == 1.0
+        assert by_router[1]["prediction_mae"] is None
+        duty = {row["state"]: row for row in doc["laser_duty"]}
+        assert duty[48]["windows"] == 2
+        assert duty[64]["duty"] == pytest.approx(1 / 3)
+
+
+class TestSessionWiring:
+    def test_session_carries_series_knobs(self):
+        with obs.session(series_every=3, series_capacity=10):
+            assert OBS.series.series_every == 3
+            assert OBS.series.capacity == 10
+        # restored to the (disabled) outer state
+        assert not OBS.enabled

@@ -49,15 +49,39 @@ class TestLifecycle:
             assert OBS.tracer.sample_every == 5
 
     def test_config_roundtrip_through_apply(self):
-        with obs.session(sample_every=3, capacity=128):
+        with obs.session(
+            sample_every=3, capacity=128, series_every=4, series_capacity=99
+        ):
             config = OBS.config()
         obs.apply_config(config)
         try:
             assert OBS.enabled
             assert OBS.sample_every == 3
             assert OBS.tracer.capacity == 128
+            assert OBS.series.series_every == 4
+            assert OBS.series.capacity == 99
         finally:
             obs.disable()
+
+    def test_session_disables_series_with_zero_cadence(self):
+        with obs.session(series_every=0):
+            assert not OBS.series.enabled
+            OBS.series.record(
+                500,
+                0,
+                injected=1.0,
+                predicted=float("nan"),
+                occ_cpu=0.0,
+                occ_gpu=0.0,
+                ej_cpu=0.0,
+                ej_gpu=0.0,
+                state_before=64,
+                state_target=64,
+                laser_power_w=1.16,
+                dba_cpu=0.5,
+                dba_gpu=0.5,
+            )
+            assert len(OBS.series) == 0
 
     def test_apply_disabled_config(self):
         obs.apply_config({"enabled": False})
@@ -90,6 +114,34 @@ class TestCapture:
             assert OBS.registry.counter("c").value == 3
             (event,) = OBS.tracer.events()
             assert event.stream == "job0"
+
+    def test_capture_isolates_series_and_engines(self):
+        with obs.session():
+            with obs.capture() as cap:
+                OBS.series.record(
+                    500,
+                    1,
+                    injected=2.0,
+                    predicted=float("nan"),
+                    occ_cpu=0.1,
+                    occ_gpu=0.1,
+                    ej_cpu=0.0,
+                    ej_gpu=0.0,
+                    state_before=64,
+                    state_target=48,
+                    laser_power_w=0.871,
+                    dba_cpu=0.5,
+                    dba_gpu=0.5,
+                )
+                OBS.note_engine("array")
+            assert len(OBS.series) == 0
+            assert OBS.engines == {}
+            snap = cap.take()
+            assert snap["engines"] == {"array": 1}
+            obs.merge_capture(snap, stream="job0")
+            assert len(OBS.series) == 1
+            assert OBS.series.arrays()["stream"][0] == "job0"
+            assert OBS.engines == {"array": 1}
 
     def test_merge_capture_tolerates_none(self):
         with obs.session():
