@@ -11,6 +11,14 @@ Usage::
 
     PYTHONPATH=src python scripts/bench.py --label $(git rev-parse --short HEAD)
     PYTHONPATH=src python scripts/bench.py --quick --check   # CI gate
+    PYTHONPATH=src python scripts/bench.py --sweep --check \
+        --label sweep-service                # sweep-service resume gate
+
+``--sweep`` benchmarks the sharded sweep service instead of the cycle
+engines: one cold sweep (fresh manifest + empty cache) against a
+resumed re-run of the identical sweep on both cache backends.  The
+resumed run must re-execute zero jobs, return bit-identical results and
+beat the cold run by ``--min-resume-speedup`` (default 5x).
 
 ``--check`` exits non-zero when any engine pair diverges, when the fast
 engine is slower than the reference on the idle-heavy workload
@@ -210,6 +218,127 @@ def check(
     return failures
 
 
+# ---------------------------------------------------------------------------
+# Sweep-service benchmark (cold vs resumed)
+# ---------------------------------------------------------------------------
+
+
+def _sweep_specs(quick: bool):
+    from repro.experiments.parallel import pair_spec, pearl_job
+    from repro.experiments.runner import experiment_pairs
+
+    scale = 1 if quick else 4
+    config = PearlConfig().replace(
+        simulation=SimulationConfig(
+            warmup_cycles=500, measure_cycles=4_000 * scale
+        )
+    )
+    specs = []
+    for policy in (PowerPolicyKind.STATIC, PowerPolicyKind.REACTIVE):
+        for pair in experiment_pairs(quick=True):
+            specs.append(
+                pearl_job(
+                    config,
+                    pair_spec(pair, 3),
+                    seed=3,
+                    power_policy=policy,
+                )
+            )
+    return specs
+
+
+def _sweep_fingerprints(results):
+    return [
+        None if r is None else r.stats.to_dict() for r in results
+    ]
+
+
+def run_sweep_matrix(quick: bool) -> dict:
+    """Cold-vs-resumed wall time of one sweep, per cache backend."""
+    import tempfile
+
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.service import SweepRunner
+    from repro.experiments.service.stores import LocalDirStore, SqliteStore
+
+    specs = _sweep_specs(quick)
+    entries = {}
+    for backend in ("dir", "sqlite"):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp_path = Path(tmp)
+            if backend == "sqlite":
+                store = SqliteStore(tmp_path / "cache.db")
+            else:
+                store = LocalDirStore(tmp_path / "cache")
+            manifest_dir = tmp_path / "sweep"
+
+            cold_runner = SweepRunner(
+                ResultCache(store=store), jobs=1, shard_size=4
+            )
+            start = time.perf_counter()
+            cold_results, cold_report = cold_runner.run(specs, manifest_dir)
+            cold_wall = time.perf_counter() - start
+
+            resumed_runner = SweepRunner(
+                ResultCache(store=store), jobs=1, shard_size=4
+            )
+            start = time.perf_counter()
+            warm_results, warm_report = resumed_runner.run(
+                specs, manifest_dir, resume=True
+            )
+            warm_wall = time.perf_counter() - start
+
+        identical = _sweep_fingerprints(cold_results) == _sweep_fingerprints(
+            warm_results
+        )
+        entries[f"sweep_resume/{backend}"] = {
+            "workload": "sweep_resume",
+            "backend": backend,
+            "jobs_total": cold_report.jobs_total,
+            "cold": {
+                "wall_s": cold_wall,
+                "jobs_executed": cold_report.jobs_executed,
+                "shards_executed": cold_report.shards_executed,
+            },
+            "resumed": {
+                "wall_s": warm_wall,
+                "jobs_executed": warm_report.jobs_executed,
+                "shards_skipped": warm_report.shards_skipped,
+            },
+            "identical": identical,
+            "resume_speedup": cold_wall / warm_wall,
+        }
+        entry = entries[f"sweep_resume/{backend}"]
+        print(
+            f"sweep_resume {backend:7s} cold={cold_wall:.3f}s "
+            f"resumed={warm_wall:.3f}s "
+            f"x{entry['resume_speedup']:.1f} "
+            f"re-executed={warm_report.jobs_executed} "
+            f"identical={identical}",
+            flush=True,
+        )
+    return entries
+
+
+def check_sweep(entries: dict, min_resume_speedup: float):
+    """Gate: bit-identity, zero re-execution, and the resume speedup."""
+    failures = []
+    for name, entry in entries.items():
+        if not entry["identical"]:
+            failures.append(f"{name}: resumed results diverged from cold")
+        if entry["resumed"]["jobs_executed"] != 0:
+            failures.append(
+                f"{name}: resumed sweep re-executed "
+                f"{entry['resumed']['jobs_executed']} jobs (expected 0)"
+            )
+        if entry["resume_speedup"] < min_resume_speedup:
+            failures.append(
+                f"{name}: resume speedup {entry['resume_speedup']:.1f} < "
+                f"required {min_resume_speedup:.1f}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -223,6 +352,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true", help="short runs (the CI matrix)"
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="benchmark the sweep service (cold vs resumed) instead of "
+        "the cycle engines",
+    )
+    parser.add_argument(
+        "--min-resume-speedup",
+        type=float,
+        default=5.0,
+        help="resumed-vs-cold floor for --sweep --check (default 5x)",
     )
     parser.add_argument(
         "--check",
@@ -243,7 +384,10 @@ def main(argv=None) -> int:
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
 
-    entries = run_matrix(quick=args.quick, repeats=args.repeats)
+    if args.sweep:
+        entries = run_sweep_matrix(quick=args.quick)
+    else:
+        entries = run_matrix(quick=args.quick, repeats=args.repeats)
     doc = {
         "label": args.label,
         "quick": args.quick,
@@ -255,12 +399,15 @@ def main(argv=None) -> int:
     print(f"wrote {out_path}")
 
     if args.check:
-        failures = check(
-            entries,
-            args.min_idle_speedup,
-            args.max_saturated_regression,
-            args.min_array_saturated_speedup,
-        )
+        if args.sweep:
+            failures = check_sweep(entries, args.min_resume_speedup)
+        else:
+            failures = check(
+                entries,
+                args.min_idle_speedup,
+                args.max_saturated_regression,
+                args.min_array_saturated_speedup,
+            )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)

@@ -9,7 +9,12 @@ Subcommands:
 * ``model train|list|show|promote|eval`` — manage the versioned model
   registry (see ``docs/ml_lifecycle.md``);
 * ``obs report <id>`` — run one experiment instrumented and print its
-  telemetry summary (``--json`` for machine-readable output).
+  telemetry summary (``--json`` for machine-readable output);
+* ``sweep`` — run a policy × pair × seed sweep through the sharded,
+  resumable manifest service (``--resume`` continues a killed run;
+  see ``docs/sweep_service.md``);
+* ``serve`` — the async simulation server with request coalescing;
+* ``cache stats|prune`` — manage the shared result cache.
 
 ``experiment``, ``all`` and ``simulate`` accept ``--trace PATH`` to run
 under telemetry and export the JSONL + Chrome ``trace_event`` artifacts
@@ -145,6 +150,131 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_args(simp)
 
+    swp = sub.add_parser(
+        "sweep",
+        help="run a sharded, resumable sweep (docs/sweep_service.md)",
+    )
+    swp.add_argument(
+        "--policies",
+        nargs="+",
+        default=["static", "reactive"],
+        choices=["static", "reactive", "adaptive", "ml"],
+        help="power-scaling policies to cross (default: static reactive)",
+    )
+    swp.add_argument(
+        "--full",
+        action="store_true",
+        help="all 16 test pairs (default: the quick 4-pair set)",
+    )
+    swp.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[1],
+        help="simulation seeds to cross (default: 1)",
+    )
+    swp.add_argument("--window", type=int, default=500)
+    swp.add_argument("--cycles", type=int, default=20_000)
+    swp.add_argument("--warmup", type=int, default=1_000)
+    swp.add_argument(
+        "--model",
+        default=None,
+        metavar="REF",
+        help="registry tag/id deployed for the ml policy "
+        "(default: train/fetch the default model)",
+    )
+    swp.add_argument(
+        "--shard-size",
+        type=int,
+        default=8,
+        metavar="K",
+        help="jobs per manifest shard (default 8)",
+    )
+    swp.add_argument(
+        "--manifest-dir",
+        default=".pearl_sweep",
+        metavar="DIR",
+        help="where the resumable manifest lives (default .pearl_sweep)",
+    )
+    swp.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the manifest: done shards are never re-run",
+    )
+    swp.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    _add_engine_args(swp)
+    _add_trace_args(swp)
+
+    srv = sub.add_parser(
+        "serve",
+        help="async simulation server with request coalescing "
+        "(docs/sweep_service.md)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8639,
+        help="listen port (0 picks a free one; default 8639)",
+    )
+    srv.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="simulation worker processes (default 2)",
+    )
+    srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="distinct in-flight specs before 503 backpressure "
+        "(default 64; coalesced duplicates are always accepted)",
+    )
+    srv.add_argument(
+        "--cache-backend",
+        default=None,
+        metavar="URL",
+        help="shared result store: dir:PATH or sqlite:PATH "
+        "(default: the local .pearl_result_cache directory)",
+    )
+
+    cachep = sub.add_parser(
+        "cache", help="shared result-cache management"
+    )
+    cache_sub = cachep.add_subparsers(dest="cache_command", required=True)
+    cstats = cache_sub.add_parser("stats", help="entry count and size")
+    cstats.add_argument(
+        "--cache-backend", default=None, metavar="URL",
+        help="dir:PATH or sqlite:PATH (default: local directory cache)",
+    )
+    cstats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    cprune = cache_sub.add_parser(
+        "prune", help="evict entries by age and/or size budget"
+    )
+    cprune.add_argument(
+        "--cache-backend", default=None, metavar="URL",
+        help="dir:PATH or sqlite:PATH (default: local directory cache)",
+    )
+    cprune.add_argument(
+        "--max-gb",
+        type=float,
+        default=None,
+        metavar="X",
+        help="evict oldest-first until the store fits X GiB",
+    )
+    cprune.add_argument(
+        "--older-than",
+        default=None,
+        metavar="AGE",
+        help="drop entries older than AGE (e.g. 90s, 12h, 7d)",
+    )
+
     modelp = sub.add_parser(
         "model", help="model registry commands (docs/ml_lifecycle.md)"
     )
@@ -228,6 +358,13 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the on-disk result cache (.pearl_result_cache/)",
     )
+    parser.add_argument(
+        "--cache-backend",
+        default=None,
+        metavar="URL",
+        help="result store backend: dir:PATH or sqlite:PATH "
+        "(default: the local .pearl_result_cache directory)",
+    )
 
 
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:
@@ -267,7 +404,11 @@ def _engine_scope(args: argparse.Namespace):
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
-    return engine_scope(jobs=args.jobs, use_cache=not args.no_cache)
+    return engine_scope(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        backend=getattr(args, "cache_backend", None),
+    )
 
 
 @contextmanager
@@ -478,6 +619,188 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
         )
     return 0
+
+
+def _sweep_specs(args: argparse.Namespace):
+    """The sweep's JobSpecs: policies × pairs × seeds, in stable order."""
+    from .experiments.parallel import pair_spec, pearl_job
+    from .experiments.runner import experiment_pairs
+
+    config = PearlConfig(
+        simulation=SimulationConfig(
+            warmup_cycles=args.warmup, measure_cycles=args.cycles
+        )
+    ).with_reservation_window(args.window)
+    model_path = None
+    if "ml" in args.policies:
+        if args.model:
+            from .ml.lifecycle import default_registry
+
+            registry = default_registry()
+            try:
+                record = registry.record(args.model)
+            except KeyError as exc:
+                raise SystemExit(f"--model {args.model}: {exc}")
+            model_path = str(registry.model_path(record.model_id))
+        else:
+            from .ml.pipeline import ensure_model_file
+
+            print("preparing default ML model...", file=sys.stderr)
+            model_path = str(ensure_model_file(args.window, quick=True))
+    specs = []
+    for policy in args.policies:
+        for pair in experiment_pairs(quick=not args.full):
+            for seed in args.seeds:
+                specs.append(
+                    pearl_job(
+                        config,
+                        pair_spec(pair, seed),
+                        seed=seed,
+                        power_policy=PowerPolicyKind(policy),
+                        ml_model_path=(
+                            model_path if policy == "ml" else None
+                        ),
+                    )
+                )
+    return specs
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.cache import ResultCache
+    from .experiments.service import SweepRunner
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    if args.shard_size < 1:
+        raise SystemExit("--shard-size must be at least 1")
+    specs = _sweep_specs(args)
+    if args.no_cache:
+        raise SystemExit(
+            "sweep requires the shared result cache (it is the results "
+            "channel between shards); drop --no-cache"
+        )
+    cache = ResultCache(store=args.cache_backend) if args.cache_backend \
+        else ResultCache()
+    runner = SweepRunner(cache, jobs=args.jobs, shard_size=args.shard_size)
+    try:
+        results, report = runner.run(
+            specs, args.manifest_dir, resume=args.resume
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    doc = report.to_dict()
+    if args.json:
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    else:
+        print(
+            f"sweep {report.sweep_id[:12]} ({'resumed' if report.resumed else 'cold'}): "
+            f"{report.shards_executed} shards executed, "
+            f"{report.shards_skipped} skipped, "
+            f"{report.shards_failed} failed "
+            f"({report.jobs_executed}/{report.jobs_total} jobs ran, "
+            f"{report.cache_hits} cache hits) "
+            f"in {report.wall_seconds:.2f}s"
+        )
+        print(f"  manifest: {report.manifest_path}")
+        print(f"  cache: {cache.store.backend}:{cache.store.location()}")
+        for shard_id, error in report.failures.items():
+            print(f"  FAILED {shard_id[:12]}: {error}")
+    return 1 if report.shards_failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .experiments.cache import ResultCache
+    from .experiments.service.server import SweepServer, run_server
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    if args.max_pending < 1:
+        raise SystemExit("--max-pending must be at least 1")
+    cache = ResultCache(store=args.cache_backend) if args.cache_backend \
+        else ResultCache()
+    server = SweepServer(
+        cache=cache,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_pending=args.max_pending,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"pearl-sim serve on http://{server.host}:{server.port} "
+            f"(jobs={server.jobs}, max_pending={server.max_pending}, "
+            f"cache={cache.store.backend}:{cache.store.location()})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _parse_age(text: str) -> float:
+    """``90s`` / ``15m`` / ``12h`` / ``7d`` (bare numbers = seconds)."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    scale = units.get(text[-1:].lower())
+    digits = text[:-1] if scale else text
+    if scale is None:
+        scale = 1.0
+    try:
+        value = float(digits)
+    except ValueError:
+        raise SystemExit(
+            f"--older-than {text!r}: expected e.g. 90s, 15m, 12h or 7d"
+        )
+    if value < 0:
+        raise SystemExit("--older-than must be non-negative")
+    return value * scale
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .experiments.cache import ResultCache
+
+    cache = ResultCache(store=args.cache_backend) if args.cache_backend \
+        else ResultCache()
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats.to_dict(), sort_keys=True, indent=2))
+        else:
+            print(f"backend:  {stats.backend}")
+            print(f"location: {stats.location}")
+            print(f"entries:  {stats.entries}")
+            print(f"size:     {stats.total_bytes / (1 << 20):.2f} MiB")
+        return 0
+    if args.cache_command == "prune":
+        if args.max_gb is None and args.older_than is None:
+            raise SystemExit("prune needs --max-gb and/or --older-than")
+        max_bytes = (
+            int(args.max_gb * (1 << 30)) if args.max_gb is not None else None
+        )
+        older_than = (
+            _parse_age(args.older_than)
+            if args.older_than is not None
+            else None
+        )
+        removed, removed_bytes = cache.prune(
+            max_bytes=max_bytes, older_than=older_than
+        )
+        print(
+            f"pruned {removed} entries "
+            f"({removed_bytes / (1 << 20):.2f} MiB)"
+        )
+        return 0
+    return 2
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
@@ -721,6 +1044,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "simulate":
             with _profile_scope(args), _telemetry_scope(args):
                 return _cmd_simulate(args)
+        if args.command == "sweep":
+            with _profile_scope(args), _telemetry_scope(args):
+                return _cmd_sweep(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "model":
             return _cmd_model(args)
         if args.command == "obs":

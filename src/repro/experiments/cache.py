@@ -1,27 +1,40 @@
 """Persistent, content-keyed experiment result cache.
 
-Completed simulation jobs are memoised to disk so re-running a figure
-or resuming an interrupted sweep is near-free.  The key is a stable
+Completed simulation jobs are memoised so re-running a figure or
+resuming an interrupted sweep is near-free.  The key is a stable
 SHA-256 over the *content* of the job — the full serialized
 :class:`~repro.config.PearlConfig`, the trace parameters, every variant
 knob and a code-version salt — so any change to the inputs (or a salt
 bump after a simulator change) misses cleanly instead of returning
 stale numbers.
 
-Each entry is a pair of files alongside the existing
-``.pearl_model_cache/`` convention:
+Each entry is a ``meta`` JSON document plus a binary ``blob``:
 
-* ``<key>.npz``  — the array payloads (latency samples, ML history);
-* ``<key>.json`` — every scalar field plus provenance; written last
-  (atomically, via ``os.replace``) so it doubles as the commit record.
+* ``blob`` — the ``.npz`` array payloads (latency samples, ML history);
+* ``meta`` — every scalar field plus provenance *and the blob's
+  SHA-256*; committed last, so it doubles as the commit record and a
+  mixed meta/blob pair (two crashed writers interleaving) is detected
+  by digest instead of silently decoded.
 
-Corrupted or truncated entries — a killed run, a partial copy — are
-detected on read, dropped and recomputed rather than crashed on.
+Where the bytes live is pluggable
+(:mod:`repro.experiments.service.stores`): the default
+:class:`~repro.experiments.service.stores.LocalDirStore` keeps the
+historical ``<key>.json`` + ``<key>.npz`` directory layout, and
+:class:`~repro.experiments.service.stores.SqliteStore` packs a shared
+cache into one WAL-journalled file.  Both are safe under concurrent
+writers — racing same-key writers carry identical content (results are
+deterministic), and a reader always sees a complete pair or a clean
+miss.
+
+Corrupted or truncated entries — a killed run, a partial copy, a
+digest mismatch — are detected on read, dropped (self-heal) and
+recomputed rather than crashed on.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import tempfile
@@ -32,12 +45,14 @@ import numpy as np
 
 from ..noc.stats import NetworkStats
 from ..obs import OBS
+from .service.stores import CacheStore, LocalDirStore, StoreStats, open_store
 
 #: Bump when a simulator change invalidates previously cached results.
 CODE_VERSION = "pearl-experiments-1"
 
-#: On-disk schema version of one cache entry.
-ENTRY_FORMAT = 1
+#: On-disk schema version of one cache entry.  Format 2 added the
+#: ``blob_sha256`` commit digest; format-1 entries self-heal on read.
+ENTRY_FORMAT = 2
 
 
 def canonical_json(payload: Any) -> str:
@@ -72,6 +87,19 @@ def default_cache_dir() -> Path:
     )
 
 
+def default_store() -> CacheStore:
+    """The process-default backend (``PEARL_RESULT_CACHE_BACKEND``).
+
+    The env var accepts the same ``dir:PATH`` / ``sqlite:PATH`` syntax
+    as ``--cache-backend``; unset, the historical directory layout
+    under :func:`default_cache_dir` is used.
+    """
+    backend = os.environ.get("PEARL_RESULT_CACHE_BACKEND", "")
+    if backend:
+        return open_store(backend)
+    return LocalDirStore(default_cache_dir())
+
+
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
     """Write via a temp file + rename so readers never see partials."""
     fd, tmp_name = tempfile.mkstemp(
@@ -90,7 +118,7 @@ def _atomic_write_bytes(path: Path, data: bytes) -> None:
 
 
 class ResultCache:
-    """Disk-backed memoisation of :class:`~.parallel.JobResult` objects.
+    """Store-backed memoisation of :class:`~.parallel.JobResult` objects.
 
     ``get``/``put`` take the job spec itself; keys are derived from its
     content payload.  All floats round-trip through JSON ``repr`` and
@@ -102,12 +130,23 @@ class ResultCache:
         self,
         directory: Union[str, Path, None] = None,
         salt: str = CODE_VERSION,
+        store: Union[str, CacheStore, None] = None,
     ) -> None:
-        self.directory = Path(directory) if directory else default_cache_dir()
+        if store is not None:
+            self.store = open_store(store)
+        elif directory is not None:
+            self.store = LocalDirStore(directory)
+        else:
+            self.store = default_store()
         self.salt = salt
         self.hits = 0
         self.misses = 0
         self.errors = 0
+
+    @property
+    def directory(self) -> Path:
+        """Location of the backing store (directory backend: its path)."""
+        return Path(self.store.location())
 
     # -- keys and paths -------------------------------------------------------
 
@@ -115,32 +154,41 @@ class ResultCache:
         """Content key of one job spec under this cache's salt."""
         return job_key(spec.payload(), salt=self.salt)
 
-    def _paths(self, key: str) -> "tuple[Path, Path]":
-        return (
-            self.directory / f"{key}.json",
-            self.directory / f"{key}.npz",
-        )
-
     # -- lookup ---------------------------------------------------------------
 
     def get(self, spec):
-        """The cached :class:`JobResult` for ``spec``, or ``None``.
+        """The cached :class:`JobResult` for ``spec``, or ``None``."""
+        return self.get_by_key(self.key_for(spec))
 
-        Any unreadable entry (bad JSON, truncated npz, schema drift)
-        counts as a miss: the stale files are removed and the caller
+    def get_by_key(self, key: str):
+        """Decode the entry stored under ``key``, or ``None``.
+
+        Any unreadable entry (bad JSON, truncated npz, schema drift, a
+        meta/blob digest mismatch from a torn pair) counts as a miss:
+        the stale entry is deleted (self-heal) and the caller
         recomputes.
         """
-        json_path, npz_path = self._paths(self.key_for(spec))
-        if not json_path.exists():
+        entry = self.store.get(key)
+        if entry is None:
             self.misses += 1
             self._count("misses")
             return None
+        meta, blob = entry
         try:
-            doc = json.loads(json_path.read_text())
+            doc = json.loads(meta.decode("utf-8"))
             if doc.get("format") != ENTRY_FORMAT:
-                raise ValueError(f"unknown cache entry format: {doc.get('format')!r}")
+                raise ValueError(
+                    f"unknown cache entry format: {doc.get('format')!r}"
+                )
+            expected = doc.get("blob_sha256")
+            actual = hashlib.sha256(blob).hexdigest()
+            if expected != actual:
+                raise ValueError(
+                    f"blob digest mismatch: meta names {expected}, "
+                    f"stored blob is {actual} (torn entry)"
+                )
             arrays: Dict[str, np.ndarray] = {}
-            with np.load(npz_path, allow_pickle=False) as archive:
+            with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
                 for name in archive.files:
                     arrays[name] = archive[name]
             result = _decode_result(doc, arrays)
@@ -149,8 +197,8 @@ class ResultCache:
             self.misses += 1
             self._count("errors")
             self._count("misses")
-            self._count("evictions", 2)
-            self._evict(json_path, npz_path)
+            self._count("evictions")
+            self.store.delete(key)
             return None
         self.hits += 1
         self._count("hits")
@@ -158,21 +206,82 @@ class ResultCache:
 
     def put(self, spec, result) -> None:
         """Persist one completed job result."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        json_path, npz_path = self._paths(self.key_for(spec))
+        self.put_by_key(self.key_for(spec), result, spec_payload=spec.payload())
+
+    def put_by_key(
+        self,
+        key: str,
+        result,
+        spec_payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist a result under a precomputed key."""
         doc, arrays = _encode_result(result)
         doc["format"] = ENTRY_FORMAT
-        doc["spec"] = spec.payload()
-        import io
-
+        if spec_payload is not None:
+            doc["spec"] = spec_payload
         buffer = io.BytesIO()
         np.savez_compressed(buffer, **arrays)
-        # npz first, JSON second: the JSON file is the commit record.
-        _atomic_write_bytes(npz_path, buffer.getvalue())
-        _atomic_write_bytes(
-            json_path, (json.dumps(doc, sort_keys=True) + "\n").encode()
-        )
+        blob = buffer.getvalue()
+        # The digest binds this meta document to exactly this blob, so
+        # a reader can reject any meta/blob interleaving from crashed
+        # or racing writers.
+        doc["blob_sha256"] = hashlib.sha256(blob).hexdigest()
+        meta = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        self.store.put(key, meta, blob)
         self._count("writes")
+
+    # -- management -----------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """Shape of the backing store (entries, bytes)."""
+        return self.store.stats()
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        older_than: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> "tuple[int, int]":
+        """Delete entries by age and/or size budget.
+
+        ``older_than`` drops every entry whose mtime is more than that
+        many seconds before ``now``; ``max_bytes`` then evicts
+        oldest-first until the store fits the budget.  Returns
+        ``(entries_removed, bytes_removed)``.
+        """
+        import time as _time
+
+        if now is None:
+            now = _time.time()
+        entries = []
+        for key in list(self.store.keys()):
+            info = self.store.entry_info(key)
+            if info is None:
+                continue
+            entries.append((key, info[0], info[1]))
+        removed = 0
+        removed_bytes = 0
+        kept = []
+        for key, size, mtime in entries:
+            if older_than is not None and (now - mtime) > older_than:
+                self.store.delete(key)
+                removed += 1
+                removed_bytes += size
+            else:
+                kept.append((key, size, mtime))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in kept)
+            # Oldest first, so the working set survives the budget cut.
+            for key, size, _ in sorted(kept, key=lambda e: e[2]):
+                if total <= max_bytes:
+                    break
+                self.store.delete(key)
+                total -= size
+                removed += 1
+                removed_bytes += size
+        if removed:
+            self._count("evictions", removed)
+        return removed, removed_bytes
 
     @staticmethod
     def _count(event: str, amount: int = 1) -> None:
@@ -182,14 +291,6 @@ class ResultCache:
                 f"engine/cache_{event}",
                 help="result-cache lookups by outcome",
             ).inc(amount)
-
-    @staticmethod
-    def _evict(*paths: Path) -> None:
-        for path in paths:
-            try:
-                path.unlink()
-            except OSError:
-                pass
 
 
 def _encode_result(result) -> "tuple[Dict[str, Any], Dict[str, np.ndarray]]":

@@ -423,12 +423,19 @@ class ExperimentEngine:
     """
 
     def __init__(
-        self, jobs: int = 1, cache: Optional[ResultCache] = None
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        stream_prefix: str = "",
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache = cache
+        #: Prepended to per-job telemetry stream tags — the sweep
+        #: service sets ``shardNNN/`` so merged traces carry shard
+        #: identity (see docs/sweep_service.md).
+        self.stream_prefix = stream_prefix
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         """Execute all specs, returning results in submission order."""
@@ -488,7 +495,10 @@ class ExperimentEngine:
         ).inc(executed)
         for index, result in enumerate(results):
             if result is not None and result.telemetry is not None:
-                obs.merge_capture(result.telemetry, stream=f"job{index}")
+                obs.merge_capture(
+                    result.telemetry,
+                    stream=f"{self.stream_prefix}job{index}",
+                )
 
 
 # -- process-wide default engine ---------------------------------------------
@@ -521,10 +531,14 @@ def configure(
     use_cache: Optional[bool] = None,
     cache_dir: Union[str, "os.PathLike[str]", None] = None,
     salt: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> ExperimentEngine:
     """Replace the default engine (the CLI's ``--jobs``/``--no-cache``).
 
-    Unspecified fields keep the current engine's values.
+    Unspecified fields keep the current engine's values.  ``backend``
+    selects a cache store (``dir:PATH`` / ``sqlite:PATH``, see
+    :func:`repro.experiments.service.stores.open_store`) and takes
+    precedence over ``cache_dir``.
     """
     global _ENGINE
     current = current_engine()
@@ -535,6 +549,8 @@ def configure(
         kwargs = {}
         if salt is not None:
             kwargs["salt"] = salt
+        if backend is not None:
+            kwargs["store"] = backend
         new_cache = ResultCache(directory=cache_dir, **kwargs)
     else:
         new_cache = None
@@ -548,13 +564,18 @@ def engine_scope(
     use_cache: Optional[bool] = None,
     cache_dir: Union[str, "os.PathLike[str]", None] = None,
     salt: Optional[str] = None,
+    backend: Optional[str] = None,
 ):
     """Temporarily swap the default engine, restoring it on exit."""
     global _ENGINE
     previous = _ENGINE
     try:
         yield configure(
-            jobs=jobs, use_cache=use_cache, cache_dir=cache_dir, salt=salt
+            jobs=jobs,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            salt=salt,
+            backend=backend,
         )
     finally:
         _ENGINE = previous

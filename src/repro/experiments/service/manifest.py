@@ -1,0 +1,268 @@
+"""Resumable shard manifests for large sweeps.
+
+A sweep — a list of :class:`~repro.experiments.parallel.JobSpec`
+values — is partitioned into *shards*: contiguous, content-keyed groups
+of jobs that commit together.  The manifest is the sweep's durable
+progress record: one JSON file listing every shard with its member job
+keys and status (``pending`` / ``done`` / ``failed``), checkpointed
+atomically after every shard transition.  A killed run resumes exactly
+where it stopped: ``done`` shards are never re-executed (their results
+are read back from the shared cache), ``pending`` and ``failed`` shards
+re-run.
+
+Shard identity is content-addressed — the SHA-256 over the member job
+keys — so a manifest can only ever be resumed against the *same* sweep:
+re-providing a different spec list changes the sweep key and is
+rejected loudly instead of silently mixing results.
+"""
+
+from __future__ import annotations
+
+import getpass
+import hashlib
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .stores import _atomic_write_bytes
+
+#: On-disk schema version of a manifest file.
+MANIFEST_FORMAT = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+class ShardStatus:
+    """String states one shard moves through (JSON-friendly)."""
+
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"
+
+
+def worker_identity() -> str:
+    """``user@host:pid`` — who touched a shard (provenance, debugging)."""
+    try:
+        user = getpass.getuser()
+    except (KeyError, OSError):
+        user = "unknown"
+    return f"{user}@{socket.gethostname()}:{os.getpid()}"
+
+
+def sweep_key(spec_keys: Sequence[str]) -> str:
+    """Content identity of a whole sweep (order-sensitive)."""
+    digest = hashlib.sha256()
+    for key in spec_keys:
+        digest.update(key.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def shard_key(spec_keys: Sequence[str]) -> str:
+    """Content identity of one shard (the member job keys, in order)."""
+    return sweep_key(spec_keys)
+
+
+@dataclass
+class Shard:
+    """One commit unit of a sweep: a contiguous slice of the spec list."""
+
+    shard_id: str
+    #: Indices into the sweep's spec list (submission order).
+    indices: List[int]
+    #: Content keys of the member jobs, aligned with ``indices``.
+    spec_keys: List[str]
+    status: str = ShardStatus.PENDING
+    attempts: int = 0
+    error: Optional[str] = None
+    completed_at: Optional[str] = None
+    worker: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "indices": self.indices,
+            "spec_keys": self.spec_keys,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "completed_at": self.completed_at,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Shard":
+        return cls(
+            shard_id=str(data["shard_id"]),
+            indices=[int(i) for i in data["indices"]],
+            spec_keys=[str(k) for k in data["spec_keys"]],
+            status=str(data["status"]),
+            attempts=int(data.get("attempts", 0)),
+            error=data.get("error"),  # type: ignore[arg-type]
+            completed_at=data.get("completed_at"),  # type: ignore[arg-type]
+            worker=data.get("worker"),  # type: ignore[arg-type]
+        )
+
+
+def partition_specs(
+    spec_keys: Sequence[str], shard_size: int
+) -> List[Shard]:
+    """Split a sweep into contiguous content-keyed shards.
+
+    Partitioning is deterministic in the submission order, so the same
+    sweep always produces the same shard ids — the property resume
+    validation rests on.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be at least 1")
+    shards: List[Shard] = []
+    for start in range(0, len(spec_keys), shard_size):
+        member_keys = list(spec_keys[start : start + shard_size])
+        shards.append(
+            Shard(
+                shard_id=shard_key(member_keys),
+                indices=list(range(start, start + len(member_keys))),
+                spec_keys=member_keys,
+            )
+        )
+    return shards
+
+
+@dataclass
+class SweepManifest:
+    """The on-disk progress record of one sharded sweep."""
+
+    directory: Path
+    sweep_id: str
+    salt: str
+    shard_size: int
+    shards: List[Shard]
+    created: str = field(
+        default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, Path],
+        spec_keys: Sequence[str],
+        shard_size: int,
+        salt: str,
+    ) -> "SweepManifest":
+        """Partition a fresh sweep and checkpoint the initial manifest."""
+        manifest = cls(
+            directory=Path(directory),
+            sweep_id=sweep_key(spec_keys),
+            salt=salt,
+            shard_size=shard_size,
+            shards=partition_specs(spec_keys, shard_size),
+        )
+        manifest.checkpoint()
+        return manifest
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "SweepManifest":
+        """Read a manifest back (raises ``FileNotFoundError`` when absent)."""
+        directory = Path(directory)
+        path = directory / MANIFEST_NAME
+        data = json.loads(path.read_text())
+        if data.get("format") != MANIFEST_FORMAT:
+            raise ValueError(
+                f"{path}: unknown manifest format {data.get('format')!r}"
+            )
+        return cls(
+            directory=directory,
+            sweep_id=str(data["sweep_id"]),
+            salt=str(data["salt"]),
+            shard_size=int(data["shard_size"]),
+            shards=[Shard.from_dict(s) for s in data["shards"]],
+            created=str(data["created"]),
+        )
+
+    @classmethod
+    def exists(cls, directory: Union[str, Path]) -> bool:
+        return (Path(directory) / MANIFEST_NAME).is_file()
+
+    # -- persistence ----------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": MANIFEST_FORMAT,
+            "sweep_id": self.sweep_id,
+            "salt": self.salt,
+            "shard_size": self.shard_size,
+            "created": self.created,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    def checkpoint(self) -> None:
+        """Atomically persist the current state.
+
+        A crash between shard completion and checkpoint merely re-runs
+        that one shard on resume — every member job is already in the
+        content-addressed cache, so the re-run collapses to cache
+        reads.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = (
+            json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+        ).encode("utf-8")
+        _atomic_write_bytes(self.path, payload)
+
+    # -- state transitions ----------------------------------------------------
+
+    def mark_running(self, shard: Shard) -> None:
+        shard.attempts += 1
+        shard.worker = worker_identity()
+        shard.error = None
+
+    def mark_done(self, shard: Shard) -> None:
+        shard.status = ShardStatus.DONE
+        shard.completed_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        shard.error = None
+        self.checkpoint()
+
+    def mark_failed(self, shard: Shard, error: str) -> None:
+        shard.status = ShardStatus.FAILED
+        # Bounded: an exception repr, not a traceback dump.
+        shard.error = error[:500]
+        self.checkpoint()
+
+    def reset_shard(self, shard: Shard) -> None:
+        """Demote a shard back to pending (cache entry lost, retry)."""
+        shard.status = ShardStatus.PENDING
+        shard.completed_at = None
+        self.checkpoint()
+
+    # -- queries --------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        out = {
+            ShardStatus.PENDING: 0,
+            ShardStatus.DONE: 0,
+            ShardStatus.FAILED: 0,
+        }
+        for shard in self.shards:
+            out[shard.status] = out.get(shard.status, 0) + 1
+        return out
+
+    def validate_specs(self, spec_keys: Sequence[str]) -> None:
+        """Reject resuming against a different sweep than was started."""
+        provided = sweep_key(spec_keys)
+        if provided != self.sweep_id:
+            raise ValueError(
+                f"sweep mismatch: manifest at {self.path} records sweep "
+                f"{self.sweep_id[:12]}… but the provided specs hash to "
+                f"{provided[:12]}… — resume requires the identical sweep "
+                "definition (same jobs, same order, same salt)"
+            )

@@ -1,0 +1,374 @@
+"""``pearl-sim serve`` — the async simulation-as-a-service endpoint.
+
+A small stdlib-only (:mod:`asyncio` + hand-rolled HTTP/1.1) server that
+accepts simulation specs as JSON and streams back newline-delimited
+JSON events.  Three properties make it hold up under a thundering herd
+of identical submissions (the "millions of users" story):
+
+* **request coalescing** — every spec hashes to its content key (the
+  same :func:`~repro.experiments.cache.job_key` the sweep cache uses);
+  all requests for a key that is already in flight await the *one*
+  running execution instead of spawning their own.  N concurrent
+  identical submissions perform exactly 1 simulation and stream N
+  results;
+* **shared cache** — before executing, the server consults the same
+  content-addressed store as ``pearl-sim sweep``, so anything any
+  worker ever computed is served at cache-read speed;
+* **backpressure** — at most ``max_pending`` *distinct* keys may be in
+  flight; beyond that, new work is refused with ``503`` +
+  ``Retry-After`` (coalescing joins are always accepted — they cost
+  nothing).  Executions fan out over a bounded process pool.
+
+Endpoints::
+
+    POST /simulate   body: spec document (see spec_codec)
+                     response: NDJSON stream of
+                       {"event": "accepted", "key": ..., "coalesced": ...}
+                       {"event": "result", "key": ..., "cached": ...,
+                        "result": {...}}            (or "error")
+    GET  /stats      counters + cache store shape
+    GET  /healthz    liveness
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional
+
+from ... import obs
+from ...obs import OBS
+from ..cache import ResultCache
+from ..parallel import _init_worker_obs, execute_job
+from .manifest import worker_identity
+from .spec_codec import result_to_doc, spec_from_doc
+
+_MAX_BODY_BYTES = 8 << 20  # an 8 MiB spec document is a client bug
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+        self.message = message
+
+
+class SweepServer:
+    """Coalescing, cache-backed simulation server."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        host: str = "127.0.0.1",
+        port: int = 8639,
+        jobs: int = 2,
+        max_pending: int = 64,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.cache = cache if cache is not None else ResultCache()
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.max_pending = max_pending
+        self.worker = worker_identity()
+        #: key -> the one future all coalesced requests await.
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.counters: Dict[str, int] = {
+            "submissions": 0,
+            "executions": 0,
+            "coalesced": 0,
+            "cache_hits": 0,
+            "rejected": 0,
+            "errors": 0,
+        }
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and spin up the worker pool."""
+        # "spawn", not fork: the serving process is inherently
+        # multithreaded (event loop + cache I/O threads), and forking a
+        # multithreaded process can deadlock the child on inherited
+        # locks.  Spawned workers import the worker function fresh.
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_init_worker_obs,
+            initargs=(OBS.config(),),
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Port 0 means "pick one"; publish what the OS chose.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- HTTP plumbing --------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+            except _HttpError as exc:
+                await self._write_error(writer, exc)
+                return
+            try:
+                await self._route(method, target, body, writer)
+            except _HttpError as exc:
+                await self._write_error(writer, exc)
+            except Exception as exc:  # noqa: BLE001 - never hang the client
+                await self._write_error(
+                    writer,
+                    _HttpError(
+                        500, "Internal Server Error", f"unhandled: {exc!r}"
+                    ),
+                )
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass  # client went away; the shared execution (if any) lives on
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> "tuple[str, str, bytes]":
+        try:
+            request_line = await reader.readline()
+        except (ValueError, OSError):
+            raise _HttpError(400, "Bad Request", "unreadable request line")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "Bad Request", "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise _HttpError(
+                413, "Payload Too Large", f"body exceeds {_MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = target.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            await self._write_json(writer, 200, {"status": "ok"})
+            return
+        if method == "GET" and path == "/stats":
+            await self._write_json(writer, 200, self.stats_doc())
+            return
+        if method == "POST" and path == "/simulate":
+            await self._handle_simulate(body, writer)
+            return
+        raise _HttpError(404, "Not Found", f"no route for {method} {path}")
+
+    @staticmethod
+    async def _write_head(
+        writer: asyncio.StreamWriter,
+        status: int,
+        reason: str,
+        content_type: str,
+        extra_headers: "tuple[str, ...]" = (),
+        content_length: Optional[int] = None,
+    ) -> None:
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            "Connection: close",
+        ]
+        if content_length is not None:
+            lines.append(f"Content-Length: {content_length}")
+        lines.extend(extra_headers)
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+
+    async def _write_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        doc: dict,
+        reason: str = "OK",
+        extra_headers: "tuple[str, ...]" = (),
+    ) -> None:
+        payload = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        await self._write_head(
+            writer,
+            status,
+            reason,
+            "application/json",
+            extra_headers,
+            content_length=len(payload),
+        )
+        writer.write(payload)
+        await writer.drain()
+
+    async def _write_error(
+        self, writer: asyncio.StreamWriter, exc: _HttpError
+    ) -> None:
+        self.counters["errors"] += 1
+        extra = ("Retry-After: 1",) if exc.status == 503 else ()
+        await self._write_json(
+            writer,
+            exc.status,
+            {"error": exc.message},
+            reason=exc.reason,
+            extra_headers=extra,
+        )
+
+    # -- /simulate ------------------------------------------------------------
+
+    async def _handle_simulate(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+            spec = spec_from_doc(doc)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _HttpError(400, "Bad Request", f"bad spec document: {exc}")
+        key = self.cache.key_for(spec)
+        self.counters["submissions"] += 1
+        self._count("submissions")
+
+        coalesced = key in self._inflight
+        if not coalesced and len(self._inflight) >= self.max_pending:
+            self.counters["rejected"] += 1
+            self._count("rejected")
+            raise _HttpError(
+                503,
+                "Service Unavailable",
+                f"{len(self._inflight)} keys in flight "
+                f"(max_pending={self.max_pending}); retry shortly",
+            )
+
+        await self._write_head(
+            writer, 200, "OK", "application/x-ndjson"
+        )
+        await self._stream_event(
+            writer,
+            {"event": "accepted", "key": key, "coalesced": coalesced},
+        )
+
+        if coalesced:
+            self.counters["coalesced"] += 1
+            self._count("coalesced")
+            future = self._inflight[key]
+        else:
+            future = asyncio.ensure_future(self._execute(key, spec))
+            self._inflight[key] = future
+            future.add_done_callback(
+                lambda _f, _key=key: self._inflight.pop(_key, None)
+            )
+        try:
+            # shield(): a disconnecting waiter must not cancel the one
+            # shared execution the other coalesced requests await.
+            cached, result = await asyncio.shield(future)
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            await self._stream_event(
+                writer, {"event": "error", "key": key, "error": repr(exc)}
+            )
+            self.counters["errors"] += 1
+            return
+        await self._stream_event(
+            writer,
+            {
+                "event": "result",
+                "key": key,
+                "cached": cached,
+                "worker": self.worker,
+                "result": result_to_doc(result),
+            },
+        )
+
+    async def _stream_event(
+        self, writer: asyncio.StreamWriter, doc: dict
+    ) -> None:
+        writer.write((json.dumps(doc, sort_keys=True) + "\n").encode("utf-8"))
+        await writer.drain()
+
+    async def _execute(self, key: str, spec) -> "tuple[bool, object]":
+        """The single execution all coalesced waiters share."""
+        loop = asyncio.get_running_loop()
+        # Cache probe off-loop: store reads touch disk/sqlite.
+        hit = await loop.run_in_executor(None, self.cache.get_by_key, key)
+        if hit is not None:
+            self.counters["cache_hits"] += 1
+            self._count("cache_hits")
+            return True, hit
+        assert self._pool is not None, "server not started"
+        result = await loop.run_in_executor(self._pool, execute_job, spec)
+        self.counters["executions"] += 1
+        self._count("executions")
+        if OBS.enabled and result.telemetry is not None:
+            obs.merge_capture(result.telemetry, stream=f"serve/{key[:12]}")
+        await loop.run_in_executor(
+            None, self.cache.put_by_key, key, result, spec.payload()
+        )
+        return False, result
+
+    # -- stats ----------------------------------------------------------------
+
+    def stats_doc(self) -> dict:
+        return {
+            "worker": self.worker,
+            "jobs": self.jobs,
+            "max_pending": self.max_pending,
+            "inflight": len(self._inflight),
+            **self.counters,
+            "store": self.cache.stats().to_dict(),
+        }
+
+    @staticmethod
+    def _count(event: str, amount: int = 1) -> None:
+        if OBS.enabled:
+            OBS.registry.counter(
+                f"service/serve_{event}",
+                help="serve endpoint submissions by outcome",
+            ).inc(amount)
+
+
+async def run_server(server: SweepServer) -> None:
+    """Start and serve until cancelled (the CLI entry point)."""
+    await server.start()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

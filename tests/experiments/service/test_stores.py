@@ -1,0 +1,118 @@
+"""Cache store backends: round trips, atomicity scaffolding, management.
+
+Both backends promise the same byte-level contract (see
+``service/stores.py``); the whole suite here runs against each via the
+``store`` fixture param.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.service.stores import (
+    LocalDirStore,
+    SqliteStore,
+    open_store,
+)
+
+
+@pytest.fixture(params=["dir", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "dir":
+        return LocalDirStore(tmp_path / "cache")
+    return SqliteStore(tmp_path / "cache.db")
+
+
+class TestContract:
+    def test_get_missing_is_none(self, store):
+        assert store.get("0" * 64) is None
+
+    def test_put_get_roundtrip(self, store):
+        store.put("k1", b'{"a": 1}', b"\x00\x01\x02")
+        assert store.get("k1") == (b'{"a": 1}', b"\x00\x01\x02")
+
+    def test_overwrite_is_last_writer_wins(self, store):
+        store.put("k1", b"old-meta", b"old-blob")
+        store.put("k1", b"new-meta", b"new-blob")
+        assert store.get("k1") == (b"new-meta", b"new-blob")
+
+    def test_delete_then_miss(self, store):
+        store.put("k1", b"m", b"b")
+        store.delete("k1")
+        assert store.get("k1") is None
+        store.delete("k1")  # idempotent
+
+    def test_keys_enumerates_committed_entries(self, store):
+        for name in ("b-key", "a-key", "c-key"):
+            store.put(name, b"m", b"b")
+        assert list(store.keys()) == ["a-key", "b-key", "c-key"]
+
+    def test_entry_info_reports_size(self, store):
+        store.put("k1", b"meta!", b"0123456789")
+        info = store.entry_info("k1")
+        assert info is not None
+        size, mtime = info
+        assert size == 15
+        assert mtime > 0
+        assert store.entry_info("absent") is None
+
+    def test_stats_totals(self, store):
+        store.put("k1", b"aa", b"bbbb")
+        store.put("k2", b"cc", b"dddd")
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes == 12
+        assert stats.backend == store.backend
+
+    def test_store_is_picklable(self, store):
+        """Stores cross process boundaries inside engine workers."""
+        store.put("k1", b"m", b"b")
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.get("k1") == (b"m", b"b")
+
+
+class TestLocalDirLayout:
+    """The directory backend keeps the historical file layout."""
+
+    def test_files_on_disk(self, tmp_path):
+        store = LocalDirStore(tmp_path)
+        store.put("deadbeef", b"meta", b"blob")
+        assert (tmp_path / "deadbeef.json").read_bytes() == b"meta"
+        assert (tmp_path / "deadbeef.npz").read_bytes() == b"blob"
+
+    def test_half_entry_is_absent(self, tmp_path):
+        """A meta file without its blob (or vice versa) reads as missing."""
+        store = LocalDirStore(tmp_path)
+        store.put("k", b"meta", b"blob")
+        (tmp_path / "k.npz").unlink()
+        assert store.get("k") is None
+
+    def test_no_temp_file_residue(self, tmp_path):
+        store = LocalDirStore(tmp_path)
+        for i in range(20):
+            store.put("k", f"meta{i}".encode(), b"blob" * i)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestOpenStore:
+    def test_bare_path_is_dir_backend(self, tmp_path):
+        store = open_store(str(tmp_path / "c"))
+        assert isinstance(store, LocalDirStore)
+
+    def test_dir_scheme(self, tmp_path):
+        store = open_store(f"dir:{tmp_path}/c")
+        assert isinstance(store, LocalDirStore)
+
+    def test_sqlite_scheme(self, tmp_path):
+        store = open_store(f"sqlite:{tmp_path}/c.db")
+        assert isinstance(store, SqliteStore)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            open_store("redis:somewhere")
+
+    def test_store_instance_passes_through(self, tmp_path):
+        store = SqliteStore(tmp_path / "c.db")
+        assert open_store(store) is store

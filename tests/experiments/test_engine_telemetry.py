@@ -189,6 +189,8 @@ class TestCacheTelemetry:
         snap, _, _ = _run(specs[:1], jobs=1, cache=ResultCache(tmp_path))
         counters = self._counters(snap)
         assert counters["engine/cache_errors"] == 1
-        assert counters["engine/cache_evictions"] == 2
+        # One eviction per torn *entry* (the meta+blob pair heals as a
+        # unit, however many files the backend keeps per key).
+        assert counters["engine/cache_evictions"] == 1
         assert counters["engine/cache_misses"] == 1
         assert counters["engine/cache_writes"] == 1

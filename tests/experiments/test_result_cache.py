@@ -163,6 +163,187 @@ class TestCorruption:
         assert cache.errors == 1
 
 
+class TestTornPairDetection:
+    """Format-2 entries bind meta to blob by digest (torn pairs heal)."""
+
+    def test_mismatched_blob_is_evicted_not_decoded(
+        self, tmp_path, tiny_sim_config
+    ):
+        """A meta/blob pair mixed from two writers reads as a miss."""
+        import io
+
+        import numpy as np
+
+        pair = experiment_pairs(quick=True)[0]
+        spec = trace_job(tiny_sim_config, pair_spec(pair, 1), seed=1)
+        cache = ResultCache(directory=tmp_path)
+        cache.put(spec, execute_job(spec))
+        key = cache.key_for(spec)
+        # Interleave: the committed meta now sits over a *different but
+        # perfectly decodable* blob — the torn-pair shape a crash
+        # between two racing writers leaves behind.  Only the digest in
+        # the meta document can catch this.
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            latencies=np.array([1, 2, 3], dtype=np.int64),
+            ml_predictions=np.array([], dtype=np.float64),
+            ml_labels=np.array([], dtype=np.float64),
+        )
+        (tmp_path / f"{key}.npz").write_bytes(buffer.getvalue())
+        assert cache.get(spec) is None
+        assert cache.errors == 1
+        assert not (tmp_path / f"{key}.json").exists()  # self-healed
+        cache.put(spec, execute_job(spec))
+        assert cache.get(spec) is not None
+
+    def test_pre_digest_entries_self_heal(self, tmp_path, tiny_sim_config):
+        """Format-1 entries (no digest) are evicted, not trusted."""
+        pair = experiment_pairs(quick=True)[0]
+        spec = trace_job(tiny_sim_config, pair_spec(pair, 1), seed=1)
+        cache = ResultCache(directory=tmp_path)
+        cache.put(spec, execute_job(spec))
+        key = cache.key_for(spec)
+        meta_path = tmp_path / f"{key}.json"
+        import json as _json
+
+        doc = _json.loads(meta_path.read_text())
+        doc["format"] = 1
+        doc.pop("blob_sha256")
+        meta_path.write_text(_json.dumps(doc))
+        assert cache.get(spec) is None
+        assert cache.errors == 1
+        cache.put(spec, execute_job(spec))
+        assert cache.get(spec) is not None
+
+
+def _hammer_cache(backend_spec, spec, result, rounds, failures):
+    """One concurrent writer+reader process (top-level: picklable)."""
+    try:
+        cache = ResultCache(store=backend_spec)
+        for _ in range(rounds):
+            cache.put(spec, result)
+            hit = cache.get(spec)
+            if hit is not None and hit.extras != result.extras:
+                failures.put("decoded entry does not match what was written")
+        if cache.errors:
+            failures.put(f"reader saw {cache.errors} corrupt entries")
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        failures.put(repr(exc))
+
+
+class TestConcurrentWriters:
+    """Racing same-key writers across real processes never tear entries."""
+
+    @pytest.mark.parametrize("backend", ["dir", "sqlite"])
+    def test_cross_process_same_key_writers(
+        self, tmp_path, tiny_sim_config, backend
+    ):
+        import multiprocessing
+
+        if backend == "dir":
+            backend_spec = f"dir:{tmp_path / 'cache'}"
+        else:
+            backend_spec = f"sqlite:{tmp_path / 'cache.db'}"
+        pair = experiment_pairs(quick=True)[0]
+        spec = trace_job(tiny_sim_config, pair_spec(pair, 1), seed=1)
+        result = execute_job(spec)
+
+        ctx = multiprocessing.get_context("fork")
+        failures = ctx.Queue()
+        workers = [
+            ctx.Process(
+                target=_hammer_cache,
+                args=(backend_spec, spec, result, 25, failures),
+            )
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        assert failures.empty(), failures.get()
+
+        # After the storm: exactly one committed, decodable entry.
+        survivor = ResultCache(store=backend_spec)
+        hit = survivor.get(spec)
+        assert hit is not None
+        assert hit.extras == result.extras
+        assert survivor.errors == 0
+        assert survivor.stats().entries == 1
+        if backend == "dir":
+            assert not list((tmp_path / "cache").glob("*.tmp"))
+
+
+class TestPrune:
+    def _filled(self, tmp_path, tiny_sim_config, count=3):
+        cache = ResultCache(directory=tmp_path)
+        pair = experiment_pairs(quick=True)[0]
+        specs = [
+            trace_job(tiny_sim_config, pair_spec(pair, seed), seed=seed)
+            for seed in range(1, count + 1)
+        ]
+        for spec in specs:
+            cache.put(spec, execute_job(spec))
+        return cache, specs
+
+    def test_prune_by_age(self, tmp_path, tiny_sim_config):
+        cache, _ = self._filled(tmp_path, tiny_sim_config)
+        removed, removed_bytes = cache.prune(
+            older_than=5.0, now=time.time() + 60
+        )
+        assert removed == 3
+        assert removed_bytes > 0
+        assert cache.stats().entries == 0
+
+    def test_prune_keeps_young_entries(self, tmp_path, tiny_sim_config):
+        cache, specs = self._filled(tmp_path, tiny_sim_config)
+        removed, _ = cache.prune(older_than=3600.0)
+        assert removed == 0
+        assert cache.get(specs[0]) is not None
+
+    def test_prune_to_size_budget_evicts_oldest_first(
+        self, tmp_path, tiny_sim_config
+    ):
+        import os as _os
+
+        cache, specs = self._filled(tmp_path, tiny_sim_config)
+        oldest = cache.key_for(specs[0])
+        past = time.time() - 1000
+        for suffix in (".json", ".npz"):
+            _os.utime(tmp_path / f"{oldest}{suffix}", (past, past))
+        total = cache.stats().total_bytes
+        removed, _ = cache.prune(max_bytes=total - 1)
+        assert removed == 1
+        assert cache.get(specs[0]) is None  # the back-dated entry went
+        assert cache.get(specs[1]) is not None
+
+    def test_prune_everything(self, tmp_path, tiny_sim_config):
+        cache, specs = self._filled(tmp_path, tiny_sim_config)
+        removed, _ = cache.prune(max_bytes=0)
+        assert removed == 3
+        assert all(cache.get(spec) is None for spec in specs)
+
+
+class TestSqliteBackend:
+    def test_roundtrip_is_bit_identical(self, tmp_path, spec):
+        cache = ResultCache(store=f"sqlite:{tmp_path / 'c.db'}")
+        computed = execute_job(spec)
+        cache.put(spec, computed)
+        hit = cache.get(spec)
+        assert hit is not None
+        assert _fingerprint(hit) == _fingerprint(computed)
+
+    def test_env_var_selects_backend(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "PEARL_RESULT_CACHE_BACKEND", f"sqlite:{tmp_path / 'env.db'}"
+        )
+        cache = ResultCache()
+        assert cache.store.backend == "sqlite"
+        assert cache.directory == tmp_path / "env.db"
+
+
 class TestEngineIntegration:
     def test_warm_rerun_identical_and_10x_faster(
         self, tmp_path, tiny_sim_config
