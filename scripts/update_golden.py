@@ -24,8 +24,32 @@ from tests.golden.golden_cases import (  # noqa: E402
     ALLOCATORS,
     ENGINES,
     POLICIES,
+    RETRAIN_CASE,
     run_case,
+    run_retrain_case,
 )
+
+
+def _write_checked(outdir: Path, stem: str, results: dict) -> bool:
+    """Write one snapshot unless the engines disagree on it."""
+    baseline_engine = ENGINES[0]
+    baseline = results[baseline_engine]
+    diverged = [
+        engine for engine in ENGINES[1:] if results[engine] != baseline
+    ]
+    if diverged:
+        print(
+            f"ENGINE DIVERGENCE for {stem}: "
+            f"{', '.join(diverged)} disagree with "
+            f"{baseline_engine}; refusing to write a snapshot "
+            "(fix the engines first)",
+            file=sys.stderr,
+        )
+        return False
+    path = outdir / f"{stem}.json"
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path.relative_to(ROOT)}")
+    return True
 
 
 def main() -> int:
@@ -37,27 +61,18 @@ def main() -> int:
                 engine: run_case(policy, allocator, engine)
                 for engine in ENGINES
             }
-            baseline_engine = ENGINES[0]
-            baseline = results[baseline_engine]
-            diverged = [
-                engine
-                for engine in ENGINES[1:]
-                if results[engine] != baseline
-            ]
-            if diverged:
-                print(
-                    f"ENGINE DIVERGENCE for {policy}_{allocator}: "
-                    f"{', '.join(diverged)} disagree with "
-                    f"{baseline_engine}; refusing to write a snapshot "
-                    "(fix the engines first)",
-                    file=sys.stderr,
-                )
+            if not _write_checked(outdir, f"{policy}_{allocator}", results):
                 return 1
-            path = outdir / f"{policy}_{allocator}.json"
-            path.write_text(
-                json.dumps(baseline, indent=2, sort_keys=True) + "\n"
-            )
-            print(f"wrote {path.relative_to(ROOT)}")
+    retrain = {engine: run_retrain_case(engine) for engine in ENGINES}
+    if retrain[ENGINES[0]]["retrain_events"] < 1:
+        print(
+            f"{RETRAIN_CASE}: the case did not retrain; refusing to pin "
+            "a snapshot without a mid-run swap",
+            file=sys.stderr,
+        )
+        return 1
+    if not _write_checked(outdir, RETRAIN_CASE, retrain):
+        return 1
     return 0
 
 

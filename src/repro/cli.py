@@ -110,8 +110,8 @@ def _build_parser() -> argparse.ArgumentParser:
     simp.add_argument(
         "--policy",
         default="static",
-        choices=["static", "reactive", "adaptive", "ml"],
-        help="power-scaling policy",
+        choices=["static", "reactive", "adaptive", "ml", "proteus", "d3noc"],
+        help="power-scaling policy (docs/policies.md)",
     )
     simp.add_argument("--window", type=int, default=500)
     simp.add_argument("--cycles", type=int, default=20_000)
@@ -148,6 +148,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="registry tag/id of the model to deploy (ml policy only); "
         "default: train/fetch the default model",
     )
+    simp.add_argument(
+        "--drift-action",
+        default=None,
+        choices=["flag", "fallback", "retrain"],
+        help="what the ml policy does when drift fires (default: config "
+        "default; 'retrain' refits online and hot-swaps via the registry)",
+    )
     _add_trace_args(simp)
 
     swp = sub.add_parser(
@@ -158,7 +165,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--policies",
         nargs="+",
         default=["static", "reactive"],
-        choices=["static", "reactive", "adaptive", "ml"],
+        choices=["static", "reactive", "adaptive", "ml", "proteus", "d3noc"],
         help="power-scaling policies to cross (default: static reactive)",
     )
     swp.add_argument(
@@ -538,6 +545,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = config.replace(
             ml=dataclasses.replace(config.ml, quantization=args.quantization)
         )
+    if args.drift_action:
+        config = config.replace(
+            ml=dataclasses.replace(config.ml, drift_action=args.drift_action)
+        )
     trace = generate_pair_trace(
         get_benchmark(args.cpu),
         get_benchmark(args.gpu),
@@ -550,6 +561,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "reactive": PowerPolicyKind.REACTIVE,
         "adaptive": PowerPolicyKind.ADAPTIVE,
         "ml": PowerPolicyKind.ML,
+        "proteus": PowerPolicyKind.PROTEUS,
+        "d3noc": PowerPolicyKind.D3NOC,
     }[args.policy]
     ml_model = None
     if policy is PowerPolicyKind.ML:
@@ -618,6 +631,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 result.drift_retraining_recommended,
             )
         )
+        if result.retrain_events:
+            print(
+                "  ml: retrain_events=%d models=%s"
+                % (result.retrain_events, ",".join(result.retrained_model_ids))
+            )
     return 0
 
 

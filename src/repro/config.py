@@ -299,7 +299,14 @@ class MLConfig:
       :mod:`repro.ml.lifecycle.drift`.  ``drift_action="flag"`` is
       purely observational (bit-identical results);
       ``"fallback"`` degrades drifting routers to the reactive
-      Algorithm 1 thresholds until the signals recover.
+      Algorithm 1 thresholds until the signals recover;
+      ``"retrain"`` closes the loop — a drift event triggers an online
+      ridge refit on the pooled window-feature buffer, a registry
+      ``put`` + promotion, and a mid-simulation hot swap of the
+      deployed model (see ``docs/policies.md``).
+    * ``retrain_min_samples`` — pooled (feature, label) rows required
+      before a retrain fires; ``retrain_cooldown_windows`` — reservation
+      windows that must elapse between consecutive retrains.
     """
 
     reservation_window: int = 500
@@ -316,6 +323,8 @@ class MLConfig:
     drift_z_threshold: float = 4.0
     drift_patience: int = 3
     drift_calibration_windows: int = 10
+    retrain_min_samples: int = 60
+    retrain_cooldown_windows: int = 5
 
     def __post_init__(self) -> None:
         if self.reservation_window <= 0:
@@ -331,8 +340,14 @@ class MLConfig:
                 f"quantization must look like 'q4.12', not "
                 f"{self.quantization!r}"
             )
-        if self.drift_action not in ("flag", "fallback"):
-            raise ValueError("drift_action must be 'flag' or 'fallback'")
+        if self.drift_action not in ("flag", "fallback", "retrain"):
+            raise ValueError(
+                "drift_action must be 'flag', 'fallback' or 'retrain'"
+            )
+        if self.retrain_min_samples < 2:
+            raise ValueError("retrain_min_samples must be at least 2")
+        if self.retrain_cooldown_windows < 0:
+            raise ValueError("retrain_cooldown_windows cannot be negative")
         if not 0.0 < self.drift_ewma_alpha <= 1.0:
             raise ValueError("drift_ewma_alpha must be in (0, 1]")
         if self.drift_z_threshold <= 0:

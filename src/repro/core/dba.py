@@ -16,7 +16,7 @@ The paper's brute-force search fixed the upper bounds at 16% (CPU) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..config import DBAConfig
 from ..noc.buffer import PartitionedBuffer
@@ -103,6 +103,14 @@ class DynamicBandwidthAllocator:
             self._gpu_major: "gpu_major",
             self._even: "even",
         }
+        self._by_label = {
+            label: alloc for alloc, label in self.split_labels.items()
+        }
+        # D3NOC window-scale reconfiguration: when pinned, the per-cycle
+        # combinational decision is bypassed until the next window close
+        # re-pins.  Always one of the five canonical instances, so the
+        # id()-keyed telemetry tally keeps working.
+        self._pinned: Optional[BandwidthAllocation] = None
 
     def sample(self, buffers: PartitionedBuffer) -> OccupancySample:
         """Read Eq. 1-2 occupancies from a router's buffer pools."""
@@ -110,8 +118,35 @@ class DynamicBandwidthAllocator:
             cpu=buffers.cpu_occupancy, gpu=buffers.gpu_occupancy
         )
 
+    @property
+    def pinned(self) -> Optional[BandwidthAllocation]:
+        """The active window-pinned split, or None when combinational."""
+        return self._pinned
+
+    @property
+    def pinned_label(self) -> Optional[str]:
+        """Telemetry label of the pinned split, or None."""
+        return None if self._pinned is None else self.split_labels[self._pinned]
+
+    def pin_split(self, label: Optional[str]) -> None:
+        """Pin every allocation to one canonical split until re-pinned.
+
+        ``label`` is a key of :attr:`split_labels` (``"even"``,
+        ``"cpu_major"``, ...); ``None`` restores the per-cycle
+        Algorithm 1 decision.
+        """
+        if label is None:
+            self._pinned = None
+            return
+        try:
+            self._pinned = self._by_label[label]
+        except KeyError:
+            raise ValueError(f"unknown split label {label!r}")
+
     def allocate(self, occupancy: OccupancySample) -> BandwidthAllocation:
         """Algorithm 1 step 3: map occupancies to a bandwidth split."""
+        if self._pinned is not None:
+            return self._pinned
         return self._decide(occupancy.cpu, occupancy.gpu)
 
     def _decide(self, cpu: float, gpu: float) -> BandwidthAllocation:
@@ -129,6 +164,8 @@ class DynamicBandwidthAllocator:
         self, buffers: PartitionedBuffer
     ) -> BandwidthAllocation:
         """Sample and allocate in one call (what a router does per cycle)."""
+        if self._pinned is not None:
+            return self._pinned
         return self._decide(buffers.cpu_occupancy, buffers.gpu_occupancy)
 
 
@@ -147,6 +184,18 @@ class FCFSAllocator:
         # and telemetry tallies outcomes by object identity).
         self._even = BandwidthAllocation.even_split()
         self.split_labels = {self._even: "even"}
+
+    @property
+    def pinned(self) -> Optional[BandwidthAllocation]:
+        """FCFS never reconfigures; present for allocator-interface parity."""
+        return None
+
+    @property
+    def pinned_label(self) -> Optional[str]:
+        return None
+
+    def pin_split(self, label: Optional[str]) -> None:
+        """No-op: the FCFS baseline has no reconfigurable split."""
 
     def sample(self, buffers: PartitionedBuffer) -> OccupancySample:
         """Occupancy reading (collected for statistics only)."""

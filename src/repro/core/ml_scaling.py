@@ -150,6 +150,7 @@ class MLPowerScaler:
         self.last_window_fallback = False
         self.selector = selector
         self.config = config
+        self.router_id = router_id
         self.offset = (router_id * stagger_cycles) % max(
             config.reservation_window, 1
         )
@@ -160,6 +161,15 @@ class MLPowerScaler:
         self.labels: List[float] = []
         self._pending_label: Optional[float] = None
         self._drift_observed = 0
+        #: Set on a drift event under drift_action="retrain"; the
+        #: network's retrain coordinator latches and clears it.
+        self.retrain_pending = False
+        #: Feature snapshots paired with predictions (retrain mode only:
+        #: feature_rows[i] produced predictions[i], whose realised
+        #: target is labels[i]).
+        self.feature_rows: List[np.ndarray] = []
+        #: How many times this scaler's deployed model was hot-swapped.
+        self.models_adopted = 0
 
     def window_boundary(self, cycle: int) -> bool:
         """True on this router's staggered window boundaries."""
@@ -237,6 +247,8 @@ class MLPowerScaler:
             self.last_window_fallback = False
         self.predictions.append(predicted)
         self.decisions.append(state)
+        if self.drift_action == "retrain":
+            self.feature_rows.append(features)
         if OBS.enabled:
             OBS.registry.counter(
                 "ml/inferences", help="ridge predictions made at window boundaries"
@@ -263,6 +275,8 @@ class MLPowerScaler:
             pair_predicted = predicted
             pair_actual = None
         fired = monitor.observe(features, pair_predicted, pair_actual)
+        if fired and self.drift_action == "retrain":
+            self.retrain_pending = True
         if fired and OBS.enabled:
             OBS.registry.counter(
                 "ml/drift_events",
@@ -338,3 +352,59 @@ class MLPowerScaler:
             np.asarray(self.labels[:n], dtype=float),
             np.asarray(self.predictions[:n], dtype=float),
         )
+
+    def training_pairs(self) -> "tuple[np.ndarray, np.ndarray]":
+        """(X, y) rows this scaler accumulated for online retraining.
+
+        ``feature_rows[i]`` is the snapshot that produced
+        ``predictions[i]``, whose realised next-window injection count
+        is ``labels[i]`` — the same alignment the offline pipeline
+        trains on.  Empty outside ``drift_action="retrain"``.
+        """
+        n = min(len(self.labels), len(self.feature_rows))
+        if n == 0:
+            return (
+                np.empty((0, NUM_FEATURES), dtype=float),
+                np.empty(0, dtype=float),
+            )
+        return (
+            np.stack(self.feature_rows[:n]).astype(float),
+            np.asarray(self.labels[:n], dtype=float),
+        )
+
+    def adopt_model(self, model) -> None:
+        """Hot-swap the deployed model mid-run (online retraining).
+
+        Re-derives the fixed-point form when a quantization spec is
+        deployed and rebuilds the drift monitor against the *new*
+        model's feature statistics (monitors are not resettable — a
+        fresh calibration phase is the correct post-swap behaviour).
+        Prediction/label/feature histories are kept: they are run
+        artefacts, and the label alignment is index-based.
+        """
+        if not model.is_fitted:
+            raise ValueError("cannot adopt an unfitted model")
+        self.model = model
+        if self.config.quantization:
+            from ..ml.lifecycle.quantized import QuantizedRidge
+
+            self.quantized = QuantizedRidge.from_spec(
+                model, self.config.quantization
+            )
+        if self.drift_monitor is not None:
+            from ..ml.lifecycle.drift import DriftConfig, DriftMonitor
+
+            scaler = getattr(model, "_scaler", None)
+            self.drift_monitor = DriftMonitor(
+                DriftConfig(
+                    ewma_alpha=self.config.drift_ewma_alpha,
+                    z_threshold=self.config.drift_z_threshold,
+                    patience=self.config.drift_patience,
+                    calibration_windows=self.config.drift_calibration_windows,
+                ),
+                feature_mean=scaler.mean if scaler is not None else None,
+                feature_scale=scaler.scale if scaler is not None else None,
+                router_id=self.router_id,
+            )
+        self.retrain_pending = False
+        self.models_adopted += 1

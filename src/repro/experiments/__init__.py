@@ -25,6 +25,7 @@ from . import (
     headline,
     ml_lifecycle,
     ml_quality,
+    policy_bakeoff,
     resilience,
     tables,
 )
@@ -59,6 +60,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "ablations": ablations.run,
     "saturation": saturation.run,
     "resilience": resilience.run,
+    "policy_bakeoff": policy_bakeoff.run,
     "arbitration": arbitration.run,
     "thermal_study": thermal_study.run,
     "headline": headline.run,

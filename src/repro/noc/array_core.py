@@ -165,6 +165,14 @@ class ArrayCore:
         self._dba_gub = [d.config.gpu_upper_bound for d in dbas]
         self._dba_cub = [d.config.cpu_upper_bound for d in dbas]
         self._dbas = dbas
+        # D3NOC window pins (per row: fractions + label index, -1 =
+        # unpinned).  Pins only change inside _close_windows, so the
+        # mirrors refresh at construction and after each boundary.
+        self._dba_pin_cf = [0.0] * n
+        self._dba_pin_gf = [0.0] * n
+        self._dba_pin_idx = [-1] * n
+        for r in range(n):
+            self._refresh_dba_pin(r)
 
         # -- slot accounting (occupancy fractions are cached/vectorized) ---
         self._cap_cpu = [p.capacity_slots for p in self._cpu_pool]
@@ -390,6 +398,18 @@ class ArrayCore:
 
     # -- engine caches ------------------------------------------------------
 
+    def _refresh_dba_pin(self, r: int) -> None:
+        """Mirror row ``r``'s allocator pin into the hot-path lists."""
+        pinned = self._dbas[r].pinned
+        if pinned is None:
+            self._dba_pin_idx[r] = -1
+            return
+        self._dba_pin_cf[r] = pinned.cpu_fraction
+        self._dba_pin_gf[r] = pinned.gpu_fraction
+        self._dba_pin_idx[r] = _DBA_LABELS.index(
+            self._dbas[r].split_labels[pinned]
+        )
+
     def _settle_dba_row(self, r: int, to: int) -> None:
         """Credit the current DBA split with cycles [settled, to).
 
@@ -407,6 +427,9 @@ class ArrayCore:
 
     def _dba_label_idx(self, r: int) -> int:
         """Split-label index for row ``r``'s *current* pool occupancy."""
+        pin = self._dba_pin_idx[r]
+        if pin >= 0:
+            return pin
         if not self._dba_dyn[r]:
             return _DBA_EVEN
         if not (self._s_cpu[r] or self._s_gpu[r]):
@@ -661,6 +684,7 @@ class ArrayCore:
         self.net._close_windows(closers, cycle)
         for r in rows:
             self._laser_from_bank(r, cycle)
+            self._refresh_dba_pin(r)
             # ``snapshot`` reset the collector; restart the window rows.
             self.feat_occ[:, r] = 0.0
             self._feat_link_busy[r] = 0
@@ -699,7 +723,10 @@ class ArrayCore:
             self._dba_settled[r] = cycle
             sc = self._s_cpu[r]
             sg = self._s_gpu[r]
-            if not (sc or sg):
+            pin = self._dba_pin_idx[r]
+            if pin >= 0:
+                idx = pin
+            elif not (sc or sg):
                 idx = self._dba_empty_idx[r]
             elif not self._dba_dyn[r]:
                 idx = 4  # even
@@ -765,7 +792,9 @@ class ArrayCore:
         settled = self._dba_settled[r]
         if settled < cycle:
             self._dba_settled[r] = cycle
-            if self._s_cpu[r] or self._s_gpu[r]:
+            if self._dba_pin_idx[r] >= 0:
+                idx = self._dba_pin_idx[r]
+            elif self._s_cpu[r] or self._s_gpu[r]:
                 idx = self._dba_label_idx(r)
             else:
                 idx = self._dba_empty_idx[r]
@@ -1041,11 +1070,18 @@ class ArrayCore:
         dba_settled = self._dba_settled
         dba_icnt = self._dba_icnt
         cycle_next = cycle + 1
+        dba_pin_idx = self._dba_pin_idx
+        dba_pin_cf = self._dba_pin_cf
+        dba_pin_gf = self._dba_pin_gf
         for r in rows:
             # The branch also labels the decision for the DBA split
             # tally (idx indexes _DBA_LABELS) so the instrumented path
             # never re-runs these comparisons.
-            if dba_dyn[r]:
+            if dba_pin_idx[r] >= 0:  # D3NOC window pin
+                cf = dba_pin_cf[r]
+                gf = dba_pin_gf[r]
+                idx = dba_pin_idx[r]
+            elif dba_dyn[r]:
                 co = s_cpu[r] / cap_cpu[r]
                 go = s_gpu[r] / cap_gpu[r]
                 if go == 0.0 and co > 0.0:

@@ -80,6 +80,11 @@ class PearlRunResult:
     fallback_windows: int = 0
     #: The Qm.n spec the deployed predictor ran at (None = float64).
     quantization: Optional[str] = None
+    #: Completed mid-run retrain+promote+hot-swap cycles
+    #: (drift_action="retrain" only).
+    retrain_events: int = 0
+    #: Registry ids of the models promoted mid-run, in swap order.
+    retrained_model_ids: List[str] = field(default_factory=list)
 
     def throughput(self) -> float:
         """Network throughput in flits/cycle."""
@@ -101,6 +106,7 @@ class PearlNetwork:
         l3_parallel_links: int = 8,
         seed: int = 1,
         faults: Optional[FaultSchedule] = None,
+        registry=None,
     ) -> None:
         self.config = config or PearlConfig()
         self.responder = responder or ResponderConfig()
@@ -121,9 +127,24 @@ class PearlNetwork:
                     ml_model, self.config.ml.quantization
                 )
 
+        # PROTEUS: every router's loss cap derives from one shared
+        # floorplan (the same geometry the power model integrates over).
+        floorplan = None
+        if power_policy is PowerPolicyKind.PROTEUS:
+            from .topology import ChipFloorplan
+
+            floorplan = ChipFloorplan(arch)
+
         self.routers: List[PearlRouter] = []
         for router_id in range(arch.num_routers):
             is_l3 = router_id == arch.l3_router_id
+            link_budget = None
+            if floorplan is not None:
+                from .topology import per_router_link_budget
+
+                link_budget = per_router_link_budget(
+                    floorplan, self.config.optical, source=router_id
+                )
             ml_scaler = None
             if power_policy is PowerPolicyKind.ML:
                 assert ml_model is not None
@@ -182,8 +203,26 @@ class PearlNetwork:
                     ml_scaler=ml_scaler,
                     parallel_links=l3_parallel_links if is_l3 else 1,
                     rng=np.random.default_rng(seed * 1000 + router_id),
+                    link_budget=link_budget,
                 )
             )
+        # Online retraining (drift_action="retrain"): the coordinator
+        # lives here because every engine funnels window closes through
+        # _close_windows, making the swap engine-uniform by construction.
+        self._retrain_enabled = (
+            power_policy is PowerPolicyKind.ML
+            and self.config.ml.drift_action == "retrain"
+            and self.config.ml.drift_detection
+        )
+        self._registry = registry
+        self._retrain_latched = False
+        self._last_retrain_cycle: Optional[int] = None
+        self.retrain_events = 0
+        self.retrained_model_ids: List[str] = []
+        # Drift events observed by monitors that were since replaced by
+        # a swap (adopt_model starts a fresh calibration) — folded into
+        # the run result so the count survives retraining.
+        self._drift_events_retired = 0
         self.stats = NetworkStats()
         for router in self.routers:
             router._net_stats = self.stats
@@ -430,6 +469,8 @@ class PearlNetwork:
         if len(closers) == 1 or self.power_policy is not PowerPolicyKind.ML:
             for router in closers:
                 router.close_window(cycle)
+            if self._retrain_enabled:
+                self._maybe_retrain(cycle)
             return
         pre = [router.begin_window_close(cycle) for router in closers]
         matrix = np.stack([snapshot for _, snapshot, _ in pre])
@@ -441,6 +482,103 @@ class PearlNetwork:
         ):
             router.finish_window_close(
                 cycle, label, snapshot, before, float(predicted)
+            )
+        if self._retrain_enabled:
+            # Deferred until after *all* same-cycle closers decided, so
+            # scalar and batched close groups see the same model.
+            self._maybe_retrain(cycle)
+
+    def _maybe_retrain(self, cycle: int) -> None:
+        """Close the ML lifecycle loop after a drift event.
+
+        Any router's pending flag latches a network-level retrain
+        request; once the cooldown since the previous swap has elapsed
+        and enough aligned (feature, label) rows are pooled, the
+        coordinator refits a ridge model on the deployment-time buffer,
+        registers + promotes it, and hot-swaps every router's scaler.
+        The whole sequence is deterministic (closed-form ridge fit over
+        rows pooled in router order at a fixed cycle), so all three
+        engines retrain identically.
+        """
+        if not self._retrain_latched:
+            for router in self.routers:
+                scaler = router.ml_scaler
+                if scaler is not None and scaler.retrain_pending:
+                    self._retrain_latched = True
+                    break
+            else:
+                return
+        ml = self.config.ml
+        window = ml.reservation_window
+        if (
+            self._last_retrain_cycle is not None
+            and cycle - self._last_retrain_cycle
+            < ml.retrain_cooldown_windows * window
+        ):
+            return
+        xs, ys = [], []
+        for router in self.routers:
+            scaler = router.ml_scaler
+            if scaler is None:
+                continue
+            x, y = scaler.training_pairs()
+            if len(y):
+                xs.append(x)
+                ys.append(y)
+        samples = sum(len(y) for y in ys)
+        if samples < ml.retrain_min_samples:
+            return  # stay latched; retry at the next close group
+        old = self.routers[0].ml_scaler
+        assert old is not None
+        new_model = RidgeRegression(
+            lam=old.model.lam,
+            standardize=getattr(old.model, "_scaler", None) is not None,
+        )
+        new_model.fit(np.concatenate(xs), np.concatenate(ys))
+        registry = self._registry
+        if registry is None:
+            from ..ml.lifecycle import default_registry
+
+            registry = default_registry()
+            self._registry = registry
+        record = registry.put(
+            new_model,
+            training={
+                "key": {
+                    "origin": "online-retrain",
+                    "cycle": int(cycle),
+                    "window": int(window),
+                    "samples": int(samples),
+                    "event": self.retrain_events,
+                },
+                "samples": int(samples),
+            },
+            provenance={"trigger": "drift", "cycle": int(cycle)},
+        )
+        registry.promote(record.model_id)
+        for router in self.routers:
+            scaler = router.ml_scaler
+            if scaler is not None:
+                if scaler.drift_monitor is not None:
+                    self._drift_events_retired += (
+                        scaler.drift_monitor.state.events
+                    )
+                scaler.adopt_model(new_model)
+        self._retrain_latched = False
+        self._last_retrain_cycle = cycle
+        self.retrain_events += 1
+        self.retrained_model_ids.append(record.model_id)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "ml/retrain_events",
+                help="mid-run drift-triggered retrain+promote+swap cycles",
+            ).inc()
+            OBS.tracer.instant(
+                "ml_retrain",
+                "ml",
+                cycle,
+                model_id=record.model_id,
+                samples=samples,
             )
 
     def _handle_crc_error(self, packet: Packet, cycle: int) -> None:
@@ -798,7 +936,7 @@ class PearlNetwork:
         }
         predictions: List[float] = []
         labels: List[float] = []
-        drift_events = 0
+        drift_events = self._drift_events_retired
         retrain = False
         fallback_windows = 0
         if self.power_policy is PowerPolicyKind.ML:
@@ -824,6 +962,8 @@ class PearlNetwork:
             drift_events=drift_events,
             drift_retraining_recommended=retrain,
             fallback_windows=fallback_windows,
+            retrain_events=self.retrain_events,
+            retrained_model_ids=list(self.retrained_model_ids),
             quantization=(
                 self.config.ml.quantization
                 if self.power_policy is PowerPolicyKind.ML

@@ -11,8 +11,9 @@ Each cluster router owns:
   touch the photonic link;
 * ejection buffers toward the cores (their occupancy backs ML features
   3 and 5);
-* a power-scaling policy (static / reactive / ML / random) driving the
-  laser bank at reservation-window boundaries.
+* a power-scaling policy (static / reactive / adaptive / ML / random /
+  proteus / d3noc) driving the laser bank at reservation-window
+  boundaries (d3noc additionally re-pins the DBA split per window).
 
 The L3 router is the same structure with ``parallel_links`` > 1 — the
 banked L3 drives several SWMR waveguides so it can source cache-line
@@ -30,15 +31,18 @@ import numpy as np
 
 from ..config import PearlConfig
 from ..core.adaptive import AdaptiveReactiveScaler
+from ..core.d3noc import D3nocReconfigurer
 from ..core.dba import DynamicBandwidthAllocator, FCFSAllocator, remap_wavelengths
 from ..faults.injector import RouterFaultInjector
-from ..core.ml_scaling import MLPowerScaler
+from ..core.ml_scaling import MLPowerScaler, StateSelector
 from ..core.power_scaling import LaserBank, ReactivePowerScaler, StaticPowerPolicy
+from ..core.proteus import ProteusPowerScaler
 from ..core.wavelength import WavelengthLadder
 from ..ml.features import FeatureCollector
 from ..obs import OBS
 from .buffer import InputBuffer, PartitionedBuffer
 from .packet import CoreType, Packet
+from .photonic import LinkBudget
 
 #: Pipeline overhead outside serialization: reservation broadcast, E/O,
 #: waveguide propagation and O/E + buffer write (Sec. III-A3).
@@ -66,6 +70,8 @@ class PowerPolicyKind(Enum):
     ADAPTIVE = "adaptive"
     ML = "ml"
     RANDOM = "random"
+    PROTEUS = "proteus"
+    D3NOC = "d3noc"
 
 
 @dataclass(slots=True)
@@ -102,6 +108,7 @@ class PearlRouter:
         ml_scaler: Optional[MLPowerScaler] = None,
         parallel_links: int = 1,
         rng: Optional[np.random.Generator] = None,
+        link_budget: Optional[LinkBudget] = None,
     ) -> None:
         if parallel_links <= 0:
             raise ValueError("parallel_links must be positive")
@@ -139,6 +146,7 @@ class PearlRouter:
         self.reactive: Optional[ReactivePowerScaler] = None
         self.ml_scaler: Optional[MLPowerScaler] = None
         self.static_policy: Optional[StaticPowerPolicy] = None
+        self.d3noc: Optional[D3nocReconfigurer] = None
         if policy_kind is PowerPolicyKind.REACTIVE:
             self.reactive = ReactivePowerScaler(
                 config.power_scaling, self.ladder, router_id=router_id
@@ -146,6 +154,39 @@ class PearlRouter:
         elif policy_kind is PowerPolicyKind.ADAPTIVE:
             self.reactive = AdaptiveReactiveScaler(
                 config.power_scaling, self.ladder, router_id=router_id
+            )
+        elif policy_kind is PowerPolicyKind.PROTEUS:
+            if link_budget is None:
+                # Standalone construction: derive this router's own
+                # worst-case budget from the default floorplan (the
+                # network passes budgets from one shared floorplan).
+                from .topology import ChipFloorplan, per_router_link_budget
+
+                link_budget = per_router_link_budget(
+                    ChipFloorplan(config.architecture),
+                    config.optical,
+                    source=router_id,
+                )
+            self.reactive = ProteusPowerScaler(
+                config.power_scaling,
+                self.ladder,
+                link_budget,
+                router_id=router_id,
+            )
+        elif policy_kind is PowerPolicyKind.D3NOC:
+            self.d3noc = D3nocReconfigurer(
+                StateSelector(
+                    config.photonic,
+                    reservation_window=config.power_scaling.reservation_window,
+                    allow_8wl=config.power_scaling.use_8wl,
+                    capacity_multiplier=float(parallel_links),
+                    # Same asymmetry as the network's ML selectors: the
+                    # L3 injects 5-flit cache-line responses, clusters
+                    # mostly 1-flit requests plus peer data forwards.
+                    avg_packet_flits=5.0 if self.is_l3 else 2.0,
+                ),
+                config.dba,
+                router_id=router_id,
             )
         elif policy_kind is PowerPolicyKind.ML:
             if ml_scaler is None:
@@ -362,8 +403,23 @@ class PearlRouter:
         """Reservation-window boundary: pick the next wavelength state."""
         label, snapshot, state_before = self.begin_window_close(cycle)
 
-        if self.reactive is not None:  # REACTIVE and ADAPTIVE policies
+        if self.reactive is not None:  # REACTIVE / ADAPTIVE / PROTEUS
             self._request_laser_state(self.reactive.close_window(), cycle)
+        elif self.d3noc is not None:
+            # Data-driven reconfiguration: both decisions consume the
+            # telemetry frozen by begin_window_close, so every engine
+            # sees identical inputs.  The split pin holds until the
+            # next close (FCFS ignores it — no reconfigurable split).
+            max_state = (
+                self._fault_injector.max_usable_state
+                if self._fault_injector is not None
+                else None
+            )
+            state, split = self.d3noc.close_window(
+                label, snapshot, max_state=max_state
+            )
+            self._request_laser_state(state, cycle)
+            self.dba.pin_split(split)
         elif self.policy_kind is PowerPolicyKind.ML:
             assert self.ml_scaler is not None
             # Under faults the scaler is degradation-aware: it only

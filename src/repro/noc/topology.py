@@ -15,10 +15,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import ArchitectureConfig, AreaConfig, OpticalConfig
 from .photonic import LinkBudget
+
+
+def default_grid_width(num_clusters: int) -> int:
+    """Widest grid no wider than tall that tiles ``num_clusters`` evenly.
+
+    16 -> 4, 9 -> 3, 4 -> 2, 6 -> 2; primes degrade to a 1-wide strip.
+    """
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    for width in range(math.isqrt(num_clusters), 0, -1):
+        if num_clusters % width == 0:
+            return width
+    return 1
 
 
 @dataclass(frozen=True)
@@ -41,11 +54,13 @@ class ChipFloorplan:
         self,
         architecture: ArchitectureConfig = ArchitectureConfig(),
         area: AreaConfig = AreaConfig(),
-        grid_width: int = 4,
+        grid_width: Optional[int] = None,
     ) -> None:
+        clusters = architecture.num_clusters
+        if grid_width is None:
+            grid_width = default_grid_width(clusters)
         if grid_width <= 0:
             raise ValueError("grid_width must be positive")
-        clusters = architecture.num_clusters
         if clusters % grid_width != 0:
             raise ValueError("clusters must fill the grid evenly")
         self.architecture = architecture
@@ -72,10 +87,21 @@ class ChipFloorplan:
                 y_mm=self.grid_height * self.tile_pitch_mm / 2,
             )
         )
+        # Id-keyed lookup: list position happens to equal router_id only
+        # when l3_router_id == num_clusters, so indexing by id silently
+        # returned a cluster tile for any other L3 id.
+        self._by_id: Dict[int, Placement] = {
+            p.router_id: p for p in self._placements
+        }
+        if len(self._by_id) != len(self._placements):
+            raise ValueError("l3_router_id collides with a cluster id")
 
     def placement(self, router_id: int) -> Placement:
         """Placement of a router by id."""
-        return self._placements[router_id]
+        try:
+            return self._by_id[router_id]
+        except KeyError:
+            raise KeyError(f"no router {router_id} on this floorplan")
 
     @property
     def die_width_mm(self) -> float:

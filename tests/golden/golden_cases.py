@@ -27,9 +27,20 @@ from repro.traffic.benchmarks import get_benchmark
 from repro.traffic.synthetic import generate_pair_trace
 
 GOLDEN_SEED = 11
-POLICIES = ("static", "reactive", "adaptive", "ml", "random")
+POLICIES = (
+    "static",
+    "reactive",
+    "adaptive",
+    "ml",
+    "random",
+    "proteus",
+    "d3noc",
+)
 ALLOCATORS = ("dynamic", "fcfs")
 ENGINES = ("fast", "reference", "array")
+
+#: Snapshot stem of the drift->retrain->promote->swap mid-run case.
+RETRAIN_CASE = "ml_retrain_dynamic"
 
 
 def golden_config() -> PearlConfig:
@@ -104,3 +115,68 @@ def run_case(policy: str, allocator: str, engine: str) -> Dict[str, object]:
         seed=GOLDEN_SEED,
     )
     return canonical(network.run(trace, engine=engine))
+
+
+def drifting_model() -> RidgeRegression:
+    """The golden model plus a training scaler centred far from any
+    deployment feature, so the drift monitor trips deterministically."""
+    from repro.ml.ridge import Standardizer
+
+    model = golden_model()
+    model._scaler = Standardizer(
+        mean=np.full(NUM_FEATURES, -100.0), scale=np.ones(NUM_FEATURES)
+    )
+    return model
+
+
+def retrain_config() -> PearlConfig:
+    """Golden run length, 200-cycle windows, one guaranteed retrain."""
+    from dataclasses import replace
+
+    config = golden_config().with_reservation_window(200)
+    return config.replace(
+        ml=replace(
+            config.ml,
+            drift_detection=True,
+            drift_action="retrain",
+            drift_calibration_windows=2,
+            drift_patience=2,
+            retrain_min_samples=20,
+            retrain_cooldown_windows=10_000,
+        )
+    )
+
+
+def run_retrain_case(engine: str) -> Dict[str, object]:
+    """The mid-run drift->retrain->promote->swap case.
+
+    The canonical form additionally pins the retrain count and the
+    promoted model ids — registry ids are content digests, so a change
+    in the pooled training rows or the refit arithmetic shows up here
+    as a snapshot diff even if the traffic statistics happen to agree.
+    """
+    import tempfile
+
+    from repro.ml.lifecycle.registry import ModelRegistry
+
+    config = retrain_config()
+    trace = generate_pair_trace(
+        get_benchmark("fluidanimate"),
+        get_benchmark("dct"),
+        config.architecture,
+        config.simulation.total_cycles,
+        GOLDEN_SEED,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        network = PearlNetwork(
+            config,
+            power_policy=PowerPolicyKind.ML,
+            ml_model=drifting_model(),
+            seed=GOLDEN_SEED,
+            registry=ModelRegistry(tmp),
+        )
+        result = network.run(trace, engine=engine)
+    out = canonical(result)
+    out["retrain_events"] = result.retrain_events
+    out["retrained_model_ids"] = list(result.retrained_model_ids)
+    return out

@@ -13,7 +13,14 @@ from pathlib import Path
 
 import pytest
 
-from .golden_cases import ALLOCATORS, ENGINES, POLICIES, run_case
+from .golden_cases import (
+    ALLOCATORS,
+    ENGINES,
+    POLICIES,
+    RETRAIN_CASE,
+    run_case,
+    run_retrain_case,
+)
 
 pytestmark = pytest.mark.golden
 
@@ -55,6 +62,31 @@ def test_golden_run(policy: str, allocator: str, engine: str) -> None:
         differences = "\n".join(_diff(expected, actual))
         pytest.fail(
             f"golden mismatch for {policy}/{allocator} on the {engine} "
+            f"engine:\n{differences}\n"
+            "If this change is intentional, regenerate with "
+            "scripts/update_golden.py."
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_golden_retrain_mid_run(engine: str) -> None:
+    """The drift->retrain->promote->swap case, pinned per engine.
+
+    Beyond the traffic statistics this pins the promoted registry model
+    ids (content digests of the refit weights + training key), so the
+    online retraining arithmetic itself is under snapshot control.
+    """
+    path = SNAPSHOT_DIR / f"{RETRAIN_CASE}.json"
+    assert path.exists(), (
+        f"missing snapshot {path.name}; run scripts/update_golden.py"
+    )
+    expected = json.loads(path.read_text())
+    actual = run_retrain_case(engine)
+    assert actual["retrain_events"] >= 1, "the golden case must retrain"
+    if actual != expected:
+        differences = "\n".join(_diff(expected, actual))
+        pytest.fail(
+            f"golden mismatch for {RETRAIN_CASE} on the {engine} "
             f"engine:\n{differences}\n"
             "If this change is intentional, regenerate with "
             "scripts/update_golden.py."

@@ -159,7 +159,7 @@ class TestArrayEngineEquivalence:
     @pytest.mark.parametrize("policy", list(PowerPolicyKind))
     @pytest.mark.parametrize("dyn", [True, False])
     def test_policy_allocator_matrix(self, policy, dyn, toy_model):
-        """All five policies x both allocators, three engines, one trace."""
+        """Every policy x both allocators, three engines, one trace."""
         config = _config()
         trace = _idle_heavy_trace(config)
         out = _run_engines(config, trace, policy, toy_model, dyn=dyn)
@@ -167,7 +167,13 @@ class TestArrayEngineEquivalence:
 
     @pytest.mark.parametrize(
         "policy",
-        [PowerPolicyKind.ML, PowerPolicyKind.REACTIVE, PowerPolicyKind.STATIC],
+        [
+            PowerPolicyKind.ML,
+            PowerPolicyKind.REACTIVE,
+            PowerPolicyKind.STATIC,
+            PowerPolicyKind.PROTEUS,
+            PowerPolicyKind.D3NOC,
+        ],
     )
     @pytest.mark.parametrize("dyn", [True, False])
     def test_faulted(self, policy, dyn, toy_model):
@@ -396,6 +402,16 @@ def _mid_state(net):
                     router._local_engine.busy_until,
                 ),
                 "reservations": router.reservations_sent,
+                "dba_pin": router.dba.pinned_label,
+                "d3noc": (
+                    (
+                        router.d3noc.demand_ewma,
+                        list(router.d3noc.decisions),
+                        list(router.d3noc.split_history),
+                    )
+                    if router.d3noc is not None
+                    else None
+                ),
                 "reactive": (
                     (
                         router.reactive._occupancy_sum,
@@ -475,6 +491,8 @@ class TestMidWindowStateProperties:
                 PowerPolicyKind.REACTIVE,
                 PowerPolicyKind.ADAPTIVE,
                 PowerPolicyKind.RANDOM,
+                PowerPolicyKind.PROTEUS,
+                PowerPolicyKind.D3NOC,
             ]
         ),
         seed=st.integers(min_value=0, max_value=2**16),

@@ -72,6 +72,60 @@ class TestFloorplan:
         with pytest.raises(ValueError):
             ChipFloorplan(ArchitectureConfig(num_clusters=10), grid_width=4)
 
+    def test_unknown_router_id_rejected(self, floorplan):
+        with pytest.raises(KeyError):
+            floorplan.placement(17)
+
+
+class _SparseL3Architecture:
+    """An architecture whose L3 id is not ``num_clusters`` (e.g. an id
+    space with gaps reserved for future routers)."""
+
+    num_clusters = 9
+    l3_router_id = 42
+
+
+class _CollidingL3Architecture:
+    num_clusters = 9
+    l3_router_id = 3
+
+
+class TestNonDefaultL3Id:
+    """Placement lookup is keyed by router id, not list position.
+
+    Regression: ``placement()`` used to index the placement list, which
+    equals the router id only when ``l3_router_id == num_clusters`` —
+    any other L3 id silently returned a cluster tile (or raised
+    IndexError) for the L3 router.
+    """
+
+    def test_l3_placement_found_by_id(self):
+        plan = ChipFloorplan(_SparseL3Architecture())
+        l3 = plan.placement(42)
+        assert l3.router_id == 42
+        assert l3.x_mm == pytest.approx(plan.die_width_mm / 2)
+        assert l3.y_mm == pytest.approx(plan.die_height_mm / 2)
+
+    def test_cluster_placements_unaffected(self):
+        plan = ChipFloorplan(_SparseL3Architecture())
+        default = ChipFloorplan(ArchitectureConfig(num_clusters=9))
+        for router_id in range(9):
+            assert plan.placement(router_id) == default.placement(router_id)
+
+    def test_gap_ids_are_absent_not_misrouted(self):
+        plan = ChipFloorplan(_SparseL3Architecture())
+        with pytest.raises(KeyError):
+            plan.placement(9)
+
+    def test_worst_case_budget_uses_l3_spur(self):
+        plan = ChipFloorplan(_SparseL3Architecture())
+        budget = per_router_link_budget(plan, source=42)
+        assert budget.required_output_mw > 0
+
+    def test_colliding_l3_id_rejected(self):
+        with pytest.raises(ValueError):
+            ChipFloorplan(_CollidingL3Architecture())
+
 
 class TestPerRouterBudget:
     def test_corner_needs_more_power_than_centre(self, floorplan):

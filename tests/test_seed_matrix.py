@@ -36,7 +36,15 @@ from repro.traffic.synthetic import generate_pair_trace
 pytestmark = pytest.mark.slow
 
 SEEDS = (3, 11, 2018)
-POLICIES = ("static", "reactive", "adaptive", "ml", "random")
+POLICIES = (
+    "static",
+    "reactive",
+    "adaptive",
+    "ml",
+    "random",
+    "proteus",
+    "d3noc",
+)
 ALLOCATORS = ("dynamic", "fcfs")
 
 MATRIX = [
@@ -157,10 +165,22 @@ def _seed_faults(seed: int) -> FaultSchedule:
     )
 
 
+#: Hardened variants per seed: quantization only applies to the ML
+#: predictor, so the rule-based policies harden under faults instead.
+HARDENED = (
+    ("ml", "faulted"),
+    ("ml", "q4.12"),
+    ("proteus", "faulted"),
+    ("d3noc", "faulted"),
+)
+
+
 @pytest.mark.parametrize("seed", SEEDS, ids=[f"s{s}" for s in SEEDS])
-@pytest.mark.parametrize("variant", ["faulted", "q4.12"])
+@pytest.mark.parametrize(
+    "policy,variant", HARDENED, ids=[f"{p}-{v}" for p, v in HARDENED]
+)
 def test_array_engine_hardened_configs(
-    variant: str, seed: int, registry_model
+    policy: str, variant: str, seed: int, registry_model
 ) -> None:
     """Per-seed faulted and quantized configs on the array engine."""
     quantization = "q4.12" if variant == "q4.12" else None
@@ -169,7 +189,7 @@ def test_array_engine_hardened_configs(
     for engine in ("fast", "array"):
         results[engine] = _canonical(
             _run(
-                "ml",
+                policy,
                 "dynamic",
                 seed,
                 engine,
