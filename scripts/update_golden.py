@@ -22,10 +22,14 @@ sys.path.insert(0, str(ROOT))
 
 from tests.golden.golden_cases import (  # noqa: E402
     ALLOCATORS,
+    COLLECTIVE_PAM4_CASE,
+    COLLECTIVE_RETRAIN_CASE,
     ENGINES,
     POLICIES,
     RETRAIN_CASE,
     run_case,
+    run_collective_pam4_case,
+    run_collective_retrain_case,
     run_retrain_case,
 )
 
@@ -72,6 +76,23 @@ def main() -> int:
         )
         return 1
     if not _write_checked(outdir, RETRAIN_CASE, retrain):
+        return 1
+    collective_retrain = {
+        engine: run_collective_retrain_case(engine) for engine in ENGINES
+    }
+    if collective_retrain[ENGINES[0]]["retrain_events"] < 1:
+        print(
+            f"{COLLECTIVE_RETRAIN_CASE}: the case did not retrain; "
+            "refusing to pin a snapshot without a mid-run swap",
+            file=sys.stderr,
+        )
+        return 1
+    if not _write_checked(outdir, COLLECTIVE_RETRAIN_CASE, collective_retrain):
+        return 1
+    collective_pam4 = {
+        engine: run_collective_pam4_case(engine) for engine in ENGINES
+    }
+    if not _write_checked(outdir, COLLECTIVE_PAM4_CASE, collective_pam4):
         return 1
     return 0
 

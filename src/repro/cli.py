@@ -38,6 +38,28 @@ from .traffic.benchmarks import CPU_BENCHMARKS, GPU_BENCHMARKS, get_benchmark
 from .traffic.synthetic import generate_pair_trace
 
 
+def _workload(text: str) -> str:
+    """Validate a ``--workload`` value at argument-parse time.
+
+    Accepts ``pair`` (the default CPU+GPU benchmark pair) or
+    ``collective:<algorithm>``; unknown collective algorithms are
+    rejected here, before any simulation starts.
+    """
+    if text == "pair":
+        return text
+    if text.startswith("collective:"):
+        from .traffic.collectives import validate_collective
+
+        try:
+            validate_collective(text.split(":", 1)[1])
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+        return text
+    raise argparse.ArgumentTypeError(
+        f"unknown workload {text!r}; use 'pair' or 'collective:<algorithm>'"
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -104,9 +126,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable summary"
     )
 
-    simp = sub.add_parser("simulate", help="run one benchmark pair")
+    simp = sub.add_parser(
+        "simulate", help="run one benchmark pair or collective workload"
+    )
     simp.add_argument("--cpu", default="fluidanimate", choices=sorted(CPU_BENCHMARKS))
     simp.add_argument("--gpu", default="dct", choices=sorted(GPU_BENCHMARKS))
+    simp.add_argument(
+        "--workload",
+        type=_workload,
+        default="pair",
+        metavar="SPEC",
+        help="'pair' (--cpu/--gpu benchmarks, default) or "
+        "'collective:<algorithm>' (docs/workloads.md)",
+    )
+    simp.add_argument(
+        "--signaling",
+        default="nrz",
+        choices=["nrz", "pam4"],
+        help="link modulation format: NRZ (default) or PAM4 "
+        "(2 bits/symbol at a BER-driven laser/receiver penalty)",
+    )
     simp.add_argument(
         "--policy",
         default="static",
@@ -183,6 +222,20 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--window", type=int, default=500)
     swp.add_argument("--cycles", type=int, default=20_000)
     swp.add_argument("--warmup", type=int, default=1_000)
+    swp.add_argument(
+        "--workload",
+        type=_workload,
+        default="pair",
+        metavar="SPEC",
+        help="'pair' (sweep the benchmark pairs, default) or "
+        "'collective:<algorithm>' (sweep that collective schedule)",
+    )
+    swp.add_argument(
+        "--signaling",
+        default="nrz",
+        choices=["nrz", "pam4"],
+        help="link modulation format swept under (default nrz)",
+    )
     swp.add_argument(
         "--model",
         default=None,
@@ -549,13 +602,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = config.replace(
             ml=dataclasses.replace(config.ml, drift_action=args.drift_action)
         )
-    trace = generate_pair_trace(
-        get_benchmark(args.cpu),
-        get_benchmark(args.gpu),
-        config.architecture,
-        config.simulation.total_cycles,
-        args.seed,
-    )
+    if args.signaling != "nrz":
+        config = config.replace(
+            photonic=dataclasses.replace(
+                config.photonic, signaling=args.signaling
+            )
+        )
+    if args.workload.startswith("collective:"):
+        from .traffic.collectives import generate_collective_trace
+
+        workload_name = args.workload
+        trace = generate_collective_trace(
+            args.workload.split(":", 1)[1],
+            config.architecture,
+            duration=config.simulation.total_cycles,
+            seed=args.seed,
+        )
+    else:
+        workload_name = f"{args.cpu}+{args.gpu}"
+        trace = generate_pair_trace(
+            get_benchmark(args.cpu),
+            get_benchmark(args.gpu),
+            config.architecture,
+            config.simulation.total_cycles,
+            args.seed,
+        )
     policy = {
         "static": PowerPolicyKind.STATIC,
         "reactive": PowerPolicyKind.REACTIVE,
@@ -601,7 +672,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     # (always equal — run() has no silent downgrade).
     args._engine_requested = network.last_engine_requested
     args._engine_used = network.last_engine_used
-    print(f"pair: {args.cpu}+{args.gpu} policy={args.policy} window={args.window}")
+    print(
+        f"workload: {workload_name} policy={args.policy} "
+        f"window={args.window} signaling={args.signaling}"
+    )
     for key, value in result.stats.summary().items():
         print(f"  {key}: {value:.4g}")
     print(
@@ -640,8 +714,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _sweep_specs(args: argparse.Namespace):
-    """The sweep's JobSpecs: policies × pairs × seeds, in stable order."""
-    from .experiments.parallel import pair_spec, pearl_job
+    """The sweep's JobSpecs: policies × workloads × seeds, in stable order."""
+    import dataclasses
+
+    from .experiments.parallel import collective_spec, pair_spec, pearl_job
     from .experiments.runner import experiment_pairs
 
     config = PearlConfig(
@@ -649,6 +725,12 @@ def _sweep_specs(args: argparse.Namespace):
             warmup_cycles=args.warmup, measure_cycles=args.cycles
         )
     ).with_reservation_window(args.window)
+    if args.signaling != "nrz":
+        config = config.replace(
+            photonic=dataclasses.replace(
+                config.photonic, signaling=args.signaling
+            )
+        )
     model_path = None
     if "ml" in args.policies:
         if args.model:
@@ -665,21 +747,27 @@ def _sweep_specs(args: argparse.Namespace):
 
             print("preparing default ML model...", file=sys.stderr)
             model_path = str(ensure_model_file(args.window, quick=True))
+    if args.workload.startswith("collective:"):
+        algorithm = args.workload.split(":", 1)[1]
+        traces = [collective_spec(algorithm, seed) for seed in args.seeds]
+    else:
+        traces = [
+            pair_spec(pair, seed)
+            for pair in experiment_pairs(quick=not args.full)
+            for seed in args.seeds
+        ]
     specs = []
     for policy in args.policies:
-        for pair in experiment_pairs(quick=not args.full):
-            for seed in args.seeds:
-                specs.append(
-                    pearl_job(
-                        config,
-                        pair_spec(pair, seed),
-                        seed=seed,
-                        power_policy=PowerPolicyKind(policy),
-                        ml_model_path=(
-                            model_path if policy == "ml" else None
-                        ),
-                    )
+        for trace in traces:
+            specs.append(
+                pearl_job(
+                    config,
+                    trace,
+                    seed=trace.seed,
+                    power_policy=PowerPolicyKind(policy),
+                    ml_model_path=(model_path if policy == "ml" else None),
                 )
+            )
     return specs
 
 

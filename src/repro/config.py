@@ -154,6 +154,10 @@ class OpticalConfig:
         )
 
 
+#: Supported link modulation formats (see ``docs/workloads.md``).
+SIGNALING_MODES = ("nrz", "pam4")
+
+
 @dataclass(frozen=True)
 class PhotonicConfig:
     """Photonic-link operating parameters (Sec. III-A, III-C, IV-B).
@@ -164,6 +168,14 @@ class PhotonicConfig:
     16 / 8 wavelengths.  ``serialization_cycles`` reproduces the flit
     timing of Sec. III-C: a 128-bit flit takes 2 cycles at 64 WL, 4 at 48
     and 32 WL, 8 at 16 WL (16 at 8 WL by extension).
+
+    ``signaling`` selects the modulation format.  ``"nrz"`` (the paper's
+    on-off keying) is 1 bit/symbol; ``"pam4"`` carries 2 bits/symbol per
+    wavelength, halving the per-flit serialization latency of every
+    ladder state, but the collapsed eye (one third of the NRZ amplitude
+    plus equalization overhead) costs ``pam4_power_penalty_db`` of extra
+    optical power to hold the same BER — the laser table and every link
+    budget scale by that penalty.  NRZ is arithmetically unchanged.
     """
 
     data_rate_gbps_per_wl: float = 16.0
@@ -177,6 +189,17 @@ class PhotonicConfig:
     propagation_latency_cycles: int = 1
     eo_oe_latency_cycles: int = 1
     rings_per_router: int = 64 * 2  # modulator bank + receiver bank
+    signaling: str = "nrz"
+    pam4_power_penalty_db: float = 4.8
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Bits encoded per wavelength symbol (1 for NRZ, 2 for PAM4)."""
+        return 2 if self.signaling == "pam4" else 1
+
+    def signaling_penalty_db(self) -> float:
+        """Extra optical power (dB) the modulation format costs."""
+        return self.pam4_power_penalty_db if self.signaling == "pam4" else 0.0
 
     def state_power(self, wavelengths: int) -> float:
         """Laser power (W) of a wavelength state."""
@@ -187,12 +210,27 @@ class PhotonicConfig:
                 f"{wavelengths} is not a configured wavelength state "
                 f"(choose from {self.wavelength_states})"
             ) from None
-        return self.laser_power_w[idx]
+        base = self.laser_power_w[idx]
+        penalty_db = self.signaling_penalty_db()
+        if penalty_db:
+            base *= 10.0 ** (penalty_db / 10.0)
+        return base
 
     def state_serialization_cycles(self, wavelengths: int) -> int:
-        """Network cycles to serialize one flit at a wavelength state."""
+        """Network cycles to serialize one flit at a wavelength state.
+
+        Multilevel signaling packs ``bits_per_symbol`` bits per
+        wavelength per symbol, so PAM4 halves the NRZ latency (floored
+        at one cycle) — the effective-capacity gain every consumer of
+        the ladder (DBA splits, Eq. 7 window capacities, both engines'
+        transmit paths) inherits from this one method.
+        """
         idx = self.wavelength_states.index(wavelengths)
-        return self.serialization_cycles[idx]
+        base = self.serialization_cycles[idx]
+        bits = self.bits_per_symbol
+        if bits == 1:
+            return base
+        return max(1, -(-base // bits))
 
     def turn_on_cycles(self, network_frequency_ghz: float = 2.0) -> int:
         """Laser turn-on (stabilization) delay in network cycles."""
@@ -211,6 +249,13 @@ class PhotonicConfig:
             raise ValueError("wavelength states must be in descending order")
         if self.laser_turn_on_ns < 0:
             raise ValueError("laser turn-on time cannot be negative")
+        if self.signaling not in SIGNALING_MODES:
+            raise ValueError(
+                f"signaling must be one of {SIGNALING_MODES}, "
+                f"not {self.signaling!r}"
+            )
+        if self.pam4_power_penalty_db < 0:
+            raise ValueError("pam4_power_penalty_db cannot be negative")
 
 
 @dataclass(frozen=True)

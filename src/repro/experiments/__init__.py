@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 from . import (
     ablations,
     arbitration,
+    collective_study,
     saturation,
     thermal_study,
     fig4_breakdown,
@@ -62,6 +63,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "resilience": resilience.run,
     "policy_bakeoff": policy_bakeoff.run,
     "arbitration": arbitration.run,
+    "collective_study": collective_study.run,
     "thermal_study": thermal_study.run,
     "headline": headline.run,
 }

@@ -39,6 +39,7 @@ from ..noc.stats import NetworkStats
 from ..noc.router import PowerPolicyKind
 from ..obs import OBS
 from ..traffic.benchmarks import BenchmarkProfile, get_benchmark
+from ..traffic.collectives import generate_collective_trace, validate_collective
 from ..traffic.synthetic import generate_pair_trace, uniform_random_trace
 from ..traffic.trace import Trace
 from .cache import ResultCache, file_digest
@@ -61,11 +62,19 @@ class TraceSpec:
     the result cache.
     """
 
-    kind: str = "pair"  # "pair" | "uniform"
+    kind: str = "pair"  # "pair" | "uniform" | "collective"
     cpu: Optional[str] = None
     gpu: Optional[str] = None
     rate: float = 0.0
     seed: int = 1
+    #: Collective algorithm name (``kind == "collective"`` only).
+    algorithm: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "collective":
+            if self.algorithm is None:
+                raise ValueError("collective trace specs need an algorithm")
+            validate_collective(self.algorithm)
 
     def build(self, config: PearlConfig) -> Trace:
         """Regenerate the trace for ``config``'s run length."""
@@ -92,17 +101,31 @@ class TraceSpec:
                 seed=self.seed + 1,
             )
             return Trace.merge([cpu, gpu], name=f"uniform-{self.rate}")
+        if self.kind == "collective":
+            return generate_collective_trace(
+                self.algorithm,
+                config.architecture,
+                duration=duration,
+                seed=self.seed,
+            )
         raise ValueError(f"unknown trace kind {self.kind!r}")
 
     def payload(self) -> Dict[str, object]:
-        """JSON-able form for content hashing."""
-        return {
+        """JSON-able form for content hashing.
+
+        ``algorithm`` joins the payload only when set so pair/uniform
+        cache keys predating the collective family are unchanged.
+        """
+        data: Dict[str, object] = {
             "kind": self.kind,
             "cpu": self.cpu,
             "gpu": self.gpu,
             "rate": self.rate,
             "seed": self.seed,
         }
+        if self.algorithm is not None:
+            data["algorithm"] = self.algorithm
+        return data
 
 
 @dataclass(frozen=True)
@@ -205,6 +228,11 @@ def pair_spec(pair: Pair, seed: int) -> TraceSpec:
 def uniform_spec(rate: float, seed: int) -> TraceSpec:
     """Trace spec for a uniform-random CPU+GPU load point."""
     return TraceSpec(kind="uniform", rate=rate, seed=seed)
+
+
+def collective_spec(algorithm: str, seed: int) -> TraceSpec:
+    """Trace spec for one collective-communication schedule."""
+    return TraceSpec(kind="collective", algorithm=algorithm, seed=seed)
 
 
 def pearl_job(

@@ -44,7 +44,7 @@ _SPEC_KEYS = {
     "settle_steps",
 }
 
-_TRACE_KEYS = {"kind", "cpu", "gpu", "rate", "seed"}
+_TRACE_KEYS = {"kind", "cpu", "gpu", "rate", "seed", "algorithm"}
 
 
 def spec_to_doc(
@@ -112,12 +112,16 @@ def spec_from_doc(doc: Dict[str, Any]) -> JobSpec:
         extra = set(trace_doc) - _TRACE_KEYS
         if extra:
             raise ValueError(f"unknown trace fields: {sorted(extra)}")
+        algorithm = trace_doc.get("algorithm")
+        # TraceSpec's own validation rejects unknown collective
+        # algorithms here, at decode time, before any job runs.
         trace = TraceSpec(
             kind=str(trace_doc.get("kind", "pair")),
             cpu=trace_doc.get("cpu"),
             gpu=trace_doc.get("gpu"),
             rate=float(trace_doc.get("rate", 0.0)),
             seed=int(trace_doc.get("seed", 1)),
+            algorithm=None if algorithm is None else str(algorithm),
         )
     faults = None
     if doc.get("faults") is not None:

@@ -87,7 +87,10 @@ class DriftMonitor:
     ``feature_mean``/``feature_scale`` describe the training
     distribution (straight from the registry record or the model's
     standardizer); without them feature shift is baselined on the
-    first calibration windows instead.
+    first calibration windows instead.  ``monitor_features=False``
+    disables the feature-shift signal entirely (residual only) — used
+    for routers whose feature distribution is structurally unlike the
+    training population, such as the L3 router.
     """
 
     def __init__(
@@ -96,9 +99,11 @@ class DriftMonitor:
         feature_mean: Optional[np.ndarray] = None,
         feature_scale: Optional[np.ndarray] = None,
         router_id: int = 0,
+        monitor_features: bool = True,
     ) -> None:
         self.config = config or DriftConfig()
         self.router_id = router_id
+        self.monitor_features = monitor_features
         self._train_mean = (
             np.asarray(feature_mean, dtype=float)
             if feature_mean is not None
@@ -230,7 +235,7 @@ class DriftMonitor:
         return abs(self._ewma_residual - self._res_mean) / std
 
     def _feature_z(self) -> tuple:
-        if self._ewma_features is None:
+        if not self.monitor_features or self._ewma_features is None:
             return 0.0, -1
         if self._train_mean is not None and self._train_scale is not None:
             mean, scale = self._train_mean, self._train_scale

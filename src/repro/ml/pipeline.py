@@ -217,6 +217,42 @@ class PowerModelTrainer:
         )
 
 
+def deployment_fitted_model(
+    pair: Optional[Pair] = None,
+    config: Optional[PearlConfig] = None,
+    seed: int = 2018,
+    lam: float = 1.0,
+) -> RidgeRegression:
+    """Fit a ridge model on one pair's deployment-collected samples.
+
+    A single-pair shortcut for drift studies, run as a miniature of the
+    full two-phase pipeline: phase 1 collects under the RANDOM policy
+    and fits a bootstrap model; phase 2 re-collects with that model
+    *driving* the wavelength states and refits.  Because the final
+    model standardizes on the phase-2 samples, its scaler records the
+    closed-loop *deployment* feature distribution of that
+    PARSEC/SPLASH2-style pair — exactly the baseline the drift monitor
+    compares against.  Replaying the same family of traffic keeps the
+    monitor quiet; phase-structured collective traffic walks the
+    feature EWMA away from this baseline and trips it (see
+    ``pearl-sim experiment collective_study``).
+    """
+    from ..traffic.benchmarks import test_pairs
+
+    if pair is None:
+        pair = test_pairs()[0]
+    config = _quick_config(config or PearlConfig().with_reservation_window(200))
+    bootstrap_data = collect_pair_dataset(pair, config, seed=seed)
+    bootstrap = RidgeRegression(lam=lam, standardize=True)
+    bootstrap.fit(*bootstrap_data.arrays())
+    dataset = collect_pair_dataset(
+        pair, config, seed=seed, driving_model=bootstrap
+    )
+    model = RidgeRegression(lam=lam, standardize=True)
+    model.fit(*dataset.arrays())
+    return model
+
+
 _MODEL_CACHE: dict = {}
 
 

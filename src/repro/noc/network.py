@@ -143,7 +143,10 @@ class PearlNetwork:
                 from .topology import per_router_link_budget
 
                 link_budget = per_router_link_budget(
-                    floorplan, self.config.optical, source=router_id
+                    floorplan,
+                    self.config.optical,
+                    source=router_id,
+                    photonic=self.config.photonic,
                 )
             ml_scaler = None
             if power_policy is PowerPolicyKind.ML:
@@ -182,6 +185,12 @@ class PearlNetwork:
                             scaler.scale if scaler is not None else None
                         ),
                         router_id=router_id,
+                        # The training scaler describes cluster-router
+                        # feature statistics; the L3 router's stream is
+                        # structurally different (5-flit responses,
+                        # parallel links), so its monitor watches the
+                        # self-calibrated residual signal alone.
+                        monitor_features=(router_id != arch.l3_router_id),
                     )
                 ml_scaler = MLPowerScaler(
                     model=ml_model,

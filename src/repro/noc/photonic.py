@@ -29,16 +29,29 @@ def mw_to_dbm(mw: float) -> float:
 
 @dataclass(frozen=True)
 class LinkBudget:
-    """The optical power budget of one SWMR data link."""
+    """The optical power budget of one SWMR data link.
+
+    ``signaling_penalty_db`` is the extra optical power the modulation
+    format costs over NRZ (PAM4's collapsed eye needs ~4.8 dB more at
+    the same BER); it tightens the budget exactly like additional loss,
+    so loss-aware policies (PROTEUS) see multilevel signaling in their
+    per-router ladder caps.
+    """
 
     loss_db: float
     receiver_sensitivity_dbm: float
     margin_db: float = 3.0
+    signaling_penalty_db: float = 0.0
 
     @property
     def required_output_dbm(self) -> float:
         """Per-wavelength laser output at the source (dBm)."""
-        return self.receiver_sensitivity_dbm + self.loss_db + self.margin_db
+        return (
+            self.receiver_sensitivity_dbm
+            + self.loss_db
+            + self.margin_db
+            + self.signaling_penalty_db
+        )
 
     @property
     def required_output_mw(self) -> float:
@@ -59,6 +72,7 @@ class PhotonicLinkModel:
         self.budget = LinkBudget(
             loss_db=optical.link_loss_db(),
             receiver_sensitivity_dbm=optical.receiver_sensitivity_dbm,
+            signaling_penalty_db=photonic.signaling_penalty_db(),
         )
 
     def laser_electrical_power_w(self, wavelengths: int) -> float:
@@ -86,18 +100,28 @@ class PhotonicLinkModel:
         """Ring-modulator energy to serialize one flit.
 
         The 500 uW modulating power at 16 Gbit/s per ring amounts to
-        ``P / rate`` joules per bit.
+        ``P / rate`` joules per bit.  Multilevel signaling drives fewer
+        symbols per flit (``flit_bits / bits_per_symbol``), so PAM4
+        halves the modulator's share.
         """
-        per_bit = self.optical.ring_modulating_w / (
+        per_symbol = self.optical.ring_modulating_w / (
             self.photonic.data_rate_gbps_per_wl * 1e9
         )
-        return per_bit * flit_bits
+        symbols = flit_bits / self.photonic.bits_per_symbol
+        return per_symbol * symbols
 
     def receiver_energy_j_per_flit(
         self, flit_bits: int = 128, pj_per_bit: float = 0.1
     ) -> float:
-        """Photodetector + TIA + amplifier energy per received flit."""
-        return pj_per_bit * 1e-12 * flit_bits
+        """Photodetector + TIA + amplifier energy per received flit.
+
+        The BER-driven signaling penalty lands on the receiver as well:
+        a PAM4 front-end needs the linearly scaled optical swing (plus
+        slicer/equalizer work) that the dB penalty models, so the
+        per-bit energy is scaled by the same factor.  NRZ is unchanged.
+        """
+        factor = 10.0 ** (self.photonic.signaling_penalty_db() / 10.0)
+        return pj_per_bit * 1e-12 * flit_bits * factor
 
     def static_power_w(self, wavelengths: int) -> float:
         """Laser plus trimming power at a given wavelength state."""

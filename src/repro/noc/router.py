@@ -166,6 +166,7 @@ class PearlRouter:
                     ChipFloorplan(config.architecture),
                     config.optical,
                     source=router_id,
+                    photonic=config.photonic,
                 )
             self.reactive = ProteusPowerScaler(
                 config.power_scaling,

@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..config import ArchitectureConfig, AreaConfig, OpticalConfig
+from ..config import ArchitectureConfig, AreaConfig, OpticalConfig, PhotonicConfig
 from .photonic import LinkBudget
 
 
@@ -159,11 +159,14 @@ def per_router_link_budget(
     floorplan: ChipFloorplan,
     optical: OpticalConfig = OpticalConfig(),
     source: int = 0,
+    photonic: Optional[PhotonicConfig] = None,
 ) -> LinkBudget:
     """Worst-case loss budget for one router's SWMR waveguide.
 
     Replaces the flat ``waveguide_length_cm`` of Table V's budget with
-    the floorplan's farthest-reader distance for this source.
+    the floorplan's farthest-reader distance for this source.  When a
+    ``photonic`` config is supplied, its signaling penalty (PAM4's extra
+    optical swing) tightens the budget like additional loss.
     """
     length_cm = floorplan.worst_case_link_mm(source) / 10.0
     loss_db = (
@@ -178,4 +181,7 @@ def per_router_link_budget(
     return LinkBudget(
         loss_db=loss_db,
         receiver_sensitivity_dbm=optical.receiver_sensitivity_dbm,
+        signaling_penalty_db=(
+            photonic.signaling_penalty_db() if photonic is not None else 0.0
+        ),
     )

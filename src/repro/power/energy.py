@@ -68,7 +68,13 @@ class EnergyBreakdown:
 
 
 def energy_per_bit_pj(stats: NetworkStats) -> float:
-    """Energy per delivered *network* bit of a finished run."""
+    """Energy per delivered *network* bit of a finished run.
+
+    Bits are payload bits (128 per flit) regardless of the modulation
+    format: PAM4 moves the same flit in half the symbols, so its effect
+    shows up in the component energies (laser penalty, receiver factor,
+    halved modulator share), not in the denominator.
+    """
     bits = stats.network_flits_delivered * 128
     if bits == 0:
         return 0.0

@@ -202,12 +202,25 @@ GPU_TEST = ("dct", "dwt_haar", "quasi_random", "reduction")
 
 
 def get_benchmark(name: str) -> BenchmarkProfile:
-    """Look up a benchmark profile by name (CPU or GPU)."""
+    """Look up a benchmark profile by name (CPU or GPU).
+
+    Collective workloads are not profiles — they compile straight to a
+    trace — but the error names them so a ``collective:<algorithm>``
+    spec mistyped as a benchmark gets a useful pointer.
+    """
     if name in CPU_BENCHMARKS:
         return CPU_BENCHMARKS[name]
     if name in GPU_BENCHMARKS:
         return GPU_BENCHMARKS[name]
-    raise KeyError(f"unknown benchmark {name!r}")
+    from .collectives import COLLECTIVE_ALGORITHMS
+
+    raise KeyError(
+        f"unknown benchmark {name!r}; "
+        f"CPU: {', '.join(sorted(CPU_BENCHMARKS))}; "
+        f"GPU: {', '.join(sorted(GPU_BENCHMARKS))}; "
+        "collectives (use collective:<name>): "
+        f"{', '.join(COLLECTIVE_ALGORITHMS)}"
+    )
 
 
 def benchmark_pairs(

@@ -30,6 +30,7 @@ from repro.experiments.cache import (
 )
 from repro.experiments.parallel import (
     cmesh_job,
+    collective_spec,
     execute_job,
     pair_spec,
     pearl_job,
@@ -159,6 +160,12 @@ class TestSpecCodecPreservesKeys:
             pearl_job(config, pair_spec(pair, 3), seed=3, faults=faults),
             cmesh_job(config, pair_spec(pair, 2), seed=2),
             trace_job(config, uniform_spec(0.2, 9), seed=9),
+            pearl_job(
+                config,
+                collective_spec("allreduce_ring", 7),
+                seed=7,
+                power_policy=PowerPolicyKind.REACTIVE,
+            ),
             thermal_job(
                 config,
                 wavelength_state=16,
@@ -187,6 +194,26 @@ class TestSpecCodecPreservesKeys:
         doc = spec_to_doc(spec)
         shuffled = _reorder(doc, random.Random(7))
         assert cache.key_for(spec_from_doc(shuffled)) == cache.key_for(spec)
+
+    def test_unknown_collective_algorithm_rejected_at_decode(
+        self, tiny_sim_config
+    ):
+        """A bad algorithm never reaches a worker: the strict codec
+        (via TraceSpec validation) rejects it at decode time."""
+        spec = pearl_job(
+            tiny_sim_config, collective_spec("allreduce_ring", 7), seed=7
+        )
+        doc = spec_to_doc(spec)
+        doc["trace"]["algorithm"] = "ring_of_fire"
+        with pytest.raises(ValueError, match="ring_of_fire"):
+            spec_from_doc(doc)
+
+    def test_pair_trace_payload_has_no_algorithm_key(self, tiny_sim_config):
+        """Pair/uniform payloads must not grow an ``algorithm`` key —
+        that would shift every existing cache entry's content hash."""
+        pair = experiment_pairs(quick=True)[0]
+        spec = pearl_job(tiny_sim_config, pair_spec(pair, 3), seed=3)
+        assert "algorithm" not in spec.trace.payload()
 
 
 def _result_fingerprint(result):

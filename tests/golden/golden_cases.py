@@ -180,3 +180,69 @@ def run_retrain_case(engine: str) -> Dict[str, object]:
     out["retrain_events"] = result.retrain_events
     out["retrained_model_ids"] = list(result.retrained_model_ids)
     return out
+
+
+#: Snapshot stems of the collective-workload golden cases.
+COLLECTIVE_RETRAIN_CASE = "collective_allreduce_ml_retrain"
+COLLECTIVE_PAM4_CASE = "collective_alltoall_pam4"
+
+
+def _collective_trace(config: PearlConfig, algorithm: str):
+    from repro.traffic.collectives import generate_collective_trace
+
+    return generate_collective_trace(
+        algorithm,
+        config.architecture,
+        duration=config.simulation.total_cycles,
+        seed=GOLDEN_SEED,
+    )
+
+
+def run_collective_retrain_case(engine: str) -> Dict[str, object]:
+    """drift -> retrain -> promote -> swap driven by an all-reduce.
+
+    The drifting model (scaler centred at -100) guarantees the monitor
+    trips on the collective's feature stream; the canonical form pins
+    the promoted registry ids, so the pooled rows the collective's
+    bursty windows feed into the refit are under snapshot control.
+    """
+    import tempfile
+
+    from repro.ml.lifecycle.registry import ModelRegistry
+
+    config = retrain_config()
+    trace = _collective_trace(config, "allreduce_ring")
+    with tempfile.TemporaryDirectory() as tmp:
+        network = PearlNetwork(
+            config,
+            power_policy=PowerPolicyKind.ML,
+            ml_model=drifting_model(),
+            seed=GOLDEN_SEED,
+            registry=ModelRegistry(tmp),
+        )
+        result = network.run(trace, engine=engine)
+    out = canonical(result)
+    out["retrain_events"] = result.retrain_events
+    out["retrained_model_ids"] = list(result.retrained_model_ids)
+    return out
+
+
+def run_collective_pam4_case(engine: str) -> Dict[str, object]:
+    """An all-to-all exchange under PAM4 multilevel signaling.
+
+    Reactive policy with the default allocator: the snapshot pins the
+    halved serialization ladder and the 4.8 dB laser penalty end to
+    end (state residencies, per-flit energies, laser power) without
+    involving any fitted model.
+    """
+    from dataclasses import replace
+
+    config = golden_config()
+    config = config.replace(
+        photonic=replace(config.photonic, signaling="pam4")
+    )
+    trace = _collective_trace(config, "alltoall")
+    network = PearlNetwork(
+        config, power_policy=PowerPolicyKind.REACTIVE, seed=GOLDEN_SEED
+    )
+    return canonical(network.run(trace, engine=engine))

@@ -15,10 +15,14 @@ import pytest
 
 from .golden_cases import (
     ALLOCATORS,
+    COLLECTIVE_PAM4_CASE,
+    COLLECTIVE_RETRAIN_CASE,
     ENGINES,
     POLICIES,
     RETRAIN_CASE,
     run_case,
+    run_collective_pam4_case,
+    run_collective_retrain_case,
     run_retrain_case,
 )
 
@@ -88,6 +92,45 @@ def test_golden_retrain_mid_run(engine: str) -> None:
         pytest.fail(
             f"golden mismatch for {RETRAIN_CASE} on the {engine} "
             f"engine:\n{differences}\n"
+            "If this change is intentional, regenerate with "
+            "scripts/update_golden.py."
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_golden_collective_retrain(engine: str) -> None:
+    """The collective-driven drift->retrain->promote case, per engine."""
+    path = SNAPSHOT_DIR / f"{COLLECTIVE_RETRAIN_CASE}.json"
+    assert path.exists(), (
+        f"missing snapshot {path.name}; run scripts/update_golden.py"
+    )
+    expected = json.loads(path.read_text())
+    actual = run_collective_retrain_case(engine)
+    assert actual["retrain_events"] >= 1, "the golden case must retrain"
+    if actual != expected:
+        differences = "\n".join(_diff(expected, actual))
+        pytest.fail(
+            f"golden mismatch for {COLLECTIVE_RETRAIN_CASE} on the "
+            f"{engine} engine:\n{differences}\n"
+            "If this change is intentional, regenerate with "
+            "scripts/update_golden.py."
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_golden_collective_pam4(engine: str) -> None:
+    """The PAM4 all-to-all case: multilevel signaling under snapshot."""
+    path = SNAPSHOT_DIR / f"{COLLECTIVE_PAM4_CASE}.json"
+    assert path.exists(), (
+        f"missing snapshot {path.name}; run scripts/update_golden.py"
+    )
+    expected = json.loads(path.read_text())
+    actual = run_collective_pam4_case(engine)
+    if actual != expected:
+        differences = "\n".join(_diff(expected, actual))
+        pytest.fail(
+            f"golden mismatch for {COLLECTIVE_PAM4_CASE} on the "
+            f"{engine} engine:\n{differences}\n"
             "If this change is intentional, regenerate with "
             "scripts/update_golden.py."
         )

@@ -246,6 +246,81 @@ class TestArrayEngineEquivalence:
         assert out["array"]["stats"]["link_total_cycles"] > 0
 
 
+class TestCollectiveWorkloads:
+    """Phase-structured collective schedules through all three engines.
+
+    The collective compiler emits bursty, barrier-ordered traffic with
+    multi-flit packets — a different injection shape from the pair and
+    uniform traces above — and the PAM4 rows additionally flip every
+    serialization and power constant the engines consume."""
+
+    def _collective(self, signaling="nrz", algorithm="allreduce_ring"):
+        from repro.traffic.collectives import generate_collective_trace
+
+        config = _config()
+        if signaling != "nrz":
+            config = config.replace(
+                photonic=replace(config.photonic, signaling=signaling)
+            )
+        trace = generate_collective_trace(
+            algorithm,
+            config.architecture,
+            duration=config.simulation.total_cycles,
+            seed=7,
+        )
+        return config, trace
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            "allreduce_ring",
+            "halving_doubling",
+            "alltoall",
+            "parameter_server",
+        ],
+    )
+    @pytest.mark.parametrize("signaling", ["nrz", "pam4"])
+    def test_ml_policy_engines_match(self, algorithm, signaling, toy_model):
+        config, trace = self._collective(signaling, algorithm)
+        out = _run_engines(config, trace, PowerPolicyKind.ML, toy_model)
+        _assert_all_equal(out)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            PowerPolicyKind.REACTIVE,
+            PowerPolicyKind.PROTEUS,
+            PowerPolicyKind.D3NOC,
+        ],
+    )
+    def test_rule_policies_pam4(self, policy, toy_model):
+        config, trace = self._collective("pam4", "alltoall")
+        out = _run_engines(config, trace, policy, toy_model)
+        _assert_all_equal(out)
+
+    def test_faulted_collective(self, toy_model):
+        """A fault schedule on top of a PAM4 collective run."""
+        config, trace = self._collective("pam4", "halving_doubling")
+        out = _run_engines(
+            config,
+            trace,
+            PowerPolicyKind.ML,
+            toy_model,
+            faults=_fault_schedule(),
+        )
+        _assert_all_equal(out)
+        assert out["array"]["crc_errors"] > 0
+
+    def test_quantized_collective(self, toy_model):
+        """q4.12 batched inference driven by collective traffic."""
+        config, trace = self._collective("nrz", "parameter_server")
+        config = config.replace(
+            ml=replace(config.ml, quantization="q4.12")
+        )
+        out = _run_engines(config, trace, PowerPolicyKind.ML, toy_model)
+        _assert_all_equal(out)
+
+
 class TestNonDefaultClusterCounts:
     """The array core must size every array from the live network, not
     from the paper's 16-cluster default (regression for hard-coded

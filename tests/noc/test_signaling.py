@@ -1,0 +1,140 @@
+"""Multilevel signaling (NRZ vs PAM4) across the photonic stack.
+
+PAM4 packs two bits per symbol, so every wavelength state serializes a
+flit in at most half the NRZ cycles — but the collapsed eye needs
+~4.8 dB more optical power at the same BER.  These tests pin both sides
+of that trade at every layer it touches: the config's ladder
+capacity/power methods, the link budget (and through it the PROTEUS
+loss caps), and the per-flit energy model.  NRZ must remain bit-for-bit
+the paper's arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import ArchitectureConfig, OpticalConfig, PhotonicConfig
+from repro.core.proteus import loss_capped_state
+from repro.core.wavelength import WavelengthLadder
+from repro.noc.photonic import LinkBudget, PhotonicLinkModel
+from repro.noc.topology import ChipFloorplan, per_router_link_budget
+
+NRZ = PhotonicConfig(signaling="nrz")
+PAM4 = PhotonicConfig(signaling="pam4")
+#: 4.8 dB as a linear power factor (~3.02x).
+PENALTY_FACTOR = 10.0 ** (4.8 / 10.0)
+
+
+class TestConfig:
+    def test_default_is_nrz(self):
+        config = PhotonicConfig()
+        assert config.signaling == "nrz"
+        assert config.bits_per_symbol == 1
+        assert config.signaling_penalty_db() == 0.0
+
+    def test_pam4_symbol_packing(self):
+        assert PAM4.bits_per_symbol == 2
+        assert PAM4.signaling_penalty_db() == pytest.approx(4.8)
+
+    def test_unknown_signaling_rejected(self):
+        with pytest.raises(ValueError, match="signaling"):
+            PhotonicConfig(signaling="qam16")
+
+    def test_serialization_halves_per_state(self):
+        """ceil(nrz/2) cycles per state: 2,4,4,8,16 -> 1,2,2,4,8."""
+        nrz_cycles = {64: 2, 48: 4, 32: 4, 16: 8, 8: 16}
+        pam4_cycles = {64: 1, 48: 2, 32: 2, 16: 4, 8: 8}
+        for state in NRZ.wavelength_states:
+            assert NRZ.state_serialization_cycles(state) == nrz_cycles[state]
+            assert (
+                PAM4.state_serialization_cycles(state) == pam4_cycles[state]
+            )
+            assert PAM4.state_serialization_cycles(state) == max(
+                1, math.ceil(nrz_cycles[state] / 2)
+            )
+
+    def test_nrz_power_matches_paper_constants(self):
+        expected = {64: 1.16, 48: 0.871, 32: 0.581, 16: 0.29, 8: 0.145}
+        for state, power in expected.items():
+            assert NRZ.state_power(state) == pytest.approx(power)
+
+    def test_pam4_power_pays_ber_penalty(self):
+        for state in NRZ.wavelength_states:
+            assert PAM4.state_power(state) == pytest.approx(
+                NRZ.state_power(state) * PENALTY_FACTOR
+            )
+
+
+class TestLinkBudget:
+    def test_penalty_adds_like_loss(self):
+        base = LinkBudget(loss_db=10.0, receiver_sensitivity_dbm=-17.0)
+        pam4 = LinkBudget(
+            loss_db=10.0,
+            receiver_sensitivity_dbm=-17.0,
+            signaling_penalty_db=4.8,
+        )
+        assert pam4.required_output_dbm == pytest.approx(
+            base.required_output_dbm + 4.8
+        )
+        assert pam4.required_output_mw == pytest.approx(
+            base.required_output_mw * PENALTY_FACTOR
+        )
+
+    def test_per_router_budget_carries_signaling(self):
+        floorplan = ChipFloorplan(ArchitectureConfig())
+        optical = OpticalConfig()
+        nrz = per_router_link_budget(floorplan, optical, source=3)
+        pam4 = per_router_link_budget(
+            floorplan, optical, source=3, photonic=PAM4
+        )
+        assert pam4.required_output_dbm == pytest.approx(
+            nrz.required_output_dbm + 4.8
+        )
+
+    def test_pam4_tightens_proteus_cap(self):
+        """The 3x per-wavelength output cost lowers the loss-capped
+        ladder state at a fixed laser budget."""
+        floorplan = ChipFloorplan(ArchitectureConfig())
+        optical = OpticalConfig()
+        ladder = WavelengthLadder(NRZ)
+        nrz_budget = per_router_link_budget(floorplan, optical, source=0)
+        pam4_budget = per_router_link_budget(
+            floorplan, optical, source=0, photonic=PAM4
+        )
+        # Pick a laser budget that sustains the full ladder under NRZ.
+        laser_mw = nrz_budget.required_output_mw * 64
+        nrz_cap = loss_capped_state(nrz_budget, ladder, laser_mw)
+        pam4_cap = loss_capped_state(pam4_budget, ladder, laser_mw)
+        assert nrz_cap == 64
+        assert pam4_cap < nrz_cap
+
+
+class TestEnergyModel:
+    def test_pam4_halves_modulator_symbols(self):
+        optical = OpticalConfig()
+        nrz = PhotonicLinkModel(optical, NRZ)
+        pam4 = PhotonicLinkModel(optical, PAM4)
+        assert pam4.modulation_energy_j_per_flit() == pytest.approx(
+            nrz.modulation_energy_j_per_flit() / 2
+        )
+
+    def test_pam4_receiver_penalty(self):
+        optical = OpticalConfig()
+        nrz = PhotonicLinkModel(optical, NRZ)
+        pam4 = PhotonicLinkModel(optical, PAM4)
+        assert pam4.receiver_energy_j_per_flit() == pytest.approx(
+            nrz.receiver_energy_j_per_flit() * PENALTY_FACTOR
+        )
+
+    def test_pam4_laser_draw(self):
+        optical = OpticalConfig()
+        nrz = PhotonicLinkModel(optical, NRZ)
+        pam4 = PhotonicLinkModel(optical, PAM4)
+        for wl in (8, 16, 32, 48, 64):
+            assert pam4.laser_electrical_power_w(wl) == pytest.approx(
+                nrz.laser_electrical_power_w(wl) * PENALTY_FACTOR
+            )
+            # Trimming is thermal, not optical: format-independent.
+            assert pam4.trimming_power_w(wl) == nrz.trimming_power_w(wl)

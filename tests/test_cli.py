@@ -105,6 +105,55 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--cpu", "unknown"])
 
+    def test_collective_workload(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--workload",
+                "collective:alltoall",
+                "--policy",
+                "reactive",
+                "--cycles",
+                "1000",
+                "--warmup",
+                "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "collective:alltoall" in out
+
+    def test_pam4_signaling(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--signaling",
+                "pam4",
+                "--cycles",
+                "800",
+                "--warmup",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "signaling=pam4" in capsys.readouterr().out
+
+    def test_rejects_unknown_collective_at_parse_time(self, capsys):
+        """Argument parsing (not the run) rejects a bad algorithm and
+        names the valid ones."""
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "collective:ring_of_fire"])
+        err = capsys.readouterr().err
+        assert "allreduce_ring" in err
+
+    def test_rejects_malformed_workload(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workload", "bogus"])
+
+    def test_rejects_unknown_signaling(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--signaling", "qam16"])
+
 
 class TestChart:
     def test_chart_flag_renders(self, capsys):

@@ -30,6 +30,10 @@ from repro.ml.ridge import RidgeRegression
 from repro.noc.network import PearlNetwork
 from repro.noc.router import PowerPolicyKind
 from repro.traffic.benchmarks import get_benchmark
+from repro.traffic.collectives import (
+    COLLECTIVE_ALGORITHMS,
+    generate_collective_trace,
+)
 from repro.traffic.synthetic import generate_pair_trace
 
 # Every case drives the full simulator twice; firmly the slow tier.
@@ -198,4 +202,113 @@ def test_array_engine_hardened_configs(
                 faults=faults,
             )
         )
+    assert results["array"] == results["fast"]
+
+
+# ---------------------------------------------------------------------------
+# Collective workloads: algorithm × policy × signaling across engines
+# ---------------------------------------------------------------------------
+
+COLLECTIVE_SEED = 7
+COLLECTIVE_POLICIES = ("reactive", "ml", "proteus", "d3noc")
+SIGNALING = ("nrz", "pam4")
+COLLECTIVE_MATRIX = [
+    (algorithm, policy, signaling)
+    for algorithm in COLLECTIVE_ALGORITHMS
+    for policy in COLLECTIVE_POLICIES
+    for signaling in SIGNALING
+]
+
+
+def _collective_run(
+    algorithm: str,
+    policy: str,
+    signaling: str,
+    engine: str,
+    ml_model,
+    quantization: str | None = None,
+    faults: FaultSchedule | None = None,
+):
+    config = PearlConfig(
+        simulation=SimulationConfig(
+            warmup_cycles=100, measure_cycles=1_000, seed=COLLECTIVE_SEED
+        )
+    )
+    if signaling != "nrz":
+        config = config.replace(
+            photonic=replace(config.photonic, signaling=signaling)
+        )
+    if quantization is not None:
+        config = config.replace(
+            ml=replace(config.ml, quantization=quantization)
+        )
+    trace = generate_collective_trace(
+        algorithm,
+        config.architecture,
+        duration=config.simulation.total_cycles,
+        seed=COLLECTIVE_SEED,
+    )
+    network = PearlNetwork(
+        config,
+        power_policy=PowerPolicyKind(policy),
+        ml_model=ml_model if policy == "ml" else None,
+        seed=COLLECTIVE_SEED,
+        faults=faults,
+    )
+    return network.run(trace, engine=engine)
+
+
+@pytest.mark.parametrize(
+    "algorithm,policy,signaling",
+    COLLECTIVE_MATRIX,
+    ids=[f"{a}-{p}-{s}" for a, p, s in COLLECTIVE_MATRIX],
+)
+def test_collective_engines_match_reference(
+    algorithm: str, policy: str, signaling: str, registry_model
+) -> None:
+    """Every collective × policy × signaling combination is engine-exact."""
+    model = registry_model if policy == "ml" else None
+    reference = _canonical(
+        _collective_run(algorithm, policy, signaling, "reference", model)
+    )
+    for engine in ("fast", "array"):
+        engine_result = _canonical(
+            _collective_run(algorithm, policy, signaling, engine, model)
+        )
+        assert engine_result == reference, f"{engine} diverged"
+
+
+def test_collective_faulted_array(registry_model) -> None:
+    """A faulted PAM4 collective run stays engine-exact."""
+    results = {
+        engine: _canonical(
+            _collective_run(
+                "alltoall",
+                "ml",
+                "pam4",
+                engine,
+                registry_model,
+                faults=_seed_faults(COLLECTIVE_SEED),
+            )
+        )
+        for engine in ("fast", "array")
+    }
+    assert results["array"] == results["fast"]
+
+
+def test_collective_quantized_array(registry_model) -> None:
+    """q4.12 fixed-point inference on a collective stays engine-exact."""
+    results = {
+        engine: _canonical(
+            _collective_run(
+                "allreduce_ring",
+                "ml",
+                "nrz",
+                engine,
+                registry_model,
+                quantization="q4.12",
+            )
+        )
+        for engine in ("fast", "array")
+    }
     assert results["array"] == results["fast"]

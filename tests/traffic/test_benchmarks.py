@@ -56,6 +56,17 @@ class TestCatalogue:
         with pytest.raises(KeyError):
             get_benchmark("nonexistent")
 
+    def test_get_benchmark_error_lists_available_names(self):
+        """The KeyError enumerates every valid name a caller could
+        have meant — CPU, GPU and the collective family."""
+        with pytest.raises(KeyError) as excinfo:
+            get_benchmark("allreduce_ring")
+        message = str(excinfo.value)
+        assert "fluidanimate" in message
+        assert "dct" in message
+        assert "collective:" in message
+        assert "allreduce_ring" in message
+
 
 class TestSplits:
     def test_paper_split_sizes(self):

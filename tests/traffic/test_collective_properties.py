@@ -1,0 +1,186 @@
+"""Property-based invariants of the collective schedule compiler.
+
+Cross-checks the compiled :func:`phase_timeline` / trace against the
+analytical cost models in :func:`step_volumes`, and pins the contracts
+the simulator relies on: barrier-ordered disjoint step windows, exact
+volume conservation through packet chunking, per-seed determinism with
+a seed-independent timeline, and PAM4 capacity dominating NRZ on every
+ladder state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ArchitectureConfig, PhotonicConfig
+from repro.traffic.collectives import (
+    COLLECTIVE_ALGORITHMS,
+    DEFAULT_COMPUTE_GAP,
+    DEFAULT_DRAIN_SLACK,
+    DEFAULT_STEP_SPREAD,
+    MAX_PACKET_FLITS,
+    generate_collective_trace,
+    phase_timeline,
+    step_volumes,
+    validate_collective,
+)
+
+ARCH = ArchitectureConfig()
+
+algorithms = st.sampled_from(COLLECTIVE_ALGORITHMS)
+payloads = st.integers(min_value=1, max_value=600)
+durations = st.integers(min_value=2_000, max_value=30_000)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestVolumeConservation:
+    @given(algorithm=algorithms, payload=payloads, duration=durations)
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_steps_match_closed_form(
+        self, algorithm, payload, duration
+    ):
+        """Every compiled step carries exactly its analytical volume."""
+        steps = phase_timeline(
+            algorithm, ARCH, duration=duration, payload_flits=payload
+        )
+        volumes = step_volumes(algorithm, ARCH.num_clusters, payload)
+        for step in steps:
+            assert step.flits == volumes[step.step_index % len(volumes)]
+
+    @given(algorithm=algorithms, payload=payloads, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_trace_conserves_schedule_volume(self, algorithm, payload, seed):
+        """Chunking into <=MAX_PACKET_FLITS packets loses no flits."""
+        duration = 8_000
+        steps = phase_timeline(
+            algorithm, ARCH, duration=duration, payload_flits=payload
+        )
+        trace = generate_collective_trace(
+            algorithm, ARCH, duration=duration, seed=seed,
+            payload_flits=payload,
+        )
+        assert sum(e.size_flits for e in trace.events) == sum(
+            step.flits for step in steps
+        )
+        assert all(
+            1 <= e.size_flits <= MAX_PACKET_FLITS for e in trace.events
+        )
+
+
+class TestBarrierOrdering:
+    @given(algorithm=algorithms, payload=payloads, duration=durations)
+    @settings(max_examples=40, deadline=None)
+    def test_step_windows_disjoint_and_ordered(
+        self, algorithm, payload, duration
+    ):
+        """Step k+1 never starts before step k's window has drained."""
+        steps = phase_timeline(
+            algorithm, ARCH, duration=duration, payload_flits=payload
+        )
+        for earlier, later in zip(steps, steps[1:]):
+            assert later.step_index == earlier.step_index + 1
+            assert (
+                later.start_cycle
+                >= earlier.end_cycle + DEFAULT_DRAIN_SLACK
+            )
+            assert later.phase_index >= earlier.phase_index
+            if later.phase_index > earlier.phase_index:
+                # A phase boundary additionally pays the compute gap.
+                assert later.start_cycle >= (
+                    earlier.end_cycle
+                    + DEFAULT_DRAIN_SLACK
+                    + DEFAULT_COMPUTE_GAP
+                )
+        for step in steps:
+            assert step.end_cycle - step.start_cycle == DEFAULT_STEP_SPREAD
+            assert step.end_cycle + DEFAULT_DRAIN_SLACK <= duration
+
+    @given(algorithm=algorithms, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_packets_stay_inside_their_step_window(self, algorithm, seed):
+        """Injection honours barriers: packets land in step windows."""
+        duration = 8_000
+        steps = phase_timeline(algorithm, ARCH, duration=duration)
+        windows = [(s.start_cycle, s.end_cycle) for s in steps]
+        trace = generate_collective_trace(
+            algorithm, ARCH, duration=duration, seed=seed
+        )
+        for event in trace.events:
+            assert any(
+                start <= event.cycle < end for start, end in windows
+            )
+
+
+class TestSignalingCapacity:
+    @given(state=st.sampled_from(PhotonicConfig().wavelength_states))
+    @settings(max_examples=20, deadline=None)
+    def test_pam4_capacity_dominates_nrz(self, state):
+        """Two bits per symbol: PAM4 serializes every ladder state at
+        least as fast as NRZ, at a strictly higher laser power."""
+        nrz = PhotonicConfig(signaling="nrz")
+        pam4 = PhotonicConfig(signaling="pam4")
+        assert pam4.state_serialization_cycles(
+            state
+        ) <= nrz.state_serialization_cycles(state)
+        assert pam4.state_power(state) > nrz.state_power(state)
+
+
+class TestDeterminism:
+    @given(algorithm=algorithms, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_same_trace(self, algorithm, seed):
+        a = generate_collective_trace(algorithm, ARCH, duration=6_000, seed=seed)
+        b = generate_collective_trace(algorithm, ARCH, duration=6_000, seed=seed)
+        assert a.events == b.events
+
+    @given(
+        algorithm=algorithms,
+        seed_a=seeds,
+        seed_b=seeds,
+        payload=payloads,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_timeline_is_seed_free(self, algorithm, seed_a, seed_b, payload):
+        """Seeds move packets inside windows, never the windows (so the
+        transfer multiset is identical across seeds too)."""
+        steps = phase_timeline(
+            algorithm, ARCH, duration=6_000, payload_flits=payload
+        )
+        a = generate_collective_trace(
+            algorithm, ARCH, duration=6_000, seed=seed_a,
+            payload_flits=payload,
+        )
+        b = generate_collective_trace(
+            algorithm, ARCH, duration=6_000, seed=seed_b,
+            payload_flits=payload,
+        )
+
+        def per_window(events):
+            # Trace orders events by cycle, so bucket by step window
+            # and compare the transfer multiset inside each.
+            buckets = {step.start_cycle: [] for step in steps}
+            for e in events:
+                start = max(
+                    s.start_cycle
+                    for s in steps
+                    if s.start_cycle <= e.cycle < s.end_cycle
+                )
+                buckets[start].append(
+                    (e.source, e.destination, e.size_flits, e.core_type)
+                )
+            return {
+                start: sorted(items) for start, items in buckets.items()
+            }
+
+        assert per_window(a.events) == per_window(b.events)
+
+
+def test_unknown_algorithm_rejected():
+    try:
+        validate_collective("ring_of_fire")
+    except ValueError as err:
+        for name in COLLECTIVE_ALGORITHMS:
+            assert name in str(err)
+    else:
+        raise AssertionError("expected ValueError")
